@@ -1,0 +1,29 @@
+//! The four baseline DRAM schedulers PAR-BS is evaluated against
+//! (Mutlu & Moscibroda, ISCA 2008, §8):
+//!
+//! * **FCFS** — strict arrival order (re-exported from `parbs-dram`);
+//! * **FR-FCFS** — first-ready, first-come-first-serve: row hits first, then
+//!   oldest first (Rixner et al., Zuravleff & Robinson). Maximizes DRAM data
+//!   throughput, but unfairly favors threads with high row-buffer locality
+//!   and high memory intensity;
+//! * **NFQ** — network-fair-queueing scheduler (Nesbit et al., MICRO 2006):
+//!   earliest virtual-finish-time first (FQ-VFTF) with the priority-inversion
+//!   prevention optimization;
+//! * **STFM** — stall-time fair memory scheduler (Mutlu & Moscibroda,
+//!   MICRO 2007): estimates per-thread slowdown online and switches to a
+//!   fairness-oriented policy when estimated unfairness exceeds α.
+//!
+//! All implement [`parbs_dram::MemoryScheduler`]; none of them preserve
+//! intra-thread bank-level parallelism, which is the gap PAR-BS fills.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frfcfs;
+mod nfq;
+mod stfm;
+
+pub use frfcfs::FrFcfsScheduler;
+pub use nfq::{NfqConfig, NfqScheduler, VirtualTimePolicy};
+pub use parbs_dram::FcfsScheduler;
+pub use stfm::{StfmConfig, StfmScheduler};

@@ -1,0 +1,272 @@
+//! NFQ: the network-fair-queueing memory scheduler of Nesbit et al.
+//! (MICRO 2006), in its best variant FQ-VFTF (fair queueing based on virtual
+//! finish times, with priority-inversion prevention).
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use parbs_dram::{MemoryScheduler, Request, RequestId, SchedView, ThreadId, TimingParams};
+
+/// Which virtual timestamp orders requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VirtualTimePolicy {
+    /// Earliest virtual **finish** time first — Nesbit et al.'s FQ-VFTF,
+    /// the paper's NFQ baseline.
+    #[default]
+    FinishTime,
+    /// Earliest virtual **start** time first — the STFQ improvement of
+    /// Rafique et al. (PACT 2007), referenced in the paper's §9: start-time
+    /// fair queueing is less sensitive to the idleness problem because a
+    /// backlogged thread's pending request carries its (small) start tag
+    /// rather than an inflated finish tag.
+    StartTime,
+}
+
+/// NFQ parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfqConfig {
+    /// Virtual cost of servicing one request (the fair-queueing quantum),
+    /// in cycles. The default is the uncontended row-closed access latency.
+    pub service_quantum: f64,
+    /// Priority-inversion prevention threshold: a row-hit request is allowed
+    /// to jump ahead of an earlier virtual deadline only while its bank's
+    /// row has been open for less than this many cycles (the paper's "tRAS
+    /// threshold").
+    pub tras_threshold: u64,
+    /// Start-time vs. finish-time ordering.
+    pub policy: VirtualTimePolicy,
+}
+
+impl Default for NfqConfig {
+    fn default() -> Self {
+        let t = TimingParams::ddr2_800();
+        NfqConfig {
+            service_quantum: t.row_closed_latency() as f64,
+            tras_threshold: t.t_ras,
+            policy: VirtualTimePolicy::default(),
+        }
+    }
+}
+
+/// Fair-queueing scheduler: each thread owns a share of the memory system;
+/// each request receives a **virtual finish time** (VFT) from its thread's
+/// per-bank virtual clock, and the earliest VFT wins.
+///
+/// Behavioural notes the PAR-BS paper relies on (§8.1.1):
+///
+/// * the per-(thread, bank) virtual clocks are **uncoordinated across
+///   banks**, so a thread's concurrent accesses to different banks can be
+///   serviced out of sync — NFQ destroys intra-thread bank-parallelism;
+/// * an *idle* thread's virtual clock lags real time, so when a bursty
+///   thread wakes up its requests get early deadlines and jump ahead (the
+///   "idleness problem").
+///
+/// Both effects emerge naturally from this implementation.
+#[derive(Debug, Clone)]
+pub struct NfqScheduler {
+    cfg: NfqConfig,
+    /// Virtual clock per (thread, bank).
+    clocks: HashMap<(ThreadId, usize), f64>,
+    /// Virtual finish time assigned to each queued request.
+    deadlines: HashMap<RequestId, f64>,
+    /// Per-thread share weights (default 1.0).
+    weights: Vec<f64>,
+}
+
+impl NfqScheduler {
+    /// Creates an NFQ scheduler with default parameters and equal shares.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(NfqConfig::default())
+    }
+
+    /// Creates the start-time fair queueing variant (Rafique et al.).
+    #[must_use]
+    pub fn stfq() -> Self {
+        Self::with_config(NfqConfig {
+            policy: VirtualTimePolicy::StartTime,
+            ..NfqConfig::default()
+        })
+    }
+
+    /// Creates an NFQ scheduler with explicit parameters.
+    #[must_use]
+    pub fn with_config(cfg: NfqConfig) -> Self {
+        NfqScheduler { cfg, clocks: HashMap::new(), deadlines: HashMap::new(), weights: Vec::new() }
+    }
+
+    fn weight(&self, thread: ThreadId) -> f64 {
+        self.weights.get(thread.0).copied().unwrap_or(1.0)
+    }
+
+    /// The virtual finish time assigned to a queued request (for tests).
+    #[must_use]
+    pub fn deadline_of(&self, id: RequestId) -> Option<f64> {
+        self.deadlines.get(&id).copied()
+    }
+}
+
+impl Default for NfqScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryScheduler for NfqScheduler {
+    fn name(&self) -> &str {
+        match self.cfg.policy {
+            VirtualTimePolicy::FinishTime => "NFQ",
+            VirtualTimePolicy::StartTime => "STFQ",
+        }
+    }
+
+    fn set_thread_weight(&mut self, thread: ThreadId, weight: f64) {
+        if self.weights.len() <= thread.0 {
+            self.weights.resize(thread.0 + 1, 1.0);
+        }
+        self.weights[thread.0] = weight.max(1e-6);
+    }
+
+    fn on_arrival(&mut self, req: &Request, now: u64) {
+        // Virtual start = max(thread's bank clock, real arrival time); the
+        // max() with real time is what lets idle threads re-enter with
+        // competitive deadlines.
+        let key = (req.thread, req.addr.bank);
+        let clock = self.clocks.get(&key).copied().unwrap_or(0.0);
+        let start = clock.max(now as f64);
+        let finish = start + self.cfg.service_quantum / self.weight(req.thread);
+        self.clocks.insert(key, finish);
+        let tag = match self.cfg.policy {
+            VirtualTimePolicy::FinishTime => finish,
+            VirtualTimePolicy::StartTime => start,
+        };
+        self.deadlines.insert(req.id, tag);
+    }
+
+    fn on_complete(&mut self, req: &Request, _now: u64) {
+        self.deadlines.remove(&req.id);
+    }
+
+    fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
+        // Priority-inversion prevention: row hits go first, but a row may
+        // only be "captured" for tras_threshold cycles after its activate.
+        let recent_hit = |r: &Request| {
+            view.is_row_hit(r)
+                && view.now.saturating_sub(view.channel.bank(r.addr.bank).last_activate_at())
+                    < self.cfg.tras_threshold
+        };
+        let hit_a = recent_hit(a);
+        let hit_b = recent_hit(b);
+        let dl = |r: &Request| self.deadlines.get(&r.id).copied().unwrap_or(f64::MAX);
+        hit_b.cmp(&hit_a).then_with(|| dl(a).total_cmp(&dl(b))).then_with(|| a.id.cmp(&b.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbs_dram::{Channel, LineAddr, RequestKind};
+
+    fn req(id: u64, thread: usize, bank: usize, row: u64, at: u64) -> Request {
+        Request::new(
+            id,
+            ThreadId(thread),
+            LineAddr { channel: 0, bank, row, col: 0 },
+            RequestKind::Read,
+            at,
+        )
+    }
+
+    #[test]
+    fn deadlines_accumulate_per_thread_bank() {
+        let mut s = NfqScheduler::new();
+        let r0 = req(0, 0, 0, 1, 0);
+        let r1 = req(1, 0, 0, 2, 0);
+        s.on_arrival(&r0, 0);
+        s.on_arrival(&r1, 0);
+        let d0 = s.deadline_of(r0.id).unwrap();
+        let d1 = s.deadline_of(r1.id).unwrap();
+        assert!(d1 > d0, "same (thread,bank): second request has later VFT");
+        assert!((d1 - 2.0 * d0).abs() < 1e-9, "quantum accumulates linearly");
+    }
+
+    #[test]
+    fn idle_thread_gets_competitive_deadline() {
+        let mut s = NfqScheduler::new();
+        // Thread 0 is intensive: many requests pile up its virtual clock.
+        for i in 0..50 {
+            s.on_arrival(&req(i, 0, 0, 1, 0), 0);
+        }
+        // Thread 1 wakes up late: its clock restarts from real time.
+        let late = req(100, 1, 0, 7, 1_000);
+        s.on_arrival(&late, 1_000);
+        let d_busy_tail = s.deadline_of(RequestId(parbs_dram::RequestId(49).0)).unwrap();
+        let d_late = s.deadline_of(late.id).unwrap();
+        assert!(
+            d_late < d_busy_tail,
+            "bursty thread jumps ahead (idleness problem): {d_late} vs {d_busy_tail}"
+        );
+    }
+
+    #[test]
+    fn higher_weight_gets_earlier_deadlines() {
+        let mut s = NfqScheduler::new();
+        s.set_thread_weight(ThreadId(0), 1.0);
+        s.set_thread_weight(ThreadId(1), 8.0);
+        let a = req(0, 0, 0, 1, 0);
+        let b = req(1, 1, 1, 1, 0);
+        s.on_arrival(&a, 0);
+        s.on_arrival(&b, 0);
+        assert!(s.deadline_of(b.id).unwrap() < s.deadline_of(a.id).unwrap());
+    }
+
+    #[test]
+    fn earliest_deadline_wins_without_hits() {
+        let mut s = NfqScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        let a = req(0, 0, 0, 1, 0);
+        s.on_arrival(&a, 0);
+        let b = req(1, 0, 0, 2, 0); // same thread+bank → later VFT
+        s.on_arrival(&b, 0);
+        let view = SchedView { channel: &ch, now: 0 };
+        assert_eq!(s.compare(&a, &b, &view), Ordering::Less);
+    }
+
+    #[test]
+    fn stfq_uses_start_tags() {
+        let mut nfq = NfqScheduler::new();
+        let mut stfq = NfqScheduler::stfq();
+        assert_eq!(stfq.name(), "STFQ");
+        let r = req(0, 0, 0, 1, 0);
+        nfq.on_arrival(&r, 0);
+        stfq.on_arrival(&r, 0);
+        // First request: start tag 0, finish tag = one quantum.
+        assert_eq!(stfq.deadline_of(r.id).unwrap(), 0.0);
+        assert!(nfq.deadline_of(r.id).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stfq_is_less_punishing_to_backlogged_threads() {
+        // Thread 0 has a deep backlog; thread 1 arrives fresh. Under
+        // finish-time tags, thread 0's next request carries k+1 quanta;
+        // under start tags it carries k quanta — one quantum friendlier.
+        let mut nfq = NfqScheduler::new();
+        let mut stfq = NfqScheduler::stfq();
+        for i in 0..10 {
+            nfq.on_arrival(&req(i, 0, 0, 1, 0), 0);
+            stfq.on_arrival(&req(i, 0, 0, 1, 0), 0);
+        }
+        let d_nfq = nfq.deadline_of(RequestId(9)).unwrap();
+        let d_stfq = stfq.deadline_of(RequestId(9)).unwrap();
+        assert!(d_stfq < d_nfq);
+    }
+
+    #[test]
+    fn completion_clears_deadline() {
+        let mut s = NfqScheduler::new();
+        let a = req(0, 0, 0, 1, 0);
+        s.on_arrival(&a, 0);
+        s.on_complete(&a, 100);
+        assert!(s.deadline_of(a.id).is_none());
+    }
+}

@@ -1,0 +1,356 @@
+//! STFM: the stall-time fair memory scheduler of Mutlu & Moscibroda
+//! (MICRO 2007) — the strongest prior baseline in the PAR-BS evaluation.
+
+use std::cmp::Ordering;
+
+use parbs_dram::{
+    Command, CommandKind, MemoryScheduler, Request, SchedView, ThreadId, TimingParams,
+};
+
+/// STFM parameters (the values used in the PAR-BS paper's §7.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StfmConfig {
+    /// Fairness threshold α: fairness-oriented scheduling kicks in when the
+    /// estimated `max slowdown / min slowdown` exceeds this (1.10).
+    pub alpha: f64,
+    /// Counter-aging interval in cycles (2²⁴): Tshared/Tinterference are
+    /// halved every interval so the estimate tracks phase changes.
+    pub interval_length: u64,
+}
+
+impl Default for StfmConfig {
+    fn default() -> Self {
+        StfmConfig { alpha: 1.10, interval_length: 1 << 24 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ThreadState {
+    /// Measured memory stall time while sharing (fed by the cores).
+    t_shared: f64,
+    /// Estimated extra stall time caused by other threads.
+    t_interference: f64,
+    /// Importance weight: the thread's slowdown estimate is multiplied by
+    /// it, so a weight-8 thread is treated as 8x as slowed and is
+    /// prioritized accordingly (approximating the original's weighted
+    /// slowdown support).
+    weight: f64,
+    /// Whether the thread currently has requests queued (updated each slot).
+    active: bool,
+    /// Number of distinct banks with queued requests (BLP estimate γ).
+    bank_parallelism: u32,
+}
+
+impl ThreadState {
+    fn slowdown(&self) -> f64 {
+        let alone = (self.t_shared - self.t_interference).max(1.0);
+        let w = if self.weight > 0.0 { self.weight } else { 1.0 };
+        (self.t_shared / alone).max(1.0) * w
+    }
+}
+
+/// Stall-Time Fair Memory scheduler.
+///
+/// Per thread it tracks the measured shared-mode stall time `Tshared`
+/// (reported by the cores through
+/// [`MemoryScheduler::on_stall_cycles`]) and an online estimate of the
+/// interference-induced extra stall `Tinterference`; the thread's slowdown
+/// estimate is `S = Tshared / (Tshared − Tinterference)`. When
+/// `max S / min S > α` the scheduler prioritizes the most-slowed thread's
+/// requests; otherwise it behaves like FR-FCFS.
+///
+/// `Tinterference` accounting: whenever a request of thread *i* is serviced,
+/// every other thread *j* with a queued request **to the same bank** accrues
+/// `command latency / γ_j`, where `γ_j` is *j*'s instantaneous bank
+/// parallelism (interference hurts a high-BLP thread less per bank, but the
+/// estimate is systematically coarse — exactly the inaccuracy the PAR-BS
+/// paper exploits when STFM underestimates mcf's slowdown); column commands
+/// additionally charge the bus-transfer time to every other active thread.
+#[derive(Debug, Clone)]
+pub struct StfmScheduler {
+    cfg: StfmConfig,
+    timing: TimingParams,
+    threads: Vec<ThreadState>,
+    /// Thread estimated most slowed in the current slot (fairness mode).
+    prioritized: Option<ThreadId>,
+    /// Threads with a queued request per bank, rebuilt each slot.
+    bank_threads: Vec<Vec<ThreadId>>,
+    last_aging: u64,
+}
+
+impl StfmScheduler {
+    /// Creates an STFM scheduler with the paper's parameters
+    /// (α = 1.10, interval 2²⁴).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(StfmConfig::default())
+    }
+
+    /// Creates an STFM scheduler with explicit parameters.
+    #[must_use]
+    pub fn with_config(cfg: StfmConfig) -> Self {
+        StfmScheduler {
+            cfg,
+            timing: TimingParams::ddr2_800(),
+            threads: Vec::new(),
+            prioritized: None,
+            bank_threads: Vec::new(),
+            last_aging: 0,
+        }
+    }
+
+    fn thread_mut(&mut self, t: ThreadId) -> &mut ThreadState {
+        if self.threads.len() <= t.0 {
+            self.threads.resize(t.0 + 1, ThreadState::default());
+        }
+        &mut self.threads[t.0]
+    }
+
+    /// The current slowdown estimate for a thread (for tests/telemetry).
+    #[must_use]
+    pub fn slowdown_estimate(&self, t: ThreadId) -> f64 {
+        self.threads.get(t.0).map_or(1.0, ThreadState::slowdown)
+    }
+
+    /// The thread being prioritized by fairness mode, if any.
+    #[must_use]
+    pub fn fairness_mode_thread(&self) -> Option<ThreadId> {
+        self.prioritized
+    }
+
+    fn command_latency(&self, kind: CommandKind) -> f64 {
+        match kind {
+            CommandKind::Activate => self.timing.t_rcd as f64,
+            CommandKind::Precharge => self.timing.t_rp as f64,
+            CommandKind::Read | CommandKind::Write => {
+                (self.timing.t_cl + self.timing.t_burst) as f64
+            }
+            CommandKind::Refresh => self.timing.t_rfc as f64,
+        }
+    }
+}
+
+impl Default for StfmScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryScheduler for StfmScheduler {
+    fn name(&self) -> &str {
+        "STFM"
+    }
+
+    fn set_thread_weight(&mut self, thread: ThreadId, weight: f64) {
+        self.thread_mut(thread).weight = weight.max(1e-6);
+    }
+
+    fn on_stall_cycles(&mut self, stall_cycles: &[u64], _now: u64) {
+        for (t, &cycles) in stall_cycles.iter().enumerate() {
+            self.thread_mut(ThreadId(t)).t_shared += cycles as f64;
+        }
+    }
+
+    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) {
+        // Counter aging.
+        let now = view.now;
+        if now.saturating_sub(self.last_aging) >= self.cfg.interval_length {
+            self.last_aging = now;
+            for t in &mut self.threads {
+                t.t_shared *= 0.5;
+                t.t_interference *= 0.5;
+            }
+        }
+        // Rebuild the bank-occupancy snapshot and per-thread BLP estimate.
+        let banks = view.channel.bank_count();
+        self.bank_threads.clear();
+        self.bank_threads.resize(banks, Vec::new());
+        for t in &mut self.threads {
+            t.active = false;
+            t.bank_parallelism = 0;
+        }
+        for req in queue.iter() {
+            let list = &mut self.bank_threads[req.addr.bank];
+            if !list.contains(&req.thread) {
+                list.push(req.thread);
+            }
+        }
+        let per_bank: Vec<Vec<ThreadId>> = self.bank_threads.clone();
+        for list in &per_bank {
+            for &t in list {
+                let st = self.thread_mut(t);
+                st.active = true;
+                st.bank_parallelism += 1;
+            }
+        }
+        // Fairness decision: estimated unfairness among active threads.
+        let mut max_s = f64::MIN;
+        let mut min_s = f64::MAX;
+        let mut max_thread = None;
+        for (i, t) in self.threads.iter().enumerate() {
+            if !t.active {
+                continue;
+            }
+            let s = t.slowdown();
+            if s > max_s {
+                max_s = s;
+                max_thread = Some(ThreadId(i));
+            }
+            min_s = min_s.min(s);
+        }
+        self.prioritized = match max_thread {
+            Some(t) if max_s / min_s > self.cfg.alpha => Some(t),
+            _ => None,
+        };
+    }
+
+    fn on_command(&mut self, cmd: &Command, req: &Request, _now: u64) {
+        // Interference accounting: servicing `req` (thread i) delays every
+        // other thread waiting on the same bank; column commands also hold
+        // the shared data bus.
+        let latency = self.command_latency(cmd.kind);
+        let bus = if cmd.kind.is_column() { self.timing.t_burst as f64 } else { 0.0 };
+        let victims: Vec<(ThreadId, u32)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| t.active && ThreadId(*i) != req.thread)
+            .map(|(i, t)| (ThreadId(i), t.bank_parallelism.max(1)))
+            .collect();
+        let same_bank = self.bank_threads.get(cmd.bank).cloned().unwrap_or_default();
+        for (t, gamma) in victims {
+            if same_bank.contains(&t) {
+                self.thread_mut(t).t_interference += latency / f64::from(gamma);
+            } else if bus > 0.0 {
+                self.thread_mut(t).t_interference += bus / f64::from(gamma);
+            }
+        }
+    }
+
+    fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
+        if let Some(p) = self.prioritized {
+            // Fairness mode: the most-slowed thread's requests first
+            // (row hits first within it), then FR-FCFS among the rest.
+            let pa = a.thread == p;
+            let pb = b.thread == p;
+            if pa != pb {
+                return pb.cmp(&pa);
+            }
+        }
+        let hit_a = view.is_row_hit(a);
+        let hit_b = view.is_row_hit(b);
+        hit_b.cmp(&hit_a).then(a.id.cmp(&b.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbs_dram::{Channel, LineAddr, RequestKind};
+
+    fn req(id: u64, thread: usize, bank: usize, row: u64) -> Request {
+        Request::new(
+            id,
+            ThreadId(thread),
+            LineAddr { channel: 0, bank, row, col: 0 },
+            RequestKind::Read,
+            0,
+        )
+    }
+
+    fn view(ch: &Channel) -> SchedView<'_> {
+        SchedView { channel: ch, now: 0 }
+    }
+
+    #[test]
+    fn starts_in_frfcfs_mode() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        let mut q = vec![req(0, 0, 0, 1), req(1, 1, 1, 1)];
+        s.pre_schedule(&mut q, &view(&ch));
+        assert!(s.fairness_mode_thread().is_none());
+        assert_eq!(s.compare(&q[0], &q[1], &view(&ch)), Ordering::Less);
+    }
+
+    #[test]
+    fn unfairness_triggers_fairness_mode() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        // Thread 1 stalls a lot and is heavily interfered with.
+        s.on_stall_cycles(&[1_000, 100_000], 0);
+        s.thread_mut(ThreadId(1)).t_interference = 60_000.0;
+        let mut q = vec![req(0, 0, 0, 1), req(1, 1, 1, 1)];
+        s.pre_schedule(&mut q, &view(&ch));
+        assert_eq!(s.fairness_mode_thread(), Some(ThreadId(1)));
+        // Thread 1's request now outranks thread 0's older request.
+        assert_eq!(s.compare(&q[1], &q[0], &view(&ch)), Ordering::Less);
+    }
+
+    #[test]
+    fn slowdown_estimate_grows_with_interference() {
+        let mut s = StfmScheduler::new();
+        s.on_stall_cycles(&[10_000], 0);
+        assert!((s.slowdown_estimate(ThreadId(0)) - 1.0).abs() < 1e-9);
+        s.thread_mut(ThreadId(0)).t_interference = 5_000.0;
+        assert!((s.slowdown_estimate(ThreadId(0)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interference_charged_to_same_bank_victims() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        let mut q = vec![req(0, 0, 3, 1), req(1, 1, 3, 2)];
+        s.pre_schedule(&mut q, &view(&ch));
+        let cmd =
+            Command { kind: CommandKind::Activate, bank: 3, row: 1, col: 0, request: q[0].id };
+        s.on_command(&cmd, &q[0], 0);
+        assert!(s.threads[1].t_interference > 0.0, "thread 1 waits on bank 3");
+        assert_eq!(s.threads[0].t_interference, 0.0, "no self-interference");
+    }
+
+    #[test]
+    fn high_blp_threads_accrue_less_interference_per_event() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        // Thread 1 waits on 4 banks (high BLP), thread 2 on one bank.
+        let mut q = vec![
+            req(0, 0, 0, 1),
+            req(1, 1, 0, 2),
+            req(2, 1, 1, 2),
+            req(3, 1, 2, 2),
+            req(4, 1, 3, 2),
+            req(5, 2, 0, 3),
+        ];
+        s.pre_schedule(&mut q, &view(&ch));
+        let cmd =
+            Command { kind: CommandKind::Activate, bank: 0, row: 1, col: 0, request: q[0].id };
+        s.on_command(&cmd, &q[0], 0);
+        assert!(
+            s.threads[1].t_interference < s.threads[2].t_interference,
+            "gamma scaling: high-BLP thread is charged less per event"
+        );
+    }
+
+    #[test]
+    fn aging_halves_counters() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        s.on_stall_cycles(&[8_000], 0);
+        s.thread_mut(ThreadId(0)).t_interference = 4_000.0;
+        let mut q = vec![req(0, 0, 0, 1)];
+        let v = SchedView { channel: &ch, now: 1 << 24 };
+        s.pre_schedule(&mut q, &v);
+        assert!((s.threads[0].t_shared - 4_000.0).abs() < 1e-9);
+        assert!((s.threads[0].t_interference - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_scale_slowdown() {
+        let mut s = StfmScheduler::new();
+        s.set_thread_weight(ThreadId(0), 8.0);
+        s.on_stall_cycles(&[10_000], 0);
+        s.thread_mut(ThreadId(0)).t_interference = 5_000.0;
+        // Raw slowdown 2.0, importance weight 8 → treated as 16x slowed.
+        assert!((s.slowdown_estimate(ThreadId(0)) - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! Extension: read-latency distribution per scheduler. The paper reports
+//! only worst-case latency (Table 4); the full tail shows how batching
+//! bounds high percentiles while stall-time fairness (STFM) trades tail
+//! latency for mean slowdown equality.
+
+use parbs_bench::Scale;
+use parbs_sim::{SchedulerKind, Session, SimConfig};
+use parbs_workloads::{case_study_1, random_mixes};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("## Extension — read-latency distribution (cycles)\n");
+    for (name, mixes) in [
+        ("Case Study I".to_owned(), vec![case_study_1()]),
+        (
+            format!("{} random 4-core workloads", scale.mixes4.min(10)),
+            random_mixes(4, scale.mixes4.min(10), scale.seed),
+        ),
+    ] {
+        println!("{name}:");
+        println!(
+            "{:10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "scheduler", "mean", "p50", "p95", "p99", "max"
+        );
+        for kind in SchedulerKind::paper_five() {
+            let mut session = Session::new(SimConfig {
+                target_instructions: scale.target,
+                ..SimConfig::for_cores(4)
+            });
+            let mut h = parbs_metrics::LatencyHistogram::new();
+            for mix in &mixes {
+                let r = session.run_shared(mix, &kind);
+                h.merge(&r.read_latency);
+            }
+            println!(
+                "{:10} {:>8.0} {:>8} {:>8} {:>8} {:>8}",
+                kind.name(),
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.max()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Extension: the paper's five schedulers plus STFQ (start-time fair
+//! queueing, Rafique et al. — §9 related work) and PAR-BS with the adaptive
+//! Marking-Cap the paper proposes as future work (§8.3.1).
+
+use parbs::{AdaptiveCap, ParBsConfig};
+use parbs_bench::{print_summaries, Scale};
+use parbs_sim::experiments::sweep;
+use parbs_sim::SchedulerKind;
+use parbs_workloads::random_mixes;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut session = scale.session(4);
+    let mixes = random_mixes(4, scale.mixes4.min(30), scale.seed);
+    let mut kinds = parbs_sim::experiments::paper_five_labeled();
+    kinds.insert(3, ("STFQ".to_owned(), SchedulerKind::Stfq));
+    kinds.push((
+        "PAR-BS(adaptive)".to_owned(),
+        SchedulerKind::ParBs(ParBsConfig {
+            adaptive_cap: Some(AdaptiveCap::default()),
+            ..ParBsConfig::default()
+        }),
+    ));
+    let rows = sweep(&mut session, &mixes, &kinds);
+    print_summaries("Extension — seven schedulers, 4-core averages", &rows);
+    println!(
+        "note: with equal shares STFQ's start tags are NFQ's finish tags shifted by one\n\
+         quantum per thread, so the two produce identical schedules; they diverge under\n\
+         unequal shares:"
+    );
+    // Weighted demonstration: 4 x lbm with shares 8-1-1-1.
+    let mix = parbs_workloads::MixSpec::from_names("lbm-w8111", &["lbm", "lbm", "lbm", "lbm"]);
+    println!("\n4 x lbm with shares 8-1-1-1 (slowdowns per thread):");
+    for kind in [SchedulerKind::Nfq, SchedulerKind::Stfq] {
+        let e = session.evaluate_mix_with(&mix, &kind, vec![8.0, 1.0, 1.0, 1.0], Vec::new());
+        println!(
+            "  {:5} {:?}",
+            e.scheduler,
+            e.metrics.slowdowns.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+}

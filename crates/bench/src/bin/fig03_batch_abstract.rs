@@ -1,0 +1,32 @@
+//! Figure 3: the abstract within-batch scheduling example. Reproduces the
+//! paper's per-thread batch-completion times exactly:
+//! FCFS (4, 4, 5, 7; avg 5), FR-FCFS (5.5, 3, 4.5, 4.5; avg 4.375),
+//! PAR-BS (1, 2, 4, 5.5; avg 3.125).
+
+use parbs::{AbstractBatch, AbstractPolicy};
+
+fn main() {
+    let batch = AbstractBatch::figure3_example();
+    println!("## Figure 3 — within-batch scheduling abstraction");
+    println!("{:10} {:>8} {:>8} {:>8} {:>8} {:>8}", "policy", "T1", "T2", "T3", "T4", "AVG");
+    for (name, policy) in [
+        ("FCFS", AbstractPolicy::Fcfs),
+        ("FR-FCFS", AbstractPolicy::FrFcfs),
+        ("PAR-BS", AbstractPolicy::ParBs),
+    ] {
+        let t = batch.completion_times(policy);
+        println!(
+            "{:10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            name,
+            t[0],
+            t[1],
+            t[2],
+            t[3],
+            batch.average_completion(policy)
+        );
+    }
+    println!("\nMax-Total thread loads (max-bank-load, total):");
+    for l in batch.thread_loads() {
+        println!("  thread {}: ({}, {})", l.thread + 1, l.max_bank_load, l.total_load);
+    }
+}

@@ -1,0 +1,13 @@
+//! Figure 5 — Case Study I: a memory-intensive 4-core workload
+//! (libquantum, mcf, GemsFDTD, xalancbmk).
+
+use parbs_bench::{print_case_study, Scale};
+use parbs_sim::experiments::compare_schedulers;
+use parbs_workloads::case_study_1;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut session = scale.session(4);
+    let evals = compare_schedulers(&mut session, &case_study_1());
+    print_case_study("Figure 5 — Case Study I (memory-intensive workload)", &evals);
+}

@@ -1,0 +1,19 @@
+//! Figure 8: unfairness for sample 4-core workloads plus the geometric mean
+//! over the full workload suite; average system throughput.
+
+use parbs_bench::{print_summaries, print_unfairness_by_workload, Scale};
+use parbs_sim::experiments::{paper_five_labeled, sweep};
+use parbs_workloads::random_mixes;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut session = scale.session(4);
+    let mixes = random_mixes(4, scale.mixes4, scale.seed);
+    let rows = sweep(&mut session, &mixes, &paper_five_labeled());
+    print_unfairness_by_workload(
+        &format!("Figure 8 (left) — unfairness, {} 4-core workloads", mixes.len()),
+        &rows,
+        10,
+    );
+    print_summaries("Figure 8 (right) — average system throughput (4-core)", &rows);
+}

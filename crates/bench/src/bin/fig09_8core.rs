@@ -1,0 +1,13 @@
+//! Figure 9: the mixed 8-core workload (3 intensive + 5 non-intensive
+//! applications; mcf has the only very high bank-parallelism).
+
+use parbs_bench::{print_case_study, Scale};
+use parbs_sim::experiments::compare_schedulers;
+use parbs_workloads::fig9_8core;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut session = scale.session(8);
+    let evals = compare_schedulers(&mut session, &fig9_8core());
+    print_case_study("Figure 9 — mixed 8-core workload", &evals);
+}

@@ -1,0 +1,20 @@
+//! Figure 10: 16-core system — five sample workloads plus the geometric
+//! mean over the random 16-core workload suite.
+
+use parbs_bench::{print_summaries, print_unfairness_by_workload, Scale};
+use parbs_sim::experiments::{paper_five_labeled, sweep};
+use parbs_workloads::{fig10_named, random_mixes};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut session = scale.session(16);
+    let mut mixes = fig10_named();
+    mixes.extend(random_mixes(16, scale.mixes16, scale.seed));
+    let rows = sweep(&mut session, &mixes, &paper_five_labeled());
+    print_unfairness_by_workload(
+        "Figure 10 (left) — unfairness, named + random 16-core workloads",
+        &rows,
+        5,
+    );
+    print_summaries("Figure 10 (right) — average system throughput (16-core)", &rows);
+}

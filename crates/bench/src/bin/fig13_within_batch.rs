@@ -1,0 +1,25 @@
+//! Figure 13: effect of the within-batch scheduling policy — Max-Total vs
+//! Total-Max vs random vs round-robin ranking vs no ranking (FR-FCFS/FCFS
+//! within batch), with STFM for reference; plus the uniform 4 x lbm and
+//! 4 x matlab mixes that isolate the parallelism component.
+
+use parbs_bench::{print_summaries, Scale};
+use parbs_sim::experiments::{ranking_sweep, sweep};
+use parbs_workloads::{random_mixes, MixSpec};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut session = scale.session(4);
+    let mixes = random_mixes(4, scale.mixes4.min(30), scale.seed);
+    let rows = ranking_sweep(&mut session, &mixes);
+    print_summaries("Figure 13 (left) — within-batch policy, averages", &rows);
+    for (names, title) in [
+        (["lbm"; 4], "Figure 13 (middle) — 4 x lbm"),
+        (["matlab"; 4], "Figure 13 (right) — 4 x matlab"),
+    ] {
+        let mix = MixSpec::from_names(names[0], &names);
+        let kinds = parbs_sim::experiments::ranking_kinds();
+        let rows = sweep(&mut session, std::slice::from_ref(&mix), &kinds);
+        print_summaries(title, &rows);
+    }
+}

@@ -1,0 +1,29 @@
+//! Table 1: additional hardware state required by PAR-BS beyond FR-FCFS.
+
+fn main() {
+    println!("## Table 1 — PAR-BS hardware cost (bits beyond FR-FCFS)");
+    println!(
+        "{:>6} {:>8} {:>6} | {:>11} {:>16} {:>10} {:>10} {:>8}",
+        "cores",
+        "buffer",
+        "banks",
+        "per-request",
+        "per-thread-bank",
+        "per-thread",
+        "individual",
+        "total"
+    );
+    for (threads, buffer, banks) in [(4u64, 128u64, 8u64), (8, 128, 8), (16, 128, 8), (8, 256, 16)]
+    {
+        let c = parbs::parbs_extra_state_bits(threads, buffer, banks);
+        println!(
+            "{threads:>6} {buffer:>8} {banks:>6} | {:>11} {:>16} {:>10} {:>10} {:>8}",
+            c.per_request_bits,
+            c.per_thread_per_bank_bits,
+            c.per_thread_bits,
+            c.individual_bits,
+            c.total()
+        );
+    }
+    println!("\npaper's example (8 cores, 128-entry buffer, 8 banks): 1412 bits");
+}

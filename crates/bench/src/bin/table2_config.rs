@@ -1,0 +1,32 @@
+//! Table 2: the simulated baseline CMP and memory system configuration.
+
+use parbs_cpu::CoreConfig;
+use parbs_dram::DramConfig;
+
+fn main() {
+    let core = CoreConfig::table2();
+    println!("## Table 2 — baseline configuration");
+    println!("processor: 4 GHz, {}-entry window, {}-wide fetch/commit (1 mem op/cycle), {} MSHRs, {}-entry store queue",
+        core.window_size, core.fetch_width, core.mshrs, core.store_queue);
+    for cores in [4usize, 8, 16] {
+        let d = DramConfig::for_cores(cores);
+        let t = d.timing;
+        println!(
+            "{cores:>2} cores: {} channel(s) x {} banks, {} KB rows, {}-entry request buffer, {}-entry write buffer",
+            d.channels, d.banks_per_channel, d.cols_per_row * 64 / 1024,
+            d.request_buffer_cap, d.write_buffer_cap
+        );
+        if cores == 4 {
+            println!(
+                "  DDR2-800 timing (processor cycles): tRCD {} tCL {} tRP {} tRAS {} tRC {} BL/2 {} tCCD {} tRRD {} tWR {} tRTP {} tWTR {}",
+                t.t_rcd, t.t_cl, t.t_rp, t.t_ras, t.t_rc, t.t_burst, t.t_ccd, t.t_rrd, t.t_wr, t.t_rtp, t.t_wtr
+            );
+            println!(
+                "  round-trip (uncontended): row hit {} cycles, closed {}, conflict {}",
+                t.row_hit_latency() + t.front_latency,
+                t.row_closed_latency() + t.front_latency,
+                t.row_conflict_latency() + t.front_latency
+            );
+        }
+    }
+}

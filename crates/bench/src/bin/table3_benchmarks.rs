@@ -1,0 +1,28 @@
+//! Table 3: benchmark characteristics, measured by running each synthetic
+//! benchmark alone on one core of the baseline 4-core system (FR-FCFS).
+
+use parbs_bench::Scale;
+use parbs_sim::experiments::table3;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut session = scale.session(4);
+    println!("## Table 3 — benchmark characteristics (measured | paper)");
+    println!(
+        "{:>2} {:12} {:>13} {:>13} {:>11} {:>11} {:>11} {:>9}",
+        "#", "name", "MCPI", "L2 MPKI", "RB hit", "BLP", "AST/req", "category"
+    );
+    for row in table3(&mut session) {
+        let b = row.bench;
+        println!(
+            "{:>2} {:12} {:>6.2}|{:<6.2} {:>6.2}|{:<6.2} {:>5.2}|{:<5.2} {:>5.2}|{:<5.2} {:>5.0}|{:<5.0} {:>4}|{:<4}",
+            b.number, b.name,
+            row.mcpi, b.paper.mcpi,
+            row.mpki, b.paper.mpki,
+            row.rb_hit, b.paper.rb_hit,
+            row.blp, b.paper.blp,
+            row.ast_per_req, b.paper.ast_per_req,
+            row.measured_category, b.category
+        );
+    }
+}

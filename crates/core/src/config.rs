@@ -1,0 +1,190 @@
+//! PAR-BS configuration: batching mode, Marking-Cap, within-batch ranking,
+//! and system-level thread priorities.
+
+/// How batches are formed (Section 4.1 and the Section 4.4 alternatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchingMode {
+    /// The paper's PAR-BS choice: a new batch forms only when **all** marked
+    /// requests have been serviced. Gives strict starvation-freedom.
+    Full,
+    /// Time-based static batching: mark outstanding requests every
+    /// `duration` cycles regardless of batch completion. No strict
+    /// starvation-avoidance guarantee (evaluated in Fig. 12 as `st-<d>`).
+    Static {
+        /// Marking period in processor cycles (the paper sweeps 400-25600).
+        duration: u64,
+    },
+    /// Empty-slot ("eslot") batching: late-arriving requests may join the
+    /// current batch while their thread has unused Marking-Cap slots for
+    /// the target bank.
+    EmptySlot,
+}
+
+/// Within-batch thread-ranking scheme (Rule 3 and the Section 4.4 / Fig. 13
+/// alternatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ranking {
+    /// The paper's choice: rank by lowest max-bank-load, break ties by
+    /// lowest total load (shortest job first).
+    MaxTotal,
+    /// The reversed rule: total load first, max-bank-load as tie-breaker.
+    TotalMax,
+    /// Random ranks each batch (a non-shortest-job-first control).
+    Random,
+    /// Ranks rotate round-robin across batches.
+    RoundRobin,
+    /// No ranking: within a batch requests follow plain FR-FCFS (or FCFS if
+    /// `row_hit_first` is also disabled). Isolates the batching component.
+    None,
+}
+
+/// System-software priority of a thread (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThreadPriority {
+    /// Priority level X ≥ 1: the thread's requests are marked every Xth
+    /// batch; level 1 (the default) joins every batch.
+    #[default]
+    Level1,
+    /// An explicit level (2, 3, ...). `Level(1)` behaves like `Level1`.
+    Level(u8),
+    /// The paper's lowest level *L*: requests are never marked and rank
+    /// below all unmarked requests — purely opportunistic service.
+    Opportunistic,
+}
+
+impl ThreadPriority {
+    /// The marking period of this priority (`None` for opportunistic).
+    #[must_use]
+    pub fn period(self) -> Option<u64> {
+        match self {
+            ThreadPriority::Level1 => Some(1),
+            ThreadPriority::Level(x) => Some(u64::from(x.max(1))),
+            ThreadPriority::Opportunistic => None,
+        }
+    }
+
+    /// Sort key for the within-batch PRIORITY rule: smaller = higher
+    /// priority; opportunistic sorts last.
+    #[must_use]
+    pub fn sort_key(self) -> u16 {
+        match self {
+            ThreadPriority::Level1 => 1,
+            ThreadPriority::Level(x) => u16::from(x.max(1)),
+            ThreadPriority::Opportunistic => u16::MAX,
+        }
+    }
+}
+
+/// Parameters of the adaptive Marking-Cap controller — the extension the
+/// paper sketches in §8.3.1 ("it is possible to improve our mechanism by
+/// making the Marking-Cap adaptive"). The cap is adjusted at every batch
+/// formation so the measured batch duration tracks a target: long batches
+/// (which delay requests that missed the batch) shrink the cap, short ones
+/// (which waste re-ordering opportunity) grow it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdaptiveCap {
+    /// Smallest cap the controller may select (≥ 1).
+    pub min: u32,
+    /// Largest cap the controller may select.
+    pub max: u32,
+    /// Batch duration to aim for, in processor cycles. The paper reports
+    /// ~1269-cycle batches for its Case Study II sweet spot.
+    pub target_batch_cycles: u64,
+}
+
+impl Default for AdaptiveCap {
+    fn default() -> Self {
+        AdaptiveCap { min: 1, max: 10, target_batch_cycles: 1_200 }
+    }
+}
+
+/// Full PAR-BS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParBsConfig {
+    /// `Marking-Cap`: maximum marked requests per thread per bank in one
+    /// batch; `None` marks everything (the paper's `no-c`). Default 5, the
+    /// sweet spot of Fig. 11.
+    pub marking_cap: Option<u32>,
+    /// Batch-formation policy. Default [`BatchingMode::Full`].
+    pub batching: BatchingMode,
+    /// Within-batch thread ranking. Default [`Ranking::MaxTotal`].
+    pub ranking: Ranking,
+    /// Apply the row-hit-first rule within a batch (Rule 2.RH). Disabling
+    /// it together with `Ranking::None` yields FCFS-within-batch.
+    pub row_hit_first: bool,
+    /// Adapt the Marking-Cap at run time (overrides `marking_cap` as the
+    /// starting point). `None` keeps the paper's fixed cap.
+    pub adaptive_cap: Option<AdaptiveCap>,
+    /// Seed for random tie-breaking in the ranking rules.
+    pub seed: u64,
+}
+
+impl ParBsConfig {
+    /// The paper's PAR-BS: full batching, `Marking-Cap = 5`, Max-Total
+    /// ranking, row-hit-first enabled.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ParBsConfig {
+            marking_cap: Some(5),
+            batching: BatchingMode::Full,
+            ranking: Ranking::MaxTotal,
+            row_hit_first: true,
+            adaptive_cap: None,
+            seed: 0,
+        }
+    }
+
+    /// Batching only, FR-FCFS within a batch (Fig. 13 "no-rank (FR-FCFS)").
+    #[must_use]
+    pub fn no_rank_frfcfs() -> Self {
+        ParBsConfig { ranking: Ranking::None, ..Self::paper_default() }
+    }
+
+    /// Batching only, FCFS within a batch (Fig. 13 "no-rank (FCFS)").
+    #[must_use]
+    pub fn no_rank_fcfs() -> Self {
+        ParBsConfig { ranking: Ranking::None, row_hit_first: false, ..Self::paper_default() }
+    }
+}
+
+impl Default for ParBsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_7_2() {
+        let c = ParBsConfig::default();
+        assert_eq!(c.marking_cap, Some(5));
+        assert_eq!(c.batching, BatchingMode::Full);
+        assert_eq!(c.ranking, Ranking::MaxTotal);
+        assert!(c.row_hit_first);
+    }
+
+    #[test]
+    fn adaptive_cap_defaults_are_consistent() {
+        let a = AdaptiveCap::default();
+        assert!(a.min >= 1 && a.min <= a.max);
+        assert!(a.target_batch_cycles > 0);
+        assert_eq!(ParBsConfig::default().adaptive_cap, None, "paper default is fixed cap");
+    }
+
+    #[test]
+    fn priority_periods() {
+        assert_eq!(ThreadPriority::Level1.period(), Some(1));
+        assert_eq!(ThreadPriority::Level(3).period(), Some(3));
+        assert_eq!(ThreadPriority::Level(0).period(), Some(1), "level 0 clamps to 1");
+        assert_eq!(ThreadPriority::Opportunistic.period(), None);
+    }
+
+    #[test]
+    fn priority_sort_keys_order_correctly() {
+        assert!(ThreadPriority::Level1.sort_key() < ThreadPriority::Level(2).sort_key());
+        assert!(ThreadPriority::Level(8).sort_key() < ThreadPriority::Opportunistic.sort_key());
+    }
+}

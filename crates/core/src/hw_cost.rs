@@ -1,0 +1,102 @@
+//! The hardware-cost model of Table 1: additional state (beyond FR-FCFS)
+//! required by a PAR-BS implementation.
+
+/// Additional storage, in bits, for each class of register in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HwCostBreakdown {
+    /// Per-request state: `Marked` (1 bit), thread rank inside the packed
+    /// `Priority` (log2 threads), `Thread-ID` (log2 threads) — times the
+    /// request-buffer size.
+    pub per_request_bits: u64,
+    /// `ReqsInBankPerThread` counters: log2(buffer size) per thread per bank
+    /// (the Max rule of Max-Total ranking).
+    pub per_thread_per_bank_bits: u64,
+    /// `ReqsPerThread` counters: log2(buffer size) per thread
+    /// (the Total tie-breaker).
+    pub per_thread_bits: u64,
+    /// `TotalMarkedRequests` (log2 buffer size) plus the 5-bit
+    /// `Marking-Cap` register.
+    pub individual_bits: u64,
+}
+
+impl HwCostBreakdown {
+    /// Total additional bits.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_request_bits
+            + self.per_thread_per_bank_bits
+            + self.per_thread_bits
+            + self.individual_bits
+    }
+}
+
+/// Computes Table 1 for an arbitrary configuration.
+///
+/// For the paper's example — 8-core CMP, 128-entry request buffer, 8 DRAM
+/// banks — the total is **1412 bits**.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+///
+/// # Examples
+///
+/// ```
+/// let cost = parbs::parbs_extra_state_bits(8, 128, 8);
+/// assert_eq!(cost.total(), 1412);
+/// ```
+#[must_use]
+pub fn parbs_extra_state_bits(threads: u64, request_buffer: u64, banks: u64) -> HwCostBreakdown {
+    assert!(threads > 0 && request_buffer > 0 && banks > 0);
+    let log_threads = log2_ceil(threads);
+    let log_buffer = log2_ceil(request_buffer);
+    HwCostBreakdown {
+        // Marked (1) + thread-rank in Priority (log2 threads) + Thread-ID.
+        per_request_bits: (1 + 2 * log_threads) * request_buffer,
+        per_thread_per_bank_bits: log_buffer * threads * banks,
+        per_thread_bits: log_buffer * threads,
+        individual_bits: log_buffer + 5,
+    }
+}
+
+fn log2_ceil(v: u64) -> u64 {
+    assert!(v > 0);
+    64 - u64::from((v - 1).leading_zeros()).min(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_1412_bits() {
+        let c = parbs_extra_state_bits(8, 128, 8);
+        assert_eq!(c.per_request_bits, 896, "(1 + 3 + 3) × 128");
+        assert_eq!(c.per_thread_per_bank_bits, 448, "7 × 8 × 8");
+        assert_eq!(c.per_thread_bits, 56, "7 × 8");
+        assert_eq!(c.individual_bits, 12, "7 + 5");
+        assert_eq!(c.total(), 1412);
+    }
+
+    #[test]
+    fn four_core_configuration_is_cheaper() {
+        let c4 = parbs_extra_state_bits(4, 128, 8);
+        let c8 = parbs_extra_state_bits(8, 128, 8);
+        assert!(c4.total() < c8.total());
+    }
+
+    #[test]
+    fn log2_ceil_handles_non_powers() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(128), 7);
+        assert_eq!(log2_ceil(129), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let _ = parbs_extra_state_bits(0, 128, 8);
+    }
+}

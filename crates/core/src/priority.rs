@@ -1,0 +1,113 @@
+//! The per-request priority value of Figure 4.
+//!
+//! PAR-BS extends FR-FCFS's priority (row-hit bit + request id) with a
+//! marked bit and the thread rank; the full value is compared numerically,
+//! larger = scheduled first. A [`PriorityValue`] packs the fields exactly in
+//! the figure's order so the comparison is a single integer compare — the
+//! implementation-simplicity argument of Section 6.
+
+/// A request's packed scheduling priority (Figure 4), ordered
+/// most-significant-field first:
+///
+/// 1. marked bit (current batch first),
+/// 2. thread priority level (inverted; Section 5's PRIORITY rule),
+/// 3. row-hit bit,
+/// 4. thread rank (inverted: higher rank = larger value),
+/// 5. request age (inverted id: older = larger value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PriorityValue(u128);
+
+impl PriorityValue {
+    /// Packs the priority fields. `level_key` is the thread-priority sort
+    /// key (smaller = more important; `u16::MAX` = opportunistic), `rank` is
+    /// the within-batch thread rank (smaller = higher rank), and
+    /// `request_id` the age-ordered id (smaller = older).
+    #[must_use]
+    pub fn pack(marked: bool, level_key: u16, row_hit: bool, rank: u32, request_id: u64) -> Self {
+        let marked = u128::from(marked);
+        let level = u128::from(u16::MAX - level_key);
+        let hit = u128::from(row_hit);
+        let rank = u128::from(u32::MAX - rank);
+        let age = u128::from(u64::MAX - request_id);
+        PriorityValue(marked << 113 | level << 97 | hit << 96 | age | rank << 64)
+    }
+
+    /// The packed value (for inspection/printing).
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marked_dominates_everything() {
+        let marked_worst = PriorityValue::pack(true, u16::MAX, false, u32::MAX, u64::MAX);
+        let unmarked_best = PriorityValue::pack(false, 1, true, 0, 0);
+        assert!(marked_worst > unmarked_best, "BS rule: marked requests first");
+    }
+
+    #[test]
+    fn priority_level_dominates_row_hit() {
+        let high_pri_conflict = PriorityValue::pack(true, 1, false, 5, 10);
+        let low_pri_hit = PriorityValue::pack(true, 2, true, 0, 0);
+        assert!(high_pri_conflict > low_pri_hit, "Section 5 PRIORITY rule precedes RH");
+    }
+
+    #[test]
+    fn row_hit_dominates_rank() {
+        let hit_low_rank = PriorityValue::pack(true, 1, true, 9, 10);
+        let conflict_high_rank = PriorityValue::pack(true, 1, false, 0, 0);
+        assert!(hit_low_rank > conflict_high_rank, "RH rule precedes RANK");
+    }
+
+    #[test]
+    fn rank_dominates_age() {
+        let young_high_rank = PriorityValue::pack(true, 1, false, 0, 1_000);
+        let old_low_rank = PriorityValue::pack(true, 1, false, 1, 0);
+        assert!(young_high_rank > old_low_rank, "RANK rule precedes FCFS");
+    }
+
+    #[test]
+    fn age_breaks_final_ties() {
+        let old = PriorityValue::pack(true, 1, false, 0, 5);
+        let young = PriorityValue::pack(true, 1, false, 0, 6);
+        assert!(old > young, "oldest first");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fields() -> impl Strategy<Value = (bool, u16, bool, u32, u64)> {
+        (any::<bool>(), any::<u16>(), any::<bool>(), any::<u32>(), any::<u64>())
+    }
+
+    proptest! {
+        /// The packed comparison implements the lexicographic rule order
+        /// (BS, PRIORITY, RH, RANK, FCFS) exactly.
+        #[test]
+        fn pack_is_lexicographic(a in fields(), b in fields()) {
+            let key = |(marked, level, hit, rank, id): (bool, u16, bool, u32, u64)| {
+                (marked, std::cmp::Reverse(level), hit, std::cmp::Reverse(rank), std::cmp::Reverse(id))
+            };
+            let lhs = PriorityValue::pack(a.0, a.1, a.2, a.3, a.4);
+            let rhs = PriorityValue::pack(b.0, b.1, b.2, b.3, b.4);
+            prop_assert_eq!(lhs.cmp(&rhs), key(a).cmp(&key(b)));
+        }
+
+        /// Packing is injective over the fields (no two distinct requests
+        /// collide), so the comparison is a total order on requests.
+        #[test]
+        fn pack_is_injective(a in fields(), b in fields()) {
+            let lhs = PriorityValue::pack(a.0, a.1, a.2, a.3, a.4);
+            let rhs = PriorityValue::pack(b.0, b.1, b.2, b.3, b.4);
+            prop_assert_eq!(lhs == rhs, a == b);
+        }
+    }
+}

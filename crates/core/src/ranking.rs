@@ -1,0 +1,125 @@
+//! Within-batch thread ranking (Rule 3: Max-Total, and its alternatives).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Ranking;
+
+/// A thread's marked-request footprint in the batch being formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadLoad {
+    /// Thread index.
+    pub thread: usize,
+    /// Maximum number of marked requests to any single bank
+    /// (the "max-bank-load" of Rule 3 — the shortest-job metric).
+    pub max_bank_load: u32,
+    /// Total marked requests across all banks.
+    pub total_load: u32,
+}
+
+/// Computes the rank of each thread for one batch: position 0 = highest
+/// rank (serviced first). Returns `(thread, rank)` pairs for exactly the
+/// threads in `loads`.
+///
+/// * [`Ranking::MaxTotal`] — ascending `(max_bank_load, total_load)`,
+///   remaining ties broken randomly (the paper's Rule 3);
+/// * [`Ranking::TotalMax`] — ascending `(total_load, max_bank_load)`;
+/// * [`Ranking::Random`] — a random permutation each batch;
+/// * [`Ranking::RoundRobin`] — ranks rotate by `batch_index` across batches;
+/// * [`Ranking::None`] — every thread gets rank 0 (ranking disabled).
+#[must_use]
+pub fn compute_ranks(
+    scheme: Ranking,
+    loads: &[ThreadLoad],
+    batch_index: u64,
+    rng: &mut StdRng,
+) -> Vec<(usize, u32)> {
+    let mut order: Vec<(ThreadLoad, u64)> = loads.iter().map(|&l| (l, rng.gen::<u64>())).collect();
+    match scheme {
+        Ranking::MaxTotal => {
+            order.sort_by_key(|(l, tie)| (l.max_bank_load, l.total_load, *tie, l.thread));
+        }
+        Ranking::TotalMax => {
+            order.sort_by_key(|(l, tie)| (l.total_load, l.max_bank_load, *tie, l.thread));
+        }
+        Ranking::Random => {
+            order.sort_by_key(|(l, tie)| (*tie, l.thread));
+        }
+        Ranking::RoundRobin => {
+            let n = order.len().max(1) as u64;
+            order.sort_by_key(|(l, _)| (l.thread as u64 + batch_index) % n);
+        }
+        Ranking::None => {
+            return loads.iter().map(|l| (l.thread, 0)).collect();
+        }
+    }
+    order.into_iter().enumerate().map(|(rank, (l, _))| (l.thread, rank as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn load(thread: usize, max: u32, total: u32) -> ThreadLoad {
+        ThreadLoad { thread, max_bank_load: max, total_load: total }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn rank_of(ranks: &[(usize, u32)], thread: usize) -> u32 {
+        ranks.iter().find(|(t, _)| *t == thread).unwrap().1
+    }
+
+    #[test]
+    fn max_total_matches_fig3_example() {
+        // Figure 3: T1 max 1, T2 max 2 / total 4, T3 max 2 / total 5,
+        // T4 max 5 → ranking T1 > T2 > T3 > T4.
+        let loads = [load(0, 1, 3), load(1, 2, 4), load(2, 2, 5), load(3, 5, 8)];
+        let ranks = compute_ranks(Ranking::MaxTotal, &loads, 0, &mut rng());
+        assert_eq!(rank_of(&ranks, 0), 0);
+        assert_eq!(rank_of(&ranks, 1), 1);
+        assert_eq!(rank_of(&ranks, 2), 2);
+        assert_eq!(rank_of(&ranks, 3), 3);
+    }
+
+    #[test]
+    fn total_max_reverses_rule_order() {
+        // max: a=1 b=3; total: a=9 b=3. MaxTotal ranks a first,
+        // TotalMax ranks b first.
+        let loads = [load(0, 1, 9), load(1, 3, 3)];
+        let mt = compute_ranks(Ranking::MaxTotal, &loads, 0, &mut rng());
+        let tm = compute_ranks(Ranking::TotalMax, &loads, 0, &mut rng());
+        assert_eq!(rank_of(&mt, 0), 0);
+        assert_eq!(rank_of(&tm, 1), 0);
+    }
+
+    #[test]
+    fn round_robin_rotates_across_batches() {
+        let loads = [load(0, 1, 1), load(1, 1, 1), load(2, 1, 1)];
+        let b0 = compute_ranks(Ranking::RoundRobin, &loads, 0, &mut rng());
+        let b1 = compute_ranks(Ranking::RoundRobin, &loads, 1, &mut rng());
+        // Whoever was rank 0 in batch 0 must not be rank 0 in batch 1.
+        let top0 = b0.iter().find(|(_, r)| *r == 0).unwrap().0;
+        let top1 = b1.iter().find(|(_, r)| *r == 0).unwrap().0;
+        assert_ne!(top0, top1);
+    }
+
+    #[test]
+    fn none_gives_uniform_rank() {
+        let loads = [load(0, 1, 1), load(5, 9, 9)];
+        let ranks = compute_ranks(Ranking::None, &loads, 0, &mut rng());
+        assert!(ranks.iter().all(|(_, r)| *r == 0));
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let loads: Vec<ThreadLoad> = (0..8).map(|t| load(t, 1, 1)).collect();
+        let ranks = compute_ranks(Ranking::Random, &loads, 0, &mut rng());
+        let mut seen: Vec<u32> = ranks.iter().map(|(_, r)| *r).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<u32>>());
+    }
+}

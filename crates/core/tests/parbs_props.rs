@@ -1,0 +1,133 @@
+//! Property-based tests: PAR-BS through the full DRAM controller.
+//!
+//! * Protocol safety: no timing violation under random request streams for
+//!   any batching mode (the checker-enabled controller panics otherwise).
+//! * Starvation freedom: every accepted request completes.
+//! * Ranking sanity: `compute_ranks` is a permutation consistent with the
+//!   Max-Total definition.
+
+use parbs::{compute_ranks, BatchingMode, ParBsConfig, ParBsScheduler, Ranking, ThreadLoad};
+use parbs_dram::{Controller, DramConfig, LineAddr, Request, RequestKind, ThreadId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    thread: u8,
+    bank: u8,
+    row: u8,
+    col: u8,
+    write: bool,
+    gap: u16,
+}
+
+fn req_spec() -> impl Strategy<Value = ReqSpec> {
+    (0u8..4, 0u8..8, 0u8..4, 0u8..32, any::<bool>(), 0u16..150).prop_map(
+        |(thread, bank, row, col, write, gap)| ReqSpec { thread, bank, row, col, write, gap },
+    )
+}
+
+fn run(specs: &[ReqSpec], cfg: ParBsConfig) {
+    let dram = DramConfig::default();
+    let mut ctrl = Controller::with_checker(dram, Box::new(ParBsScheduler::new(cfg)));
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    let mut accepted = 0usize;
+    for (i, s) in specs.iter().enumerate() {
+        for _ in 0..s.gap {
+            ctrl.tick(now, &mut out);
+            now += 1;
+        }
+        let addr =
+            LineAddr { channel: 0, bank: s.bank as usize, row: s.row as u64, col: s.col as u64 };
+        let kind = if s.write { RequestKind::Write } else { RequestKind::Read };
+        if ctrl
+            .try_enqueue(Request::new(i as u64, ThreadId(s.thread as usize), addr, kind, now))
+            .is_ok()
+        {
+            accepted += 1;
+        }
+    }
+    out.extend(ctrl.run_to_drain(&mut now, 20_000_000));
+    assert_eq!(out.len(), accepted, "starvation freedom: every accepted request completes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_batching_safe_and_starvation_free(specs in proptest::collection::vec(req_spec(), 1..150)) {
+        run(&specs, ParBsConfig::default());
+    }
+
+    #[test]
+    fn eslot_batching_safe_and_starvation_free(specs in proptest::collection::vec(req_spec(), 1..150)) {
+        run(&specs, ParBsConfig { batching: BatchingMode::EmptySlot, ..ParBsConfig::default() });
+    }
+
+    #[test]
+    fn static_batching_safe_and_starvation_free(
+        specs in proptest::collection::vec(req_spec(), 1..150),
+        duration in 400u64..26_000,
+    ) {
+        run(&specs, ParBsConfig {
+            batching: BatchingMode::Static { duration },
+            ..ParBsConfig::default()
+        });
+    }
+
+    #[test]
+    fn tiny_marking_cap_still_drains(specs in proptest::collection::vec(req_spec(), 1..120)) {
+        run(&specs, ParBsConfig { marking_cap: Some(1), ..ParBsConfig::default() });
+    }
+
+    #[test]
+    fn all_ranking_schemes_drain(
+        specs in proptest::collection::vec(req_spec(), 1..100),
+        scheme in prop_oneof![
+            Just(Ranking::MaxTotal),
+            Just(Ranking::TotalMax),
+            Just(Ranking::Random),
+            Just(Ranking::RoundRobin),
+            Just(Ranking::None),
+        ],
+    ) {
+        run(&specs, ParBsConfig { ranking: scheme, ..ParBsConfig::default() });
+    }
+
+    #[test]
+    fn compute_ranks_is_a_consistent_permutation(
+        loads in proptest::collection::vec((0u32..10, 0u32..10), 1..16),
+        seed in any::<u64>(),
+    ) {
+        let loads: Vec<ThreadLoad> = loads
+            .iter()
+            .enumerate()
+            .map(|(thread, &(max_extra, total_extra))| ThreadLoad {
+                thread,
+                max_bank_load: 1 + max_extra,
+                total_load: 1 + max_extra + total_extra,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ranked = compute_ranks(Ranking::MaxTotal, &loads, 0, &mut rng);
+        // Permutation of 0..n.
+        let mut ranks: Vec<u32> = ranked.iter().map(|(_, r)| *r).collect();
+        ranks.sort_unstable();
+        prop_assert_eq!(ranks, (0..loads.len() as u32).collect::<Vec<_>>());
+        // Max-Total consistency: if a thread has strictly smaller
+        // (max, total) lexicographic key, it must rank higher.
+        for (ta, ra) in &ranked {
+            for (tb, rb) in &ranked {
+                let la = loads.iter().find(|l| l.thread == *ta).unwrap();
+                let lb = loads.iter().find(|l| l.thread == *tb).unwrap();
+                let key_a = (la.max_bank_load, la.total_load);
+                let key_b = (lb.max_bank_load, lb.total_load);
+                if key_a < key_b {
+                    prop_assert!(ra < rb, "thread {ta} ({key_a:?}) must outrank {tb} ({key_b:?})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Quantitative starvation-freedom: "the number of requests from a thread
+//! scheduled before requests of another thread is strictly bounded with the
+//! size of a batch" (§4.3).
+//!
+//! Using the controller's command trace, we count *overtakes* of each read:
+//! same-bank reads that arrived later but were serviced earlier. Under
+//! PAR-BS the count is bounded by the batch size (threads × Marking-Cap per
+//! bank, plus the batch being formed); under FR-FCFS a row-hit stream can
+//! overtake an older conflict request without such a bound.
+
+use std::collections::HashMap;
+
+use parbs::{ParBsConfig, ParBsScheduler};
+use parbs_baselines::FrFcfsScheduler;
+use parbs_dram::{
+    CommandKind, Controller, DramConfig, LineAddr, MemoryScheduler, Request, RequestId,
+    RequestKind, ThreadId,
+};
+use proptest::prelude::*;
+
+/// Runs a request schedule and returns, per serviced read, the number of
+/// same-bank overtakes it suffered.
+fn overtakes(
+    mut make: impl FnMut() -> Box<dyn MemoryScheduler>,
+    specs: &[(u8, u8, u8, u16)],
+) -> Vec<usize> {
+    let mut ctrl = Controller::with_checker(DramConfig::default(), make());
+    ctrl.set_tracing(true);
+    let mut arrivals: HashMap<RequestId, (u64, usize)> = HashMap::new(); // id → (arrival, bank)
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    for (i, &(thread, bank, row, gap)) in specs.iter().enumerate() {
+        for _ in 0..gap {
+            ctrl.tick(now, &mut out);
+            now += 1;
+        }
+        let addr = LineAddr { channel: 0, bank: bank as usize % 8, row: row as u64, col: 0 };
+        let req =
+            Request::new(i as u64, ThreadId(thread as usize % 4), addr, RequestKind::Read, now);
+        if ctrl.try_enqueue(req).is_ok() {
+            arrivals.insert(RequestId(i as u64), (now, bank as usize % 8));
+        }
+    }
+    out.extend(ctrl.run_to_drain(&mut now, 50_000_000));
+    // Service time = the read's column command issue time from the trace.
+    let mut service: HashMap<RequestId, u64> = HashMap::new();
+    for (t, cmd) in ctrl.take_trace() {
+        if cmd.kind == CommandKind::Read {
+            service.entry(cmd.request).or_insert(t);
+        }
+    }
+    arrivals
+        .iter()
+        .filter_map(|(id, &(arrival, bank))| {
+            let my_service = *service.get(id)?;
+            let n = arrivals
+                .iter()
+                .filter(|(other, &(o_arrival, o_bank))| {
+                    *other != id
+                        && o_bank == bank
+                        && o_arrival > arrival
+                        && service.get(other).is_some_and(|&s| s < my_service)
+                })
+                .count();
+            Some(n)
+        })
+        .collect()
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, u16)>> {
+    proptest::collection::vec((0u8..4, 0u8..8, 0u8..4, 0u16..120), 20..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parbs_overtakes_are_batch_bounded(specs in spec_strategy()) {
+        let cap = 5u32;
+        let threads = 4usize;
+        let per_bank = overtakes(
+            || Box::new(ParBsScheduler::new(ParBsConfig {
+                marking_cap: Some(cap),
+                ..ParBsConfig::default()
+            })),
+            &specs,
+        );
+        // A request waits at most: the current batch's remaining same-bank
+        // marked requests (≤ threads × cap) plus one full future batch it
+        // just missed (≤ threads × cap), plus scheduling slack.
+        let bound = 2 * threads * cap as usize + threads;
+        for &n in &per_bank {
+            prop_assert!(
+                n <= bound,
+                "a request was overtaken {n} times; PAR-BS bound is {bound}"
+            );
+        }
+    }
+}
+
+/// A deterministic adversarial scenario: thread 0 streams row hits at one
+/// bank while thread 1's single conflict request waits. FR-FCFS lets the
+/// hit stream overtake many times; PAR-BS bounds it by the Marking-Cap.
+#[test]
+fn hit_stream_overtakes_bounded_only_by_parbs() {
+    // thread 0: 40 hits to (bank 0, row 0), arriving every 150 cycles;
+    // thread 1: one request to (bank 0, row 1) arriving after the third.
+    let mut specs: Vec<(u8, u8, u8, u16)> = Vec::new();
+    for _ in 0..3 {
+        specs.push((0, 0, 0, 150));
+    }
+    specs.push((1, 0, 1, 10));
+    for _ in 0..37 {
+        specs.push((0, 0, 0, 150));
+    }
+    let frfcfs: Vec<usize> = overtakes(|| Box::new(FrFcfsScheduler::new()), &specs);
+    let parbs: Vec<usize> =
+        overtakes(|| Box::new(ParBsScheduler::new(ParBsConfig::default())), &specs);
+    let max_fr = frfcfs.iter().copied().max().unwrap_or(0);
+    let max_pb = parbs.iter().copied().max().unwrap_or(0);
+    assert!(max_pb < max_fr, "PAR-BS max overtakes ({max_pb}) must be below FR-FCFS's ({max_fr})");
+    assert!(max_pb <= 12, "PAR-BS overtakes must stay near the cap, got {max_pb}");
+}

@@ -1,0 +1,81 @@
+//! Instruction streams consumed by the core model.
+
+/// One (retired-path) instruction.
+///
+/// Addresses are **cache-line** addresses of L2 misses: the core model sits
+/// above an implied cache hierarchy, so `Load`/`Store` represent the memory
+/// operations that actually reach DRAM. Cache hits are folded into
+/// [`Instr::Compute`] instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// A non-memory instruction (or a cache-hitting memory instruction).
+    Compute,
+    /// A load that misses the last-level cache; carries the line address.
+    Load(u64),
+    /// A load miss that **depends on all earlier misses** (e.g. the first
+    /// dereference after a pointer chase): it cannot issue to DRAM until
+    /// every older outstanding miss has completed, and it blocks younger
+    /// misses from issuing while it waits. Dependent loads are what bound a
+    /// thread's memory-level parallelism — a thread whose episodes are `k`
+    /// independent misses separated by dependent loads has BLP ≈ `k`.
+    DependentLoad(u64),
+    /// A store whose writeback reaches DRAM; carries the line address.
+    Store(u64),
+}
+
+/// An infinite supply of instructions for one thread.
+///
+/// Implementations must be deterministic for reproducible experiments; the
+/// synthetic benchmark generators in `parbs-workloads` are seeded.
+pub trait InstructionStream {
+    /// Produces the next instruction in program order.
+    fn next_instr(&mut self) -> Instr;
+}
+
+/// Replays a fixed instruction trace, looping at the end — useful for tests
+/// and for trace-driven experiments.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    trace: Vec<Instr>,
+    pos: usize,
+}
+
+impl TraceStream {
+    /// Creates a looping replay of `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty (an instruction stream must be infinite).
+    #[must_use]
+    pub fn new(trace: Vec<Instr>) -> Self {
+        assert!(!trace.is_empty(), "trace must not be empty");
+        TraceStream { trace, pos: 0 }
+    }
+}
+
+impl InstructionStream for TraceStream {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.trace[self.pos];
+        self.pos = (self.pos + 1) % self.trace.len();
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_stream_loops() {
+        let mut s = TraceStream::new(vec![Instr::Compute, Instr::Load(7)]);
+        assert_eq!(s.next_instr(), Instr::Compute);
+        assert_eq!(s.next_instr(), Instr::Load(7));
+        assert_eq!(s.next_instr(), Instr::Compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_trace_rejected() {
+        let _ = TraceStream::new(vec![]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the core model: window bounds, MSHR bounds,
+//! in-order commit, dependence fences, and stall-accounting sanity under
+//! random instruction streams and random memory-service schedules.
+
+use std::collections::VecDeque;
+
+use parbs_cpu::{Core, CoreConfig, Instr, InstructionStream, MissId, TraceStream};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Spec {
+    Compute,
+    Load(u8),
+    DependentLoad(u8),
+    Store(u8),
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        3 => Just(Spec::Compute),
+        2 => (0u8..16).prop_map(Spec::Load),
+        1 => (0u8..16).prop_map(Spec::DependentLoad),
+        1 => (0u8..16).prop_map(Spec::Store),
+    ]
+}
+
+fn to_trace(specs: &[Spec]) -> Vec<Instr> {
+    specs
+        .iter()
+        .map(|s| match s {
+            Spec::Compute => Instr::Compute,
+            Spec::Load(l) => Instr::Load(u64::from(*l)),
+            Spec::DependentLoad(l) => Instr::DependentLoad(u64::from(*l)),
+            Spec::Store(l) => Instr::Store(u64::from(*l)),
+        })
+        .collect()
+}
+
+/// A memory system that services reads after a (randomized but bounded)
+/// delay, in FIFO order.
+struct FakeMemory {
+    in_flight: VecDeque<(u64, MissId)>,
+    latency: u64,
+}
+
+impl FakeMemory {
+    fn drive(&mut self, core: &mut Core, now: u64) {
+        while let Some((_, id)) = core.pending_read() {
+            core.read_issued(id);
+            self.in_flight.push_back((now + self.latency, id));
+        }
+        while core.pending_write().is_some() {
+            core.write_issued();
+        }
+        while let Some(&(ready, id)) = self.in_flight.front() {
+            if ready <= now {
+                self.in_flight.pop_front();
+                core.complete_read(id);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn core_always_makes_progress(
+        specs in proptest::collection::vec(spec(), 1..60),
+        latency in 1u64..400,
+        mshrs in 1usize..33,
+        window in 4usize..129,
+    ) {
+        let cfg = CoreConfig { mshrs, window_size: window, ..CoreConfig::table2() };
+        let mut core = Core::new(cfg, Box::new(TraceStream::new(to_trace(&specs))));
+        let mut mem = FakeMemory { in_flight: VecDeque::new(), latency };
+        let mut committed_last = 0;
+        for now in 0..50_000u64 {
+            core.tick(now);
+            mem.drive(&mut core, now);
+            if core.stats().committed >= 2_000 {
+                break;
+            }
+            committed_last = core.stats().committed;
+        }
+        prop_assert!(
+            core.stats().committed > committed_last.saturating_sub(1) && core.stats().committed >= 100,
+            "core stalled permanently at {} instructions",
+            core.stats().committed
+        );
+    }
+
+    #[test]
+    fn stall_cycles_never_exceed_cycles(
+        specs in proptest::collection::vec(spec(), 1..40),
+        latency in 1u64..300,
+    ) {
+        let mut core = Core::new(CoreConfig::table2(), Box::new(TraceStream::new(to_trace(&specs))));
+        let mut mem = FakeMemory { in_flight: VecDeque::new(), latency };
+        for now in 0..10_000u64 {
+            core.tick(now);
+            mem.drive(&mut core, now);
+        }
+        let s = core.stats();
+        prop_assert!(s.mem_stall_cycles <= s.cycles);
+        prop_assert!(s.ipc() <= 3.0 + 1e-9, "IPC cannot exceed commit width");
+    }
+
+    #[test]
+    fn outstanding_misses_respect_issue_order_and_complete(
+        specs in proptest::collection::vec(spec(), 1..40),
+        latency in 1u64..200,
+    ) {
+        let mut core = Core::new(CoreConfig::table2(), Box::new(TraceStream::new(to_trace(&specs))));
+        let mut last_issued: Option<MissId> = None;
+        let mut mem = FakeMemory { in_flight: VecDeque::new(), latency };
+        for now in 0..5_000u64 {
+            core.tick(now);
+            while let Some((_, id)) = core.pending_read() {
+                if let Some(prev) = last_issued {
+                    prop_assert!(id > prev, "misses must issue oldest-first: {id:?} after {prev:?}");
+                }
+                last_issued = Some(id);
+                core.read_issued(id);
+                mem.in_flight.push_back((now + latency, id));
+            }
+            while core.pending_write().is_some() {
+                core.write_issued();
+            }
+            while let Some(&(ready, id)) = mem.in_flight.front() {
+                if ready <= now {
+                    mem.in_flight.pop_front();
+                    core.complete_read(id);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic fence behaviour: a dependent load does not issue until all
+/// older misses have completed.
+#[test]
+fn dependent_load_waits_for_older_misses() {
+    let trace = vec![Instr::Load(1), Instr::Load(2), Instr::DependentLoad(3), Instr::Compute];
+    let mut core = Core::new(CoreConfig::table2(), Box::new(TraceStream::new(trace)));
+    for now in 0..4 {
+        core.tick(now);
+    }
+    // Issue the two independent loads.
+    let (l1, id1) = core.pending_read().unwrap();
+    core.read_issued(id1);
+    let (l2, id2) = core.pending_read().unwrap();
+    core.read_issued(id2);
+    assert_eq!((l1, l2), (1, 2));
+    // The fence (line 3) must not issue while 1 and 2 are outstanding.
+    assert!(core.pending_read().is_none(), "fence must wait");
+    core.complete_read(id1);
+    assert!(core.pending_read().is_none(), "fence still waits on the second miss");
+    core.complete_read(id2);
+    let (l3, _) = core.pending_read().expect("fence unblocked");
+    assert_eq!(l3, 3);
+}
+
+/// An infinite-compute stream driven alongside: sanity for the fake memory
+/// harness itself.
+#[test]
+fn fake_memory_harness_services_everything() {
+    struct AllLoads(u64);
+    impl InstructionStream for AllLoads {
+        fn next_instr(&mut self) -> Instr {
+            self.0 += 1;
+            Instr::Load(self.0 % 64)
+        }
+    }
+    let mut core = Core::new(CoreConfig::table2(), Box::new(AllLoads(0)));
+    let mut mem = FakeMemory { in_flight: VecDeque::new(), latency: 50 };
+    for now in 0..20_000 {
+        core.tick(now);
+        mem.drive(&mut core, now);
+    }
+    assert!(core.stats().committed > 1_000);
+    assert!(core.stats().dram_reads > 100);
+}

@@ -1,0 +1,273 @@
+//! One DRAM channel: banks plus shared command/address/data buses and
+//! rank-level timing constraints (`t_ccd`, `t_rrd`, `t_wtr`).
+
+use crate::{Bank, Command, CommandKind, ThreadId, TimingParams};
+
+/// A channel with its banks and bus-occupancy bookkeeping. The controller
+/// issues at most one command per DRAM cycle on the channel's command bus;
+/// the channel tracks everything needed to decide whether a command is
+/// *ready* (issuable without violating a timing or bus constraint).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    banks: Vec<Bank>,
+    timing: TimingParams,
+    /// Data bus is busy until this cycle (transfers are fully serialized;
+    /// with `t_ccd ≤ t_burst` the bus is the binding constraint).
+    data_bus_free_at: u64,
+    /// Earliest next column command (tCCD after the previous one, tWTR after
+    /// write data).
+    earliest_column: u64,
+    /// Earliest next activate anywhere on the channel (tRRD).
+    earliest_activate: u64,
+    /// Issue times of recent activates (tFAW sliding window).
+    recent_activates: Vec<u64>,
+    /// All banks are blocked until this cycle (refresh in progress).
+    refresh_until: u64,
+}
+
+impl Channel {
+    /// Creates a channel with `banks` idle banks.
+    #[must_use]
+    pub fn new(banks: usize, timing: TimingParams) -> Self {
+        Channel {
+            banks: vec![Bank::new(); banks],
+            timing,
+            data_bus_free_at: 0,
+            earliest_column: 0,
+            earliest_activate: 0,
+            recent_activates: Vec::new(),
+            refresh_until: 0,
+        }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Immutable access to a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank(&self, bank: usize) -> &Bank {
+        &self.banks[bank]
+    }
+
+    /// The timing parameters of this channel.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// True if `cmd` can legally issue at cycle `now` (all per-bank and
+    /// channel-level constraints satisfied, data bus available for column
+    /// commands).
+    #[must_use]
+    pub fn can_issue(&self, cmd: &Command, now: u64) -> bool {
+        if now < self.refresh_until {
+            return false;
+        }
+        let bank = &self.banks[cmd.bank];
+        if now < bank.earliest_issue(cmd.kind) {
+            return false;
+        }
+        match cmd.kind {
+            CommandKind::Activate => {
+                now >= self.earliest_activate && bank.open_row().is_none() && self.faw_allows(now)
+            }
+            CommandKind::Read | CommandKind::Write => {
+                if now < self.earliest_column || !bank.is_row_hit(cmd.row) {
+                    return false;
+                }
+                let start = now
+                    + if cmd.kind == CommandKind::Write {
+                        self.timing.t_cwl
+                    } else {
+                        self.timing.t_cl
+                    };
+                start >= self.data_bus_free_at
+            }
+            CommandKind::Precharge => bank.open_row().is_some(),
+            // Refresh needs a quiet data bus; it force-precharges all banks.
+            CommandKind::Refresh => now >= self.data_bus_free_at,
+        }
+    }
+
+    /// Issues `cmd` at `now` on behalf of `thread`, updating bank and bus
+    /// state. For column commands, returns the `[start, end)` data interval;
+    /// for row commands returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `cmd` is not issuable; call
+    /// [`Channel::can_issue`] first.
+    pub fn issue(&mut self, cmd: &Command, thread: ThreadId, now: u64) -> Option<(u64, u64)> {
+        debug_assert!(self.can_issue(cmd, now), "command {cmd:?} not ready at {now}");
+        let timing = self.timing;
+        match cmd.kind {
+            CommandKind::Activate => {
+                self.banks[cmd.bank].activate(cmd.row, thread, now, &timing);
+                self.earliest_activate = self.earliest_activate.max(now + timing.t_rrd);
+                if timing.t_faw > 0 {
+                    self.recent_activates.push(now);
+                    let faw = timing.t_faw;
+                    self.recent_activates.retain(|&t| t + faw > now);
+                }
+                None
+            }
+            CommandKind::Read | CommandKind::Write => {
+                let is_write = cmd.kind == CommandKind::Write;
+                let (start, end) = self.banks[cmd.bank].column(is_write, thread, now, &timing);
+                self.data_bus_free_at = self.data_bus_free_at.max(end);
+                self.earliest_column = self.earliest_column.max(now + timing.t_ccd);
+                if is_write {
+                    // Write-to-read turnaround applies channel-wide.
+                    self.earliest_column = self.earliest_column.max(end + timing.t_wtr);
+                }
+                Some((start, end))
+            }
+            CommandKind::Precharge => {
+                self.banks[cmd.bank].precharge(thread, now, &timing);
+                None
+            }
+            CommandKind::Refresh => {
+                self.refresh(now);
+                None
+            }
+        }
+    }
+
+    /// True if another activate fits into the four-activate window at `now`:
+    /// an activate at `t` occupies the window until `t + t_faw`.
+    fn faw_allows(&self, now: u64) -> bool {
+        if self.timing.t_faw == 0 {
+            return true;
+        }
+        let faw = self.timing.t_faw;
+        self.recent_activates.iter().filter(|&&t| t + faw > now).count() < 4
+    }
+
+    /// Begins an all-bank refresh at `now`: every bank must be precharged
+    /// (open rows are force-closed, as a controller would precharge-all
+    /// first) and the rank is unavailable for `t_rfc`.
+    pub fn refresh(&mut self, now: u64) {
+        let t = self.timing;
+        for b in &mut self.banks {
+            b.force_precharge_for_refresh(now, &t);
+        }
+        self.refresh_until = self.refresh_until.max(now + t.t_rfc);
+        self.earliest_activate = self.earliest_activate.max(now + t.t_rfc);
+    }
+
+    /// Cycle until which the channel is blocked by an in-progress refresh.
+    #[must_use]
+    pub fn refresh_until(&self) -> u64 {
+        self.refresh_until
+    }
+
+    /// Number of banks with an in-flight data transfer at `now` — the
+    /// instantaneous bank-level parallelism of the channel.
+    #[must_use]
+    pub fn banks_servicing(&self, now: u64) -> usize {
+        self.banks.iter().filter(|b| b.is_servicing(now)).count()
+    }
+
+    /// Number of banks servicing requests of `thread` at `now`.
+    #[must_use]
+    pub fn banks_servicing_thread(&self, thread: ThreadId, now: u64) -> usize {
+        self.banks.iter().filter(|b| b.servicing_thread(now) == Some(thread)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RequestId;
+
+    fn cmd(kind: CommandKind, bank: usize, row: u64) -> Command {
+        Command { kind, bank, row, col: 0, request: RequestId(0) }
+    }
+
+    #[test]
+    fn activate_then_read_same_bank() {
+        let mut ch = Channel::new(8, TimingParams::ddr2_800());
+        let a = cmd(CommandKind::Activate, 0, 3);
+        assert!(ch.can_issue(&a, 0));
+        ch.issue(&a, ThreadId(0), 0);
+        let r = cmd(CommandKind::Read, 0, 3);
+        assert!(!ch.can_issue(&r, 10), "tRCD must gate the read");
+        assert!(ch.can_issue(&r, 60));
+        let (start, end) = ch.issue(&r, ThreadId(0), 60).unwrap();
+        assert_eq!((start, end), (120, 160));
+    }
+
+    #[test]
+    fn trrd_gates_back_to_back_activates() {
+        let mut ch = Channel::new(8, TimingParams::ddr2_800());
+        ch.issue(&cmd(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        let a1 = cmd(CommandKind::Activate, 1, 1);
+        assert!(!ch.can_issue(&a1, 10));
+        assert!(ch.can_issue(&a1, 30));
+    }
+
+    #[test]
+    fn data_bus_serializes_reads_across_banks() {
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::new(8, t);
+        ch.issue(&cmd(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        ch.issue(&cmd(CommandKind::Activate, 1, 1), ThreadId(0), 30);
+        ch.issue(&cmd(CommandKind::Read, 0, 1), ThreadId(0), 60);
+        // Bank 1's read is tRCD-ready at 90, tCCD-ready at 80, but its data
+        // (start = now + tCL) must not start before bank 0's data ends (160).
+        let r1 = cmd(CommandKind::Read, 1, 1);
+        assert!(!ch.can_issue(&r1, 90), "data bus busy until 160");
+        assert!(ch.can_issue(&r1, 100), "data start 160 == bus free");
+        let (start, _) = ch.issue(&r1, ThreadId(0), 100).unwrap();
+        assert_eq!(start, 160);
+    }
+
+    #[test]
+    fn column_to_wrong_row_is_illegal() {
+        let mut ch = Channel::new(8, TimingParams::ddr2_800());
+        ch.issue(&cmd(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        assert!(!ch.can_issue(&cmd(CommandKind::Read, 0, 2), 60));
+    }
+
+    #[test]
+    fn precharge_to_closed_bank_is_illegal() {
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        assert!(!ch.can_issue(&cmd(CommandKind::Precharge, 0, 0), 1_000));
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::new(8, t);
+        ch.issue(&cmd(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        ch.issue(&cmd(CommandKind::Activate, 1, 1), ThreadId(0), 30);
+        let (_, wend) = ch.issue(&cmd(CommandKind::Write, 0, 1), ThreadId(0), 60).unwrap();
+        // Next read must wait for write data end + tWTR.
+        let r = cmd(CommandKind::Read, 1, 1);
+        assert!(!ch.can_issue(&r, wend));
+        assert!(ch.can_issue(&r, wend + t.t_wtr));
+    }
+
+    #[test]
+    fn blp_counts_in_flight_banks() {
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::new(8, t);
+        ch.issue(&cmd(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        ch.issue(&cmd(CommandKind::Activate, 1, 1), ThreadId(1), 30);
+        ch.issue(&cmd(CommandKind::Read, 0, 1), ThreadId(0), 60);
+        ch.issue(&cmd(CommandKind::Read, 1, 1), ThreadId(1), 100);
+        // Bank0 data: [120,160); bank1 data: [160,200). Transfers serialize,
+        // but both banks count as servicing while their data is in flight.
+        assert_eq!(ch.banks_servicing(130), 2);
+        assert_eq!(ch.banks_servicing_thread(ThreadId(0), 130), 1);
+        assert_eq!(ch.banks_servicing_thread(ThreadId(1), 130), 1);
+        assert_eq!(ch.banks_servicing(170), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Independent DRAM protocol checker.
+//!
+//! [`ProtocolChecker`] re-derives bank state from the observed command stream
+//! (without trusting the controller's bookkeeping) and reports the first
+//! violated timing or state constraint. The property-based tests run it
+//! against the controller under random request streams and schedulers.
+
+use crate::{Command, CommandKind, TimingParams, DRAM_CYCLE};
+
+/// A violated DRAM protocol rule, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// Human-readable rule name (e.g. `"tRCD"`, `"bank state"`).
+    pub rule: String,
+    /// The offending command.
+    pub command: Command,
+    /// Cycle at which the command was issued.
+    pub at: u64,
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated by {:?} at cycle {}", self.rule, self.command, self.at)
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankRecord {
+    open_row: Option<u64>,
+    last_act: Option<u64>,
+    last_pre: Option<u64>,
+    last_read: Option<u64>,
+    /// End of the last write's data transfer (for tWR).
+    last_write_data_end: Option<u64>,
+    /// Bank blocked until this cycle by an all-bank refresh.
+    refresh_block: u64,
+}
+
+/// Observes a channel's command stream and validates every constraint the
+/// model enforces: bank state legality, tRCD, tRP, tRAS, tRC, tRRD, tFAW,
+/// tCCD, tRTP, tWR, tWTR, tRFC, data-bus exclusivity, and one command per
+/// DRAM cycle.
+#[derive(Debug, Clone)]
+pub struct ProtocolChecker {
+    timing: TimingParams,
+    banks: Vec<BankRecord>,
+    last_cmd_at: Option<u64>,
+    last_act_any: Option<u64>,
+    last_col_any: Option<u64>,
+    data_busy_until: u64,
+    wtr_block_until: u64,
+    recent_activates: Vec<u64>,
+}
+
+impl ProtocolChecker {
+    /// Creates a checker for a channel with `banks` banks.
+    #[must_use]
+    pub fn new(banks: usize, timing: TimingParams) -> Self {
+        ProtocolChecker {
+            timing,
+            banks: vec![BankRecord::default(); banks],
+            last_cmd_at: None,
+            last_act_any: None,
+            last_col_any: None,
+            data_busy_until: 0,
+            wtr_block_until: 0,
+            recent_activates: Vec::new(),
+        }
+    }
+
+    fn violation(&self, rule: &str, cmd: &Command, at: u64) -> ProtocolViolation {
+        ProtocolViolation { rule: rule.to_owned(), command: *cmd, at }
+    }
+
+    /// Validates `cmd` issued at cycle `at` and updates the derived state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule; after an error the checker state is
+    /// unspecified and the checker should be discarded.
+    pub fn observe(&mut self, cmd: &Command, at: u64) -> Result<(), ProtocolViolation> {
+        let t = self.timing;
+        if !at.is_multiple_of(DRAM_CYCLE) {
+            return Err(self.violation("command-clock alignment", cmd, at));
+        }
+        if let Some(prev) = self.last_cmd_at {
+            if at < prev + DRAM_CYCLE {
+                return Err(self.violation("one command per DRAM cycle", cmd, at));
+            }
+        }
+        if cmd.bank >= self.banks.len() {
+            return Err(self.violation("bank index range", cmd, at));
+        }
+        let bank = self.banks[cmd.bank];
+        if cmd.kind != CommandKind::Refresh && at < bank.refresh_block {
+            return Err(self.violation("tRFC", cmd, at));
+        }
+        match cmd.kind {
+            CommandKind::Refresh => {
+                if at < self.data_busy_until {
+                    return Err(self.violation("refresh during data transfer", cmd, at));
+                }
+                for b in &mut self.banks {
+                    b.open_row = None;
+                    b.refresh_block = at + self.timing.t_rfc;
+                }
+            }
+            CommandKind::Activate => {
+                if bank.open_row.is_some() {
+                    return Err(self.violation("bank state (ACT on open bank)", cmd, at));
+                }
+                if let Some(pre) = bank.last_pre {
+                    if at < pre + t.t_rp {
+                        return Err(self.violation("tRP", cmd, at));
+                    }
+                }
+                if let Some(act) = bank.last_act {
+                    if at < act + t.t_rc {
+                        return Err(self.violation("tRC", cmd, at));
+                    }
+                }
+                if let Some(any) = self.last_act_any {
+                    if at < any + t.t_rrd {
+                        return Err(self.violation("tRRD", cmd, at));
+                    }
+                }
+                if t.t_faw > 0 {
+                    self.recent_activates.retain(|&x| x + t.t_faw > at);
+                    if self.recent_activates.len() >= 4 {
+                        return Err(self.violation("tFAW", cmd, at));
+                    }
+                    self.recent_activates.push(at);
+                }
+                self.banks[cmd.bank].open_row = Some(cmd.row);
+                self.banks[cmd.bank].last_act = Some(at);
+                self.last_act_any = Some(at);
+            }
+            CommandKind::Read | CommandKind::Write => {
+                let is_write = cmd.kind == CommandKind::Write;
+                match bank.open_row {
+                    Some(row) if row == cmd.row => {}
+                    Some(_) => {
+                        return Err(self.violation("row match (column to wrong row)", cmd, at))
+                    }
+                    None => return Err(self.violation("bank state (column on closed)", cmd, at)),
+                }
+                let act = bank.last_act.expect("open bank must have an activate");
+                if at < act + t.t_rcd {
+                    return Err(self.violation("tRCD", cmd, at));
+                }
+                if let Some(col) = self.last_col_any {
+                    if at < col + t.t_ccd {
+                        return Err(self.violation("tCCD", cmd, at));
+                    }
+                }
+                if !is_write && at < self.wtr_block_until {
+                    return Err(self.violation("tWTR", cmd, at));
+                }
+                let start = at + if is_write { t.t_cwl } else { t.t_cl };
+                let end = start + t.t_burst;
+                if start < self.data_busy_until {
+                    return Err(self.violation("data bus conflict", cmd, at));
+                }
+                self.data_busy_until = end;
+                self.last_col_any = Some(at);
+                if is_write {
+                    self.banks[cmd.bank].last_write_data_end = Some(end);
+                    self.wtr_block_until = self.wtr_block_until.max(end + t.t_wtr);
+                } else {
+                    self.banks[cmd.bank].last_read = Some(at);
+                }
+            }
+            CommandKind::Precharge => {
+                if bank.open_row.is_none() {
+                    return Err(self.violation("bank state (PRE on closed bank)", cmd, at));
+                }
+                let act = bank.last_act.expect("open bank must have an activate");
+                if at < act + t.t_ras {
+                    return Err(self.violation("tRAS", cmd, at));
+                }
+                if let Some(rd) = bank.last_read {
+                    if at < rd + t.t_rtp {
+                        return Err(self.violation("tRTP", cmd, at));
+                    }
+                }
+                if let Some(wend) = bank.last_write_data_end {
+                    if at < wend + t.t_wr {
+                        return Err(self.violation("tWR", cmd, at));
+                    }
+                }
+                self.banks[cmd.bank].open_row = None;
+                self.banks[cmd.bank].last_pre = Some(at);
+            }
+        }
+        self.last_cmd_at = Some(at);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RequestId;
+
+    fn cmd(kind: CommandKind, bank: usize, row: u64) -> Command {
+        Command { kind, bank, row, col: 0, request: RequestId(0) }
+    }
+
+    fn checker() -> ProtocolChecker {
+        ProtocolChecker::new(8, TimingParams::ddr2_800())
+    }
+
+    #[test]
+    fn legal_sequence_passes() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        c.observe(&cmd(CommandKind::Read, 0, 1), 60).unwrap();
+        c.observe(&cmd(CommandKind::Precharge, 0, 1), 180).unwrap();
+        c.observe(&cmd(CommandKind::Activate, 0, 2), 240).unwrap();
+    }
+
+    #[test]
+    fn detects_trcd_violation() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        let err = c.observe(&cmd(CommandKind::Read, 0, 1), 50).unwrap_err();
+        assert_eq!(err.rule, "tRCD");
+    }
+
+    #[test]
+    fn detects_act_on_open_bank() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        let err = c.observe(&cmd(CommandKind::Activate, 0, 2), 300).unwrap_err();
+        assert!(err.rule.contains("ACT on open"));
+    }
+
+    #[test]
+    fn detects_column_to_wrong_row() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        let err = c.observe(&cmd(CommandKind::Read, 0, 2), 60).unwrap_err();
+        assert!(err.rule.contains("row match"));
+    }
+
+    #[test]
+    fn detects_tras_violation() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        c.observe(&cmd(CommandKind::Read, 0, 1), 60).unwrap();
+        let err = c.observe(&cmd(CommandKind::Precharge, 0, 1), 170).unwrap_err();
+        assert_eq!(err.rule, "tRAS");
+    }
+
+    #[test]
+    fn detects_data_bus_conflict() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        c.observe(&cmd(CommandKind::Activate, 1, 1), 30).unwrap();
+        c.observe(&cmd(CommandKind::Read, 0, 1), 60).unwrap();
+        // Read at 90 → data [150, 190) overlaps bank 0's data [120, 160).
+        let err = c.observe(&cmd(CommandKind::Read, 1, 1), 90).unwrap_err();
+        assert_eq!(err.rule, "data bus conflict");
+    }
+
+    #[test]
+    fn detects_trrd_violation() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        let err = c.observe(&cmd(CommandKind::Activate, 1, 1), 20).unwrap_err();
+        assert_eq!(err.rule, "tRRD");
+    }
+
+    #[test]
+    fn detects_command_bus_overlap() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        let err = c.observe(&cmd(CommandKind::Activate, 1, 1), 0).unwrap_err();
+        assert_eq!(err.rule, "one command per DRAM cycle");
+    }
+
+    #[test]
+    fn detects_misaligned_command() {
+        let mut c = checker();
+        let err = c.observe(&cmd(CommandKind::Activate, 0, 1), 7).unwrap_err();
+        assert!(err.rule.contains("alignment"));
+    }
+
+    #[test]
+    fn detects_twtr_violation() {
+        let mut c = checker();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        c.observe(&cmd(CommandKind::Activate, 1, 1), 30).unwrap();
+        c.observe(&cmd(CommandKind::Write, 0, 1), 60).unwrap();
+        // Write data ends at 60 + 50 + 40 = 150; reads blocked until 180.
+        let err = c.observe(&cmd(CommandKind::Read, 1, 1), 160).unwrap_err();
+        assert_eq!(err.rule, "tWTR");
+    }
+}

@@ -1,0 +1,67 @@
+//! DRAM commands issued on a channel's command bus.
+
+use crate::RequestId;
+
+/// The four row/column commands of an SDRAM protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Open (`ACT`) a row into the bank's row buffer.
+    Activate,
+    /// Column read (`RD`) from the open row.
+    Read,
+    /// Column write (`WR`) to the open row.
+    Write,
+    /// Close (`PRE`) the bank's open row.
+    Precharge,
+    /// All-bank refresh (`REF`); implies a precharge-all. Issued
+    /// autonomously by the controller every `t_refi`, not by schedulers.
+    Refresh,
+}
+
+impl CommandKind {
+    /// True for the column commands (`RD`/`WR`) that occupy the data bus.
+    #[must_use]
+    pub fn is_column(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::Write)
+    }
+}
+
+impl Command {
+    /// The all-bank refresh command (no target request).
+    #[must_use]
+    pub fn refresh(request_sentinel: crate::RequestId) -> Self {
+        Command { kind: CommandKind::Refresh, bank: 0, row: 0, col: 0, request: request_sentinel }
+    }
+}
+
+/// A DRAM command together with its target coordinates, as placed on the
+/// command bus. `row` is meaningful for every kind (for `PRE` it records the
+/// row being closed, for column commands the open row being accessed) so that
+/// protocol checkers and traces are self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Command {
+    /// Which command.
+    pub kind: CommandKind,
+    /// Target bank within the channel.
+    pub bank: usize,
+    /// Target row (see type-level docs).
+    pub row: u64,
+    /// Target column for column commands, 0 otherwise.
+    pub col: u64,
+    /// The request this command serves.
+    pub request: RequestId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_rd_wr_are_column_commands() {
+        assert!(CommandKind::Read.is_column());
+        assert!(CommandKind::Write.is_column());
+        assert!(!CommandKind::Activate.is_column());
+        assert!(!CommandKind::Precharge.is_column());
+        assert!(!CommandKind::Refresh.is_column());
+    }
+}

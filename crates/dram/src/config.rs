@@ -1,0 +1,127 @@
+//! DRAM system configuration (the memory half of the paper's Table 2).
+
+use crate::{AddressMapper, TimingParams};
+
+/// Geometry and capacity parameters of the simulated DRAM system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Independent, lock-step channels. The paper scales channels with core
+    /// count: 1 / 2 / 4 for 4 / 8 / 16 cores.
+    pub channels: usize,
+    /// Banks per channel (8 in Table 2).
+    pub banks_per_channel: usize,
+    /// Row-buffer size in cache lines: 2 KB rows / 64 B lines = 32.
+    pub cols_per_row: u64,
+    /// Rows per bank. Only affects address decoding range, not timing.
+    pub rows_per_bank: u64,
+    /// Read request buffer capacity per channel (128 in Table 2).
+    pub request_buffer_cap: usize,
+    /// Write buffer capacity per channel (64 in Table 2).
+    pub write_buffer_cap: usize,
+    /// Write-buffer occupancy (fraction of capacity) above which the
+    /// controller starts draining writes even while reads are pending.
+    pub write_drain_watermark: f64,
+    /// DRAM timing constraints.
+    pub timing: TimingParams,
+}
+
+impl DramConfig {
+    /// Table 2 baseline for a 4-core system: one DDR2-800 channel, 8 banks,
+    /// 2 KB row buffers, 128-entry request buffer, 64-entry write buffer.
+    #[must_use]
+    pub fn baseline_4core() -> Self {
+        DramConfig {
+            channels: 1,
+            banks_per_channel: 8,
+            cols_per_row: 32,
+            rows_per_bank: 16_384,
+            request_buffer_cap: 128,
+            write_buffer_cap: 64,
+            write_drain_watermark: 0.75,
+            timing: TimingParams::ddr2_800(),
+        }
+    }
+
+    /// Table 2 configuration scaled to `cores` cores: channels grow 1/2/4 for
+    /// 4/8/16 cores (one channel per 4 cores, minimum 1).
+    #[must_use]
+    pub fn for_cores(cores: usize) -> Self {
+        let mut cfg = Self::baseline_4core();
+        cfg.channels = (cores / 4).max(1).next_power_of_two();
+        cfg
+    }
+
+    /// The address mapper induced by this geometry.
+    #[must_use]
+    pub fn mapper(&self) -> AddressMapper {
+        AddressMapper::new(self.channels, self.banks_per_channel, self.cols_per_row)
+    }
+
+    /// Checks configuration consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field (zero sizes,
+    /// non-power-of-two geometry, out-of-range watermark, timing violations).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return Err("channels must be a nonzero power of two".into());
+        }
+        if self.banks_per_channel == 0 || !self.banks_per_channel.is_power_of_two() {
+            return Err("banks_per_channel must be a nonzero power of two".into());
+        }
+        if !self.cols_per_row.is_power_of_two() {
+            return Err("cols_per_row must be a power of two".into());
+        }
+        if self.request_buffer_cap == 0 {
+            return Err("request_buffer_cap must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.write_drain_watermark) {
+            return Err("write_drain_watermark must be within [0, 1]".into());
+        }
+        self.timing.validate()
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::baseline_4core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = DramConfig::baseline_4core();
+        assert_eq!(c.channels, 1);
+        assert_eq!(c.banks_per_channel, 8);
+        assert_eq!(c.cols_per_row * 64, 2048, "2 KB row buffer");
+        assert_eq!(c.request_buffer_cap, 128);
+        assert_eq!(c.write_buffer_cap, 64);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn channels_scale_with_cores() {
+        assert_eq!(DramConfig::for_cores(4).channels, 1);
+        assert_eq!(DramConfig::for_cores(8).channels, 2);
+        assert_eq!(DramConfig::for_cores(16).channels, 4);
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut c = DramConfig::baseline_4core();
+        c.banks_per_channel = 6;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_watermark() {
+        let mut c = DramConfig::baseline_4core();
+        c.write_drain_watermark = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

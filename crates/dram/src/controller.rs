@@ -1,0 +1,610 @@
+//! The per-channel memory controller: request buffers + scheduler + command
+//! issue logic.
+
+use crate::stats::ControllerStats;
+use crate::{
+    Command, CommandKind, DramConfig, MemoryScheduler, ProtocolChecker, Request, RequestId,
+    RequestKind, SchedView, ThreadId, DRAM_CYCLE,
+};
+
+/// A serviced request: delivered by [`Controller::tick`] once the data
+/// transfer and the fixed front-end latency have elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Completion {
+    /// The request that finished.
+    pub request: RequestId,
+    /// Its issuing thread.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Cycle the request entered the buffer.
+    pub arrival: u64,
+    /// Cycle the requesting core observes the data.
+    pub finish: u64,
+}
+
+impl Completion {
+    /// End-to-end latency of the request in processor cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.finish.saturating_sub(self.arrival)
+    }
+}
+
+/// Error returned when a request cannot enter a full buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnqueueError {
+    /// Which buffer was full.
+    pub kind: RequestKind,
+}
+
+impl std::fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            RequestKind::Read => write!(f, "read request buffer is full"),
+            RequestKind::Write => write!(f, "write buffer is full"),
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
+
+/// One DRAM channel's controller: a read request buffer, a write buffer, a
+/// pluggable [`MemoryScheduler`] for reads, and FR-FCFS write draining.
+///
+/// Reads are prioritized over writes because loads block the cores' forward
+/// progress (Section 7.2); writes drain when the write buffer crosses its
+/// high-water mark or when no reads are pending.
+pub struct Controller {
+    config: DramConfig,
+    channel: crate::Channel,
+    scheduler: Box<dyn MemoryScheduler>,
+    reads: Vec<Request>,
+    writes: Vec<Request>,
+    pending: Vec<Completion>,
+    stats: ControllerStats,
+    checker: Option<ProtocolChecker>,
+    /// Requests whose first command has been issued (used to classify each
+    /// request as row hit / closed / conflict exactly once).
+    touched: std::collections::HashSet<RequestId>,
+    /// Write-drain hysteresis: set when the write buffer crosses the high
+    /// watermark, cleared when it drains to the low watermark.
+    draining: bool,
+    /// Cycle of the last issued all-bank refresh.
+    last_refresh: u64,
+    /// Command trace, recorded when enabled via [`Controller::set_tracing`].
+    trace: Option<Vec<(u64, Command)>>,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("scheduler", &self.scheduler.name())
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl Controller {
+    /// Creates a controller for one channel of `config` driven by
+    /// `scheduler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`DramConfig::validate`].
+    #[must_use]
+    pub fn new(config: DramConfig, scheduler: Box<dyn MemoryScheduler>) -> Self {
+        config.validate().expect("invalid DRAM configuration");
+        let channel = crate::Channel::new(config.banks_per_channel, config.timing);
+        Controller {
+            channel,
+            scheduler,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            pending: Vec::new(),
+            stats: ControllerStats::default(),
+            checker: None,
+            touched: std::collections::HashSet::new(),
+            draining: false,
+            last_refresh: 0,
+            trace: None,
+            config,
+        }
+    }
+
+    /// Like [`Controller::new`] but verifies every issued command against a
+    /// [`ProtocolChecker`]; any timing violation panics. Intended for tests.
+    #[must_use]
+    pub fn with_checker(config: DramConfig, scheduler: Box<dyn MemoryScheduler>) -> Self {
+        let mut c = Self::new(config, scheduler);
+        c.checker = Some(ProtocolChecker::new(c.config.banks_per_channel, c.config.timing));
+        c
+    }
+
+    /// The scheduler's display name.
+    #[must_use]
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Mutable access to the scheduling policy (to configure weights etc.).
+    pub fn scheduler_mut(&mut self) -> &mut dyn MemoryScheduler {
+        &mut *self.scheduler
+    }
+
+    /// The channel state (open rows, bus occupancy).
+    #[must_use]
+    pub fn channel(&self) -> &crate::Channel {
+        &self.channel
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Currently queued read requests (oldest-to-newest arrival order).
+    #[must_use]
+    pub fn reads(&self) -> &[Request] {
+        &self.reads
+    }
+
+    /// Number of queued writes.
+    #[must_use]
+    pub fn write_queue_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True if another read can be accepted.
+    #[must_use]
+    pub fn can_accept_read(&self) -> bool {
+        self.reads.len() < self.config.request_buffer_cap
+    }
+
+    /// True if another write can be accepted.
+    #[must_use]
+    pub fn can_accept_write(&self) -> bool {
+        self.writes.len() < self.config.write_buffer_cap
+    }
+
+    /// Inserts a request into the appropriate buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqueueError`] if the target buffer is full; the caller
+    /// (core model) must retry later, which models back-pressure into the
+    /// cores' MSHRs.
+    pub fn try_enqueue(&mut self, req: Request) -> Result<(), EnqueueError> {
+        match req.kind {
+            RequestKind::Read => {
+                if !self.can_accept_read() {
+                    return Err(EnqueueError { kind: RequestKind::Read });
+                }
+                self.scheduler.on_arrival(&req, req.arrival);
+                self.stats.reads_received += 1;
+                self.reads.push(req);
+            }
+            RequestKind::Write => {
+                if !self.can_accept_write() {
+                    return Err(EnqueueError { kind: RequestKind::Write });
+                }
+                self.stats.writes_received += 1;
+                self.writes.push(req);
+            }
+        }
+        Ok(())
+    }
+
+    /// Enables or disables command-trace recording. While enabled, every
+    /// issued command (including refreshes) is appended with its issue
+    /// cycle; retrieve and clear with [`Controller::take_trace`].
+    pub fn set_tracing(&mut self, enabled: bool) {
+        if enabled {
+            self.trace.get_or_insert_with(Vec::new);
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Takes the recorded command trace (empty if tracing is disabled).
+    pub fn take_trace(&mut self) -> Vec<(u64, Command)> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Forwards per-thread memory-stall feedback to the scheduler (used by
+    /// STFM). `stall_cycles[t]` is thread `t`'s stall-cycle increment since
+    /// the last call.
+    pub fn report_stall_cycles(&mut self, stall_cycles: &[u64], now: u64) {
+        self.scheduler.on_stall_cycles(stall_cycles, now);
+    }
+
+    /// Advances the controller to processor cycle `now`.
+    ///
+    /// Completions whose data (plus front-end latency) has arrived by `now`
+    /// are appended to `out`. A scheduling decision — at most one DRAM
+    /// command on the channel's command bus — is made on DRAM-cycle
+    /// boundaries (`now % DRAM_CYCLE == 0`).
+    pub fn tick(&mut self, now: u64, out: &mut Vec<Completion>) {
+        // Deliver finished requests.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].finish <= now {
+                out.push(self.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !now.is_multiple_of(DRAM_CYCLE) {
+            return;
+        }
+        self.sample_blp(now);
+        {
+            let view = SchedView { channel: &self.channel, now };
+            self.scheduler.pre_schedule(&mut self.reads, &view);
+        }
+        // Refresh: one all-bank REF every t_refi. Once due, the controller
+        // stops issuing new commands until the data bus drains and the
+        // refresh can begin — bounded deferral, guaranteed progress.
+        let t_refi = self.config.timing.t_refi;
+        if t_refi > 0 && now >= self.last_refresh + t_refi {
+            let cmd = Command::refresh(RequestId(u64::MAX));
+            if self.channel.can_issue(&cmd, now) {
+                if let Some(checker) = &mut self.checker {
+                    checker
+                        .observe(&cmd, now)
+                        .unwrap_or_else(|v| panic!("DRAM protocol violation: {v}"));
+                }
+                if let Some(trace) = &mut self.trace {
+                    trace.push((now, cmd));
+                }
+                self.channel.refresh(now);
+                self.stats.refreshes += 1;
+                self.stats.commands_issued += 1;
+                self.last_refresh = now;
+            }
+            return;
+        }
+        // Write-drain hysteresis: start draining at the high watermark and
+        // keep going until the buffer is largely empty, so writes batch into
+        // efficient bursts instead of constantly stealing read bandwidth.
+        let high = self.config.write_drain_watermark * self.config.write_buffer_cap as f64;
+        let low = high * 0.33;
+        if self.writes.len() as f64 >= high {
+            self.draining = true;
+        } else if (self.writes.len() as f64) <= low {
+            self.draining = false;
+        }
+        let drain = self.draining || (self.reads.is_empty() && !self.writes.is_empty());
+        if drain {
+            if !self.try_issue(RequestKind::Write, now) {
+                self.try_issue(RequestKind::Read, now);
+            }
+        } else if !self.try_issue(RequestKind::Read, now) && self.reads.is_empty() {
+            self.try_issue(RequestKind::Write, now);
+        }
+    }
+
+    /// Convenience driver: ticks cycle-by-cycle from `*now` until all queued
+    /// and in-flight requests have completed (or `limit` cycles elapsed),
+    /// collecting completions. Returns the completions in finish order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller fails to drain within `limit` cycles, which
+    /// indicates a scheduling deadlock.
+    pub fn run_to_drain(&mut self, now: &mut u64, limit: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let deadline = *now + limit;
+        while !(self.reads.is_empty() && self.writes.is_empty() && self.pending.is_empty()) {
+            assert!(*now < deadline, "controller failed to drain within {limit} cycles");
+            self.tick(*now, &mut out);
+            *now += 1;
+        }
+        out.sort_by_key(|c| c.finish);
+        out
+    }
+
+    /// Samples bank-level parallelism: a thread's request counts toward the
+    /// banks working for it from the moment it is outstanding at the
+    /// controller until its data transfer ends (the paper's "requests being
+    /// serviced in the DRAM banks", measured per Chou et al.'s MLP
+    /// definition).
+    fn sample_blp(&mut self, now: u64) {
+        // (thread, bank-bitmask) pairs; banks_per_channel ≤ 64.
+        let mut per_thread: Vec<(ThreadId, u64)> = Vec::new();
+        let mut note =
+            |thread: ThreadId, bank: usize| match per_thread.iter_mut().find(|(t, _)| *t == thread)
+            {
+                Some((_, mask)) => *mask |= 1 << bank,
+                None => per_thread.push((thread, 1 << bank)),
+            };
+        for r in &self.reads {
+            note(r.thread, r.addr.bank);
+        }
+        for b in 0..self.channel.bank_count() {
+            if let Some(t) = self.channel.bank(b).servicing_thread(now) {
+                note(t, b);
+            }
+        }
+        let mut union = 0u64;
+        for (thread, mask) in &per_thread {
+            union |= mask;
+            self.stats.record_thread_blp(*thread, mask.count_ones() as usize);
+        }
+        self.stats.blp.record(union.count_ones() as usize);
+    }
+
+    /// Attempts to issue one command for the given queue side. Returns true
+    /// if a command was placed on the command bus.
+    fn try_issue(&mut self, side: RequestKind, now: u64) -> bool {
+        let is_write = side == RequestKind::Write;
+        let queue = if is_write { &self.writes } else { &self.reads };
+        if queue.is_empty() {
+            return false;
+        }
+        // Priority order: scheduler-defined for reads, FR-FCFS for writes.
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        {
+            let view = SchedView { channel: &self.channel, now };
+            if is_write {
+                order.sort_by(|&i, &j| {
+                    let (a, b) = (&queue[i], &queue[j]);
+                    let hit_a = view.is_row_hit(a);
+                    let hit_b = view.is_row_hit(b);
+                    hit_b.cmp(&hit_a).then(a.id.cmp(&b.id))
+                });
+            } else {
+                order.sort_by(|&i, &j| self.scheduler.compare(&queue[i], &queue[j], &view));
+            }
+        }
+        // Select the first request (in priority order) with a ready command.
+        // A lower-priority request may not precharge a bank whose open row a
+        // higher-priority request still wants to hit; writes additionally
+        // must not close rows that queued reads (which outrank all writes)
+        // are about to hit.
+        let mut protected_banks = 0u64;
+        if is_write {
+            for r in &self.reads {
+                if self.channel.bank(r.addr.bank).is_row_hit(r.addr.row) {
+                    protected_banks |= 1 << r.addr.bank;
+                }
+            }
+        }
+        let mut decision: Option<(usize, Command)> = None;
+        for (pos, &i) in order.iter().enumerate() {
+            let req = &queue[i];
+            let bank = req.addr.bank;
+            let needed = self.channel.bank(bank).needed_command(req.addr.row, is_write);
+            if needed.is_column() {
+                protected_banks |= 1 << bank;
+            } else if needed == CommandKind::Precharge {
+                if protected_banks & (1 << bank) != 0 {
+                    continue;
+                }
+                // Open-page grace: a recently accessed row is speculatively
+                // held open in anticipation of further hits, bounded by a
+                // total open time so conflicts cannot starve. Requests of
+                // the current batch (marked) override the speculation —
+                // batch progress outranks locality speculation just as the
+                // BS rule outranks the RH rule.
+                let _ = pos;
+                let b = self.channel.bank(bank);
+                let grace = self.config.timing.t_row_grace;
+                if !req.marked
+                    && grace > 0
+                    && now < b.last_column_at() + grace
+                    && now < b.last_activate_at() + 3 * grace
+                {
+                    continue;
+                }
+            }
+            let row = match needed {
+                CommandKind::Precharge => self.channel.bank(bank).open_row().unwrap_or(0),
+                _ => req.addr.row,
+            };
+            let cmd = Command { kind: needed, bank, row, col: req.addr.col, request: req.id };
+            if self.channel.can_issue(&cmd, now) {
+                decision = Some((i, cmd));
+                break;
+            }
+        }
+        let Some((i, cmd)) = decision else { return false };
+        self.apply(i, cmd, is_write, now);
+        true
+    }
+
+    /// Issues `cmd` for the request at index `i` of the chosen queue and
+    /// performs all bookkeeping (stats, checker, completion scheduling).
+    fn apply(&mut self, i: usize, cmd: Command, is_write: bool, now: u64) {
+        if let Some(checker) = &mut self.checker {
+            checker.observe(&cmd, now).unwrap_or_else(|v| panic!("DRAM protocol violation: {v}"));
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push((now, cmd));
+        }
+        let req = if is_write { self.writes[i].clone() } else { self.reads[i].clone() };
+        if self.touched.insert(req.id) {
+            match cmd.kind {
+                CommandKind::Read | CommandKind::Write => self.stats.row_hits += 1,
+                CommandKind::Activate => self.stats.row_closed += 1,
+                CommandKind::Precharge => self.stats.row_conflicts += 1,
+                CommandKind::Refresh => unreachable!("refresh never serves a request"),
+            }
+            if !is_write {
+                self.stats.record_read_category(req.thread, cmd.kind);
+            }
+        }
+        let data = self.channel.issue(&cmd, req.thread, now);
+        self.scheduler.on_command(&cmd, &req, now);
+        self.stats.commands_issued += 1;
+        if let Some((_, end)) = data {
+            let finish = end + self.config.timing.front_latency;
+            self.touched.remove(&req.id);
+            let completion = Completion {
+                request: req.id,
+                thread: req.thread,
+                kind: req.kind,
+                arrival: req.arrival,
+                finish,
+            };
+            self.pending.push(completion);
+            if is_write {
+                self.writes.swap_remove(i);
+                self.stats.writes_completed += 1;
+            } else {
+                self.scheduler.on_complete(&req, now);
+                self.reads.swap_remove(i);
+                self.stats.reads_completed += 1;
+                self.stats.record_read_latency(finish - req.arrival, req.thread);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FcfsScheduler, LineAddr};
+
+    fn read(id: u64, thread: usize, bank: usize, row: u64, col: u64, at: u64) -> Request {
+        Request::new(
+            id,
+            ThreadId(thread),
+            LineAddr { channel: 0, bank, row, col },
+            RequestKind::Read,
+            at,
+        )
+    }
+
+    fn drain(ctrl: &mut Controller) -> Vec<Completion> {
+        let mut now = 0;
+        ctrl.run_to_drain(&mut now, 1_000_000)
+    }
+
+    #[test]
+    fn single_closed_read_latency() {
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        let done = drain(&mut ctrl);
+        assert_eq!(done.len(), 1);
+        // ACT@0, RD@tRCD, data end tRCD+tCL+tBURST, + front latency.
+        let t = DramConfig::default().timing;
+        assert_eq!(done[0].finish, t.t_rcd + t.t_cl + t.t_burst + t.front_latency);
+        assert_eq!(ctrl.stats().row_closed, 1);
+    }
+
+    #[test]
+    fn row_hit_second_read_is_faster() {
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        ctrl.try_enqueue(read(1, 0, 0, 1, 1, 0)).unwrap();
+        let done = drain(&mut ctrl);
+        assert_eq!(done.len(), 2);
+        assert_eq!(ctrl.stats().row_hits, 1);
+        assert_eq!(ctrl.stats().row_closed, 1);
+        let gap = done[1].finish - done[0].finish;
+        assert!(gap <= 60, "row hit should pipeline behind the first read, gap = {gap}");
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        ctrl.try_enqueue(read(1, 0, 0, 2, 0, 0)).unwrap();
+        let done = drain(&mut ctrl);
+        assert_eq!(ctrl.stats().row_conflicts, 1);
+        let t = DramConfig::default().timing;
+        // Second request must wait ≥ tRAS before its precharge can begin.
+        assert!(done[1].finish >= t.t_ras + t.t_rp + t.t_rcd + t.t_cl);
+    }
+
+    #[test]
+    fn two_banks_overlap_fig1() {
+        // Figure 1: two requests of one thread to different banks overlap,
+        // exposing roughly a single bank-access latency to the core.
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        ctrl.try_enqueue(read(1, 0, 1, 1, 0, 0)).unwrap();
+        let done = drain(&mut ctrl);
+        let t = DramConfig::default().timing;
+        let single = t.t_rcd + t.t_cl + t.t_burst + t.front_latency;
+        assert_eq!(done[0].finish, single);
+        // The second finishes one burst later, NOT one full access later.
+        assert!(done[1].finish <= single + t.t_burst + DRAM_CYCLE);
+    }
+
+    #[test]
+    fn full_read_buffer_rejects() {
+        let cfg = DramConfig { request_buffer_cap: 2, ..DramConfig::default() };
+        let mut ctrl = Controller::new(cfg, Box::new(FcfsScheduler::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        ctrl.try_enqueue(read(1, 0, 0, 1, 1, 0)).unwrap();
+        let err = ctrl.try_enqueue(read(2, 0, 0, 1, 2, 0)).unwrap_err();
+        assert_eq!(err.kind, RequestKind::Read);
+        assert!(!ctrl.can_accept_read());
+    }
+
+    #[test]
+    fn writes_wait_for_reads() {
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        let w = Request::new(
+            0,
+            ThreadId(0),
+            LineAddr { channel: 0, bank: 0, row: 9, col: 0 },
+            RequestKind::Write,
+            0,
+        );
+        ctrl.try_enqueue(w).unwrap();
+        ctrl.try_enqueue(read(1, 0, 1, 1, 0, 0)).unwrap();
+        let done = drain(&mut ctrl);
+        assert_eq!(done.len(), 2);
+        let read_done = done.iter().find(|c| c.kind == RequestKind::Read).unwrap();
+        let write_done = done.iter().find(|c| c.kind == RequestKind::Write).unwrap();
+        assert!(read_done.finish < write_done.finish, "read must be prioritized over write");
+    }
+
+    #[test]
+    fn lower_priority_conflict_cannot_precharge_hot_row() {
+        // One thread hammers row hits on bank 0; an older row-conflict
+        // request from another thread must not close the row out from under
+        // an FR-FCFS-style policy that ranks hits first. With FCFS (pure
+        // age order) the conflict request IS higher priority, so this test
+        // uses the protection logic only as far as: a row-hit that is
+        // higher-priority protects its bank.
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        let mut now = 0;
+        let done = ctrl.run_to_drain(&mut now, 100_000);
+        assert_eq!(done.len(), 1);
+        // Row 1 is still open; a hit (younger) and a conflict (older is
+        // impossible now) — enqueue hit first so FCFS ranks it higher.
+        ctrl.try_enqueue(read(1, 0, 0, 1, 1, now)).unwrap();
+        ctrl.try_enqueue(read(2, 1, 0, 2, 0, now)).unwrap();
+        let done = ctrl.run_to_drain(&mut now, 1_000_000);
+        assert_eq!(done[0].request, RequestId(1), "hit serviced before conflict");
+        assert_eq!(ctrl.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn run_to_drain_reports_all_requests() {
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        for id in 0..20 {
+            ctrl.try_enqueue(read(id, (id % 4) as usize, (id % 8) as usize, id / 8, id % 32, 0))
+                .unwrap();
+        }
+        let done = drain(&mut ctrl);
+        assert_eq!(done.len(), 20);
+        assert_eq!(ctrl.stats().reads_completed, 20);
+        assert!(ctrl.stats().worst_case_latency > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The pluggable memory-scheduler interface.
+//!
+//! A scheduler imposes a priority order on the queued read requests; the
+//! controller issues the next required DRAM command of the highest-priority
+//! request whose command is ready. This mirrors how "modern FR-FCFS based
+//! controllers already implement prioritization policies — each DRAM request
+//! is assigned a priority and the DRAM command belonging to the highest
+//! priority request is scheduled among all ready commands" (Section 6), which
+//! is exactly the hook PAR-BS, NFQ and STFM extend.
+
+use std::cmp::Ordering;
+
+use crate::{Channel, Command, Request, ThreadId};
+
+/// Read-only view of the channel state handed to schedulers during
+/// prioritization.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// The channel whose requests are being scheduled.
+    pub channel: &'a Channel,
+    /// Current processor cycle.
+    pub now: u64,
+}
+
+impl SchedView<'_> {
+    /// True if `req` would currently be a row hit.
+    #[must_use]
+    pub fn is_row_hit(&self, req: &Request) -> bool {
+        self.channel.bank(req.addr.bank).is_row_hit(req.addr.row)
+    }
+
+    /// The row currently open in `bank`, if any.
+    #[must_use]
+    pub fn open_row(&self, bank: usize) -> Option<u64> {
+        self.channel.bank(bank).open_row()
+    }
+}
+
+/// A DRAM scheduling policy.
+///
+/// Implementations are driven by the [`crate::Controller`]:
+///
+/// 1. [`MemoryScheduler::on_arrival`] /
+///    [`MemoryScheduler::on_complete`] track buffer contents;
+/// 2. once per DRAM cycle, [`MemoryScheduler::pre_schedule`] may mutate
+///    policy metadata stored on the requests (e.g. PAR-BS marking) and
+///    recompute internal state (ranks, virtual times, slowdowns);
+/// 3. [`MemoryScheduler::compare`] defines the priority order used to pick
+///    the request to service.
+///
+/// The controller never reorders writes through this trait; reads are
+/// prioritized over writes and writes drain in FR-FCFS order (Section 7.2).
+pub trait MemoryScheduler {
+    /// Short display name ("FR-FCFS", "PAR-BS", ...).
+    fn name(&self) -> &str;
+
+    /// A new read request entered the request buffer.
+    fn on_arrival(&mut self, req: &Request, now: u64) {
+        let _ = (req, now);
+    }
+
+    /// A read request left the buffer (its column command issued).
+    fn on_complete(&mut self, req: &Request, now: u64) {
+        let _ = (req, now);
+    }
+
+    /// Called once per scheduling slot before prioritization. `queue` is the
+    /// read request buffer; schedulers may mutate per-request policy state
+    /// (such as the `marked` bit) but must not add or remove requests.
+    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) {
+        let _ = (queue, view);
+    }
+
+    /// Priority order between two queued read requests: `Ordering::Less`
+    /// means `a` is scheduled **before** `b` (i.e. `a` has higher priority),
+    /// matching the contract of `slice::sort_by`. Must be a total order for
+    /// the current scheduler state.
+    fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering;
+
+    /// Feedback from the cores: `stall_cycles[t]` processor cycles of
+    /// memory-related stall accrued by thread `t` since the previous call.
+    /// Used by stall-time-based policies (STFM); default is to ignore it.
+    fn on_stall_cycles(&mut self, stall_cycles: &[u64], now: u64) {
+        let _ = (stall_cycles, now);
+    }
+
+    /// A DRAM command was issued for `req`. Policies that track interference
+    /// (STFM) or bank ownership (NFQ) observe the command stream here.
+    fn on_command(&mut self, cmd: &Command, req: &Request, now: u64) {
+        let _ = (cmd, req, now);
+    }
+
+    /// Per-thread share/weight configuration (NFQ shares, STFM weights,
+    /// PAR-BS priority levels are set per-request instead). Default: ignore.
+    fn set_thread_weight(&mut self, thread: ThreadId, weight: f64) {
+        let _ = (thread, weight);
+    }
+
+    /// One-line, human-readable internal state summary for diagnostics
+    /// (e.g. PAR-BS batch statistics). Default: empty.
+    fn debug_summary(&self) -> String {
+        String::new()
+    }
+}
+
+/// The FCFS baseline: requests are serviced strictly in arrival order,
+/// ignoring row-buffer state. Simple, starvation-free at the request level,
+/// but exploits no locality and no parallelism (Section 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsScheduler(());
+
+impl FcfsScheduler {
+    /// Creates an FCFS scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        FcfsScheduler(())
+    }
+}
+
+impl MemoryScheduler for FcfsScheduler {
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+
+    fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {
+        a.id.cmp(&b.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LineAddr, RequestKind, TimingParams};
+
+    #[test]
+    fn fcfs_orders_by_id_only() {
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        let view = SchedView { channel: &ch, now: 0 };
+        let old = Request::new(1, ThreadId(0), LineAddr::default(), RequestKind::Read, 0);
+        let young = Request::new(2, ThreadId(1), LineAddr::default(), RequestKind::Read, 5);
+        let s = FcfsScheduler::new();
+        assert_eq!(s.compare(&old, &young, &view), Ordering::Less);
+        assert_eq!(s.compare(&young, &old, &view), Ordering::Greater);
+    }
+}

@@ -1,0 +1,200 @@
+//! Controller statistics: throughput, row-buffer categories, latency, and
+//! the paper's bank-level-parallelism (BLP) measurement.
+
+use crate::ThreadId;
+use parbs_metrics::LatencyHistogram;
+
+/// Measures bank-level parallelism per the paper's definition: "the average
+/// number of requests being serviced in the DRAM banks when there is at
+/// least one request being serviced". Sampled once per DRAM cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlpTracker {
+    sum: u64,
+    samples: u64,
+}
+
+impl BlpTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an instantaneous bank-parallelism observation; zero
+    /// observations (no request in service) are skipped per the definition.
+    pub fn record(&mut self, banks_busy: usize) {
+        if banks_busy > 0 {
+            self.sum += banks_busy as u64;
+            self.samples += 1;
+        }
+    }
+
+    /// The average BLP over all non-idle samples (0.0 if always idle).
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Aggregate statistics for one controller (one channel).
+#[derive(Debug, Clone, Default)]
+pub struct ControllerStats {
+    /// Read requests accepted into the buffer.
+    pub reads_received: u64,
+    /// Write requests accepted into the buffer.
+    pub writes_received: u64,
+    /// Read requests fully serviced.
+    pub reads_completed: u64,
+    /// Write requests fully serviced.
+    pub writes_completed: u64,
+    /// Requests whose first command was a column command (row hit).
+    pub row_hits: u64,
+    /// Requests whose first command was an activate (row closed).
+    pub row_closed: u64,
+    /// Requests whose first command was a precharge (row conflict).
+    pub row_conflicts: u64,
+    /// Total DRAM commands placed on the command bus.
+    pub commands_issued: u64,
+    /// All-bank refreshes issued.
+    pub refreshes: u64,
+    /// Sum of read latencies (arrival → data at core), for averaging.
+    pub total_read_latency: u64,
+    /// Largest single read latency observed — the paper's worst-case
+    /// request latency (Table 4, "WC lat.").
+    pub worst_case_latency: u64,
+    /// Channel-wide bank-level parallelism.
+    pub blp: BlpTracker,
+    /// Per-thread bank-level parallelism (grown on demand).
+    pub thread_blp: Vec<BlpTracker>,
+    /// Per-thread read row-category counters `(hits, closed, conflicts)`.
+    pub thread_read_categories: Vec<(u64, u64, u64)>,
+    /// Per-thread worst-case read latency.
+    pub thread_worst_case: Vec<u64>,
+    /// Distribution of read latencies (arrival → data at core).
+    pub read_latency: LatencyHistogram,
+}
+
+impl ControllerStats {
+    /// Row-buffer hit rate over all serviced requests.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean read latency in cycles (0.0 before any read completes).
+    #[must_use]
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Records one per-thread BLP observation (banks currently working for
+    /// the thread). Called by the controller once per DRAM cycle.
+    pub fn record_thread_blp(&mut self, thread: ThreadId, banks: usize) {
+        self.thread_tracker(thread).record(banks);
+    }
+
+    /// Records a completed read's latency for global and per-thread maxima.
+    pub fn record_read_latency(&mut self, latency: u64, thread: ThreadId) {
+        self.read_latency.record(latency);
+        self.total_read_latency += latency;
+        self.worst_case_latency = self.worst_case_latency.max(latency);
+        if self.thread_worst_case.len() <= thread.0 {
+            self.thread_worst_case.resize(thread.0 + 1, 0);
+        }
+        self.thread_worst_case[thread.0] = self.thread_worst_case[thread.0].max(latency);
+    }
+
+    /// Average BLP observed for `thread` (0.0 if never sampled).
+    #[must_use]
+    pub fn thread_blp_average(&self, thread: ThreadId) -> f64 {
+        self.thread_blp.get(thread.0).map_or(0.0, BlpTracker::average)
+    }
+
+    /// Records the row-buffer category of a read at first service.
+    pub fn record_read_category(&mut self, thread: ThreadId, kind: crate::CommandKind) {
+        if self.thread_read_categories.len() <= thread.0 {
+            self.thread_read_categories.resize(thread.0 + 1, (0, 0, 0));
+        }
+        let slot = &mut self.thread_read_categories[thread.0];
+        match kind {
+            crate::CommandKind::Read | crate::CommandKind::Write => slot.0 += 1,
+            crate::CommandKind::Activate => slot.1 += 1,
+            crate::CommandKind::Precharge => slot.2 += 1,
+            crate::CommandKind::Refresh => {}
+        }
+    }
+
+    /// Read row-hit rate of one thread (0.0 if it had no reads).
+    #[must_use]
+    pub fn thread_read_hit_rate(&self, thread: ThreadId) -> f64 {
+        let Some((h, c, x)) = self.thread_read_categories.get(thread.0) else {
+            return 0.0;
+        };
+        let total = h + c + x;
+        if total == 0 {
+            0.0
+        } else {
+            *h as f64 / total as f64
+        }
+    }
+
+    fn thread_tracker(&mut self, thread: ThreadId) -> &mut BlpTracker {
+        if self.thread_blp.len() <= thread.0 {
+            self.thread_blp.resize(thread.0 + 1, BlpTracker::new());
+        }
+        &mut self.thread_blp[thread.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blp_skips_idle_samples() {
+        let mut t = BlpTracker::new();
+        t.record(0);
+        t.record(2);
+        t.record(4);
+        t.record(0);
+        assert!((t.average() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blp_empty_average_is_zero() {
+        assert_eq!(BlpTracker::new().average(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_categories() {
+        let s =
+            ControllerStats { row_hits: 3, row_closed: 1, row_conflicts: 0, ..Default::default() };
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_latency_tracks_maximum() {
+        let mut s = ControllerStats::default();
+        s.record_read_latency(100, ThreadId(0));
+        s.record_read_latency(700, ThreadId(1));
+        s.record_read_latency(300, ThreadId(0));
+        assert_eq!(s.worst_case_latency, 700);
+        assert_eq!(s.thread_worst_case[0], 300);
+        assert_eq!(s.thread_worst_case[1], 700);
+        assert_eq!(s.read_latency.count(), 3);
+        assert_eq!(s.read_latency.max(), 700);
+    }
+}

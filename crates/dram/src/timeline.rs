@@ -1,0 +1,123 @@
+//! ASCII rendering of command traces: a per-bank timeline in the style of
+//! the paper's service-order diagrams (Figs. 1-3).
+//!
+//! Feed it the trace recorded by [`crate::Controller::set_tracing`]; each
+//! bank becomes one row, each DRAM-cycle column one character:
+//! `A` activate, `R` read, `W` write, `P` precharge, `F` refresh (spanning
+//! all banks), `.` idle.
+
+use crate::{Command, CommandKind, DRAM_CYCLE};
+
+/// Renders `trace` between `from` and `to` (processor cycles) as one text
+/// row per bank. Long windows are clipped to `max_cols` DRAM cycles (an
+/// ellipsis marks the cut).
+///
+/// # Examples
+///
+/// ```
+/// use parbs_dram::{render_timeline, Command, CommandKind, RequestId};
+/// let trace = vec![
+///     (0, Command { kind: CommandKind::Activate, bank: 0, row: 1, col: 0, request: RequestId(0) }),
+///     (60, Command { kind: CommandKind::Read, bank: 0, row: 1, col: 0, request: RequestId(0) }),
+/// ];
+/// let art = parbs_dram::render_timeline(&trace, 2, 0, 100, 80);
+/// assert!(art.lines().count() >= 2);
+/// assert!(art.contains('A') && art.contains('R'));
+/// ```
+#[must_use]
+pub fn render_timeline(
+    trace: &[(u64, Command)],
+    banks: usize,
+    from: u64,
+    to: u64,
+    max_cols: usize,
+) -> String {
+    let to = to.max(from + DRAM_CYCLE);
+    let cols = (((to - from) / DRAM_CYCLE) as usize).min(max_cols.max(1));
+    let clipped = ((to - from) / DRAM_CYCLE) as usize > cols;
+    let mut rows = vec![vec![b'.'; cols]; banks];
+    for &(at, cmd) in trace {
+        if at < from || at >= from + (cols as u64) * DRAM_CYCLE {
+            continue;
+        }
+        let col = ((at - from) / DRAM_CYCLE) as usize;
+        let ch = match cmd.kind {
+            CommandKind::Activate => b'A',
+            CommandKind::Read => b'R',
+            CommandKind::Write => b'W',
+            CommandKind::Precharge => b'P',
+            CommandKind::Refresh => b'F',
+        };
+        if cmd.kind == CommandKind::Refresh {
+            for row in &mut rows {
+                row[col] = ch;
+            }
+        } else if cmd.bank < banks {
+            rows[cmd.bank][col] = ch;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "cycles {from}..{} ({} per column){}\n",
+        from + (cols as u64) * DRAM_CYCLE,
+        DRAM_CYCLE,
+        if clipped { ", clipped" } else { "" }
+    ));
+    for (b, row) in rows.iter().enumerate() {
+        out.push_str(&format!("bank {b:>2} |"));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RequestId;
+
+    fn cmd(kind: CommandKind, bank: usize, at: u64) -> (u64, Command) {
+        (at, Command { kind, bank, row: 0, col: 0, request: RequestId(0) })
+    }
+
+    #[test]
+    fn renders_commands_in_the_right_cells() {
+        let trace = vec![
+            cmd(CommandKind::Activate, 0, 0),
+            cmd(CommandKind::Read, 0, 60),
+            cmd(CommandKind::Precharge, 1, 30),
+        ];
+        let art = render_timeline(&trace, 2, 0, 100, 80);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bank0 = lines[1].split('|').nth(1).unwrap();
+        let bank1 = lines[2].split('|').nth(1).unwrap();
+        assert_eq!(&bank0[0..1], "A");
+        assert_eq!(&bank0[6..7], "R");
+        assert_eq!(&bank1[3..4], "P");
+    }
+
+    #[test]
+    fn refresh_spans_all_banks() {
+        let trace = vec![cmd(CommandKind::Refresh, 0, 20)];
+        let art = render_timeline(&trace, 3, 0, 50, 80);
+        for line in art.lines().skip(1) {
+            assert!(line.contains('F'), "{line}");
+        }
+    }
+
+    #[test]
+    fn window_clipping_is_reported() {
+        let trace = vec![cmd(CommandKind::Activate, 0, 0)];
+        let art = render_timeline(&trace, 1, 0, 100_000, 16);
+        assert!(art.contains("clipped"));
+        assert!(art.lines().nth(1).unwrap().len() <= 16 + 10);
+    }
+
+    #[test]
+    fn out_of_window_commands_are_ignored() {
+        let trace = vec![cmd(CommandKind::Read, 0, 500)];
+        let art = render_timeline(&trace, 1, 0, 100, 80);
+        assert!(!art.contains('R'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based validation: under random request streams and adversarial
+//! (but total-order) scheduling policies, the controller never violates a
+//! DRAM timing constraint and always drains every request.
+
+use std::cmp::Ordering;
+
+use parbs_dram::{
+    Controller, DramConfig, FcfsScheduler, MemoryScheduler, Request, RequestKind, SchedView,
+    ThreadId,
+};
+use proptest::prelude::*;
+
+/// Services youngest requests first — a deliberately pathological order that
+/// still must produce a legal command stream.
+#[derive(Debug, Default)]
+struct LifoScheduler;
+
+impl MemoryScheduler for LifoScheduler {
+    fn name(&self) -> &str {
+        "LIFO"
+    }
+    fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {
+        b.id.cmp(&a.id)
+    }
+}
+
+/// Orders requests by a keyed hash — arbitrary but stable total order.
+#[derive(Debug)]
+struct HashOrderScheduler {
+    key: u64,
+}
+
+impl MemoryScheduler for HashOrderScheduler {
+    fn name(&self) -> &str {
+        "HASH"
+    }
+    fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {
+        let h = |r: &Request| (r.id.0 ^ self.key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h(a).cmp(&h(b)).then(a.id.cmp(&b.id))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    thread: u8,
+    bank: u8,
+    row: u8,
+    col: u8,
+    write: bool,
+    gap: u16,
+}
+
+fn req_spec() -> impl Strategy<Value = ReqSpec> {
+    (0u8..4, 0u8..8, 0u8..4, 0u8..32, any::<bool>(), 0u16..200).prop_map(
+        |(thread, bank, row, col, write, gap)| ReqSpec { thread, bank, row, col, write, gap },
+    )
+}
+
+fn run_stream(specs: &[ReqSpec], scheduler: Box<dyn MemoryScheduler>) -> (usize, usize) {
+    let cfg = DramConfig::default();
+    let mapper = cfg.mapper();
+    let mut ctrl = Controller::with_checker(cfg, scheduler);
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    let mut expected_reads = 0;
+    let mut expected_writes = 0;
+    for (i, s) in specs.iter().enumerate() {
+        // Advance time by the spec's gap, ticking the controller.
+        for _ in 0..s.gap {
+            ctrl.tick(now, &mut out);
+            now += 1;
+        }
+        let addr = mapper.decode(mapper.encode(parbs_dram::LineAddr {
+            channel: 0,
+            bank: s.bank as usize,
+            row: s.row as u64,
+            col: s.col as u64,
+        }));
+        let kind = if s.write { RequestKind::Write } else { RequestKind::Read };
+        let req = Request::new(i as u64, ThreadId(s.thread as usize), addr, kind, now);
+        if ctrl.try_enqueue(req).is_ok() {
+            if s.write {
+                expected_writes += 1;
+            } else {
+                expected_reads += 1;
+            }
+        }
+    }
+    out.extend(ctrl.run_to_drain(&mut now, 10_000_000));
+    let done = out;
+    let reads = done.iter().filter(|c| c.kind == RequestKind::Read).count();
+    let writes = done.iter().filter(|c| c.kind == RequestKind::Write).count();
+    assert_eq!(reads, expected_reads, "every accepted read must complete");
+    assert_eq!(writes, expected_writes, "every accepted write must complete");
+    (reads, writes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fcfs_never_violates_protocol(specs in proptest::collection::vec(req_spec(), 1..120)) {
+        // `Controller::with_checker` panics on the first protocol violation.
+        run_stream(&specs, Box::new(FcfsScheduler::new()));
+    }
+
+    #[test]
+    fn lifo_never_violates_protocol(specs in proptest::collection::vec(req_spec(), 1..120)) {
+        run_stream(&specs, Box::new(LifoScheduler));
+    }
+
+    #[test]
+    fn hash_order_never_violates_protocol(
+        specs in proptest::collection::vec(req_spec(), 1..120),
+        key in any::<u64>(),
+    ) {
+        run_stream(&specs, Box::new(HashOrderScheduler { key }));
+    }
+
+    #[test]
+    fn latencies_are_bounded_below_by_row_hit_minimum(
+        specs in proptest::collection::vec(req_spec(), 1..40),
+    ) {
+        let cfg = DramConfig::default();
+        let t = cfg.timing;
+        let mut ctrl = Controller::with_checker(cfg, Box::new(FcfsScheduler::new()));
+        let mut now = 0u64;
+        for (i, s) in specs.iter().enumerate() {
+            let addr = parbs_dram::LineAddr {
+                channel: 0, bank: s.bank as usize, row: s.row as u64, col: s.col as u64,
+            };
+            let _ = ctrl.try_enqueue(Request::new(
+                i as u64, ThreadId(s.thread as usize), addr, RequestKind::Read, now,
+            ));
+        }
+        let done = ctrl.run_to_drain(&mut now, 10_000_000);
+        let min = t.t_cl + t.t_burst + t.front_latency;
+        for c in &done {
+            prop_assert!(c.latency() >= min, "latency {} below physical minimum {min}", c.latency());
+        }
+    }
+}

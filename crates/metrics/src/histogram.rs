@@ -1,0 +1,171 @@
+//! A fixed-footprint latency histogram with approximate percentiles.
+//!
+//! Buckets grow geometrically (powers of two), so the histogram covers the
+//! full range of DRAM request latencies — from ~100-cycle row hits to
+//! multi-thousand-cycle worst cases under QoS schedulers — in 64 counters
+//! with bounded relative error.
+
+/// Histogram over `u64` samples with power-of-two buckets.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = parbs_metrics::LatencyHistogram::new();
+/// for v in [100, 200, 400, 10_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.99) >= 8_192);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` (bucket 0: `[0, 2)`).
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()).saturating_sub(1).min(63) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `p`-th percentile (`p` in `[0, 1]`): the upper bound of
+    /// the bucket containing the percentile rank, clamped to the observed
+    /// maximum. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be within [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn percentile_bounds_contain_sample() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        // True median 500; bucket upper bound 511.
+        assert!((500..=511).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.percentile(1.0), 1000);
+        assert!(h.percentile(0.0) >= 1);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(10_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 10_000);
+        assert!(a.percentile(1.0) == 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn percentile_rejects_out_of_range() {
+        let _ = LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn zero_sample_goes_to_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(0.5) <= 1);
+    }
+}

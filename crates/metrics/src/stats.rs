@@ -1,0 +1,80 @@
+//! Small statistics helpers used when aggregating over many workloads.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(parbs_metrics::mean(&[1.0, 3.0]), 2.0);
+/// ```
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean, used by the paper to average unfairness and speedups over
+/// workload suites ("averaged (using geometric mean) over all 100 workloads").
+///
+/// Returns 0.0 for an empty slice or if any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// assert!((parbs_metrics::geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Harmonic mean. Returns 0.0 for an empty slice or if any value is ≤ 0
+/// (a starved thread pins the harmonic mean to zero).
+#[must_use]
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_single_value() {
+        assert!((geometric_mean(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive() {
+        assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_classic_example() {
+        // harmonic mean of 40 and 60 is 48
+        assert!((harmonic_mean(&[40.0, 60.0]) - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_ordering_am_gm_hm() {
+        let v = [2.0, 8.0];
+        assert!(harmonic_mean(&v) <= geometric_mean(&v));
+        assert!(geometric_mean(&v) <= mean(&v));
+    }
+}

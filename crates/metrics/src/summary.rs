@@ -1,0 +1,108 @@
+//! Result records for a single workload run and aggregation across workloads
+//! (the shape of the paper's Table 4 rows).
+
+use crate::{geometric_mean, mean};
+
+/// All Section 7.1 metrics for one (workload, scheduler) run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRow {
+    /// Per-thread memory slowdowns, in thread order.
+    pub slowdowns: Vec<f64>,
+    /// Per-thread IPC speedups (`IPC_shared / IPC_alone`), in thread order.
+    pub speedups: Vec<f64>,
+    /// `max slowdown / min slowdown`.
+    pub unfairness: f64,
+    /// `Σ speedup_i`.
+    pub weighted_speedup: f64,
+    /// Harmonic mean of the speedups.
+    pub hmean_speedup: f64,
+    /// Average stall time per DRAM read request across the mix, in cycles.
+    pub ast_per_req: f64,
+}
+
+/// Aggregate of many [`MetricsRow`]s plus the worst-case request latency, for
+/// one scheduler — one row of the paper's Table 4.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulerSummary {
+    /// Scheduler display name (e.g. "PAR-BS").
+    pub name: String,
+    /// Geometric mean of per-workload unfairness.
+    pub unfairness: f64,
+    /// Geometric mean of per-workload weighted speedup.
+    pub weighted_speedup: f64,
+    /// Geometric mean of per-workload hmean speedup.
+    pub hmean_speedup: f64,
+    /// Arithmetic mean of per-workload AST/req (cycles).
+    pub ast_per_req: f64,
+    /// Maximum request latency observed in any run (cycles).
+    pub worst_case_latency: u64,
+}
+
+impl SchedulerSummary {
+    /// Aggregates per-workload rows for a scheduler as the paper does:
+    /// geometric mean for unfairness and the two speedups, arithmetic mean for
+    /// AST/req, and the maximum of the per-run worst-case latencies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parbs_metrics::{MetricsRow, SchedulerSummary};
+    /// let rows = vec![MetricsRow { unfairness: 1.0, weighted_speedup: 2.0,
+    ///     hmean_speedup: 0.5, ast_per_req: 100.0, ..Default::default() }];
+    /// let s = SchedulerSummary::aggregate("FR-FCFS", &rows, &[12_345]);
+    /// assert_eq!(s.worst_case_latency, 12_345);
+    /// ```
+    #[must_use]
+    pub fn aggregate(name: &str, rows: &[MetricsRow], worst_case_latencies: &[u64]) -> Self {
+        let unf: Vec<f64> = rows.iter().map(|r| r.unfairness).collect();
+        let ws: Vec<f64> = rows.iter().map(|r| r.weighted_speedup).collect();
+        let hs: Vec<f64> = rows.iter().map(|r| r.hmean_speedup).collect();
+        let ast: Vec<f64> = rows.iter().map(|r| r.ast_per_req).collect();
+        SchedulerSummary {
+            name: name.to_owned(),
+            unfairness: geometric_mean(&unf),
+            weighted_speedup: geometric_mean(&ws),
+            hmean_speedup: geometric_mean(&hs),
+            ast_per_req: mean(&ast),
+            worst_case_latency: worst_case_latencies.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(u: f64, ws: f64, hs: f64, ast: f64) -> MetricsRow {
+        MetricsRow {
+            unfairness: u,
+            weighted_speedup: ws,
+            hmean_speedup: hs,
+            ast_per_req: ast,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_uses_geometric_mean_for_unfairness() {
+        let rows = vec![row(1.0, 1.0, 1.0, 0.0), row(4.0, 1.0, 1.0, 0.0)];
+        let s = SchedulerSummary::aggregate("x", &rows, &[10, 20]);
+        assert!((s.unfairness - 2.0).abs() < 1e-12);
+        assert_eq!(s.worst_case_latency, 20);
+    }
+
+    #[test]
+    fn aggregate_uses_arithmetic_mean_for_ast() {
+        let rows = vec![row(1.0, 1.0, 1.0, 100.0), row(1.0, 1.0, 1.0, 300.0)];
+        let s = SchedulerSummary::aggregate("x", &rows, &[]);
+        assert!((s.ast_per_req - 200.0).abs() < 1e-12);
+        assert_eq!(s.worst_case_latency, 0);
+    }
+
+    #[test]
+    fn aggregate_empty_rows() {
+        let s = SchedulerSummary::aggregate("empty", &[], &[]);
+        assert_eq!(s.name, "empty");
+        assert_eq!(s.unfairness, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! `parbs-sim` — command-line front end for the PAR-BS reproduction.
+//!
+//! ```text
+//! parbs-sim case-study <1|2|3>          run a paper case study (Figs. 5-7)
+//! parbs-sim mix <bench,bench,...>       run a custom mix under all schedulers
+//! parbs-sim bench <name>                run one benchmark alone (Table 3 row)
+//! parbs-sim list                        list the 28 synthetic benchmarks
+//! parbs-sim sweep [n]                   n random 4-core mixes (default 10)
+//! parbs-sim trace <file> [file...]      run trace files (one per core)
+//!
+//! options: --target <instructions>   per-thread run length (default 30000)
+//!          --seed <seed>             workload seed (default 42)
+//! ```
+
+use parbs_sim::{experiments, SchedulerKind, Session, SimConfig};
+use parbs_workloads::{
+    all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, MixSpec,
+};
+
+fn value_of(args: &[String], flag: &str) -> Option<u64> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn print_evals(evals: &[parbs_sim::MixEvaluation]) {
+    if let Some(first) = evals.first() {
+        print!("{:10}", "scheduler");
+        for name in &first.thread_names {
+            print!(" {name:>11}");
+        }
+        println!(" {:>10} {:>7} {:>7} {:>7} {:>7}", "unfairness", "wspeed", "hspeed", "ast", "wc");
+    }
+    for e in evals {
+        print!("{:10}", e.scheduler);
+        for s in &e.metrics.slowdowns {
+            print!(" {s:>11.2}");
+        }
+        println!(
+            " {:>10.2} {:>7.3} {:>7.3} {:>7.1} {:>7}",
+            e.metrics.unfairness,
+            e.metrics.weighted_speedup,
+            e.metrics.hmean_speedup,
+            e.metrics.ast_per_req,
+            e.worst_case_latency
+        );
+    }
+}
+
+fn session_for(mix: &MixSpec, target: u64) -> Session {
+    Session::new(SimConfig { target_instructions: target, ..SimConfig::for_cores(mix.cores()) })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = value_of(&args, "--target").unwrap_or(30_000);
+    let seed = value_of(&args, "--seed").unwrap_or(42);
+    match args.first().map(String::as_str) {
+        Some("case-study") => {
+            let mix = match args.get(1).map(String::as_str) {
+                Some("1") => case_study_1(),
+                Some("2") => case_study_2(),
+                Some("3") => case_study_3(),
+                other => {
+                    eprintln!("unknown case study {other:?}; expected 1, 2 or 3");
+                    std::process::exit(2);
+                }
+            };
+            let mut s = session_for(&mix, target);
+            println!("case study {} ({} cores):", mix.name, mix.cores());
+            print_evals(&experiments::compare_schedulers(&mut s, &mix));
+        }
+        Some("mix") => {
+            let Some(list) = args.get(1) else {
+                eprintln!("usage: parbs-sim mix <bench,bench,...>");
+                std::process::exit(2);
+            };
+            let names: Vec<&str> = list.split(',').collect();
+            for n in &names {
+                if by_name(n).is_none() {
+                    eprintln!("unknown benchmark '{n}'; try `parbs-sim list`");
+                    std::process::exit(2);
+                }
+            }
+            let mix = MixSpec::from_names("custom", &names);
+            let mut s = session_for(&mix, target);
+            print_evals(&experiments::compare_schedulers(&mut s, &mix));
+        }
+        Some("bench") => {
+            let Some(bench) = args.get(1).and_then(|n| by_name(n)) else {
+                eprintln!("usage: parbs-sim bench <name>  (see `parbs-sim list`)");
+                std::process::exit(2);
+            };
+            let mix = MixSpec { name: bench.name.to_owned(), benchmarks: vec![bench] };
+            let mut s = Session::new(SimConfig {
+                cores: 1,
+                target_instructions: target,
+                ..SimConfig::for_cores(4)
+            });
+            let r = s.run_shared(&mix, &SchedulerKind::FrFcfs);
+            let t = r.threads[0];
+            println!(
+                "{} alone: MCPI {:.2} (paper {:.2})  MPKI {:.1} ({:.1})  RB hit {:.2} ({:.2})  BLP {:.2} ({:.2})  AST/req {:.0} ({:.0})",
+                bench.name, t.mcpi(), bench.paper.mcpi, t.mpki(), bench.paper.mpki,
+                r.row_hit_rate, bench.paper.rb_hit, t.blp, bench.paper.blp,
+                t.ast_per_req(), bench.paper.ast_per_req
+            );
+        }
+        Some("list") => {
+            println!(
+                "{:>2} {:12} {:>7} {:>7} {:>6} {:>9}",
+                "#", "name", "MPKI", "RBhit", "BLP", "category"
+            );
+            for b in all_benchmarks() {
+                println!(
+                    "{:>2} {:12} {:>7.2} {:>7.2} {:>6.2} {:>9}",
+                    b.number, b.name, b.mpki, b.row_hit, b.blp, b.category
+                );
+            }
+        }
+        Some("trace") => {
+            let paths: Vec<&String> =
+                args.iter().skip(1).take_while(|a| !a.starts_with("--")).collect();
+            if paths.is_empty() {
+                eprintln!("usage: parbs-sim trace <file> [file...]");
+                std::process::exit(2);
+            }
+            let mut streams: Vec<Box<dyn parbs_cpu::InstructionStream>> = Vec::new();
+            for p in &paths {
+                match parbs_workloads::load_trace(std::path::Path::new(p)) {
+                    Ok(s) => streams.push(Box::new(s)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            let cores = streams.len();
+            let cfg = parbs_sim::SimConfig {
+                cores,
+                target_instructions: target,
+                ..parbs_sim::SimConfig::for_cores(cores.max(4))
+            };
+            let mut sys =
+                parbs_sim::System::new(cfg, streams, &SchedulerKind::ParBs(Default::default()));
+            let r = sys.run();
+            println!(
+                "{:24} {:>7} {:>7} {:>6} {:>8} {:>6}",
+                "trace", "MCPI", "MPKI", "BLP", "AST/req", "RBhit"
+            );
+            for (p, t) in paths.iter().zip(&r.threads) {
+                println!(
+                    "{:24} {:>7.2} {:>7.1} {:>6.2} {:>8.0} {:>6.2}",
+                    p,
+                    t.mcpi(),
+                    t.mpki(),
+                    t.blp,
+                    t.ast_per_req(),
+                    t.read_hit_rate
+                );
+            }
+            println!("cycles: {} (PAR-BS)", r.cycles);
+        }
+        Some("sweep") => {
+            let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(10usize);
+            let mut s =
+                Session::new(SimConfig { target_instructions: target, ..SimConfig::for_cores(4) });
+            let mixes = random_mixes(4, n, seed);
+            let rows = experiments::sweep(&mut s, &mixes, &experiments::paper_five_labeled());
+            println!(
+                "{:10} {:>10} {:>7} {:>7} {:>7} {:>8}",
+                "scheduler", "unfairness", "wspeed", "hspeed", "ast", "wc"
+            );
+            for row in &rows {
+                let sm = row.summary();
+                println!(
+                    "{:10} {:>10.3} {:>7.3} {:>7.3} {:>7.1} {:>8}",
+                    sm.name,
+                    sm.unfairness,
+                    sm.weighted_speedup,
+                    sm.hmean_speedup,
+                    sm.ast_per_req,
+                    sm.worst_case_latency
+                );
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n]> [--target N] [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Experiment harness: the parameter sweeps and case studies of Section 8.
+//!
+//! Each function returns structured data; the `parbs-bench` regeneration
+//! binaries print them in the shape of the paper's tables and figures.
+
+use parbs::{BatchingMode, ParBsConfig, Ranking, ThreadPriority};
+use parbs_metrics::SchedulerSummary;
+use parbs_workloads::{all_benchmarks, classify, BenchmarkProfile, MixSpec};
+
+use crate::{MixEvaluation, SchedulerKind, Session};
+
+/// Runs one mix under the paper's five schedulers (Figs. 5, 6, 7, 9).
+pub fn compare_schedulers(session: &mut Session, mix: &MixSpec) -> Vec<MixEvaluation> {
+    SchedulerKind::paper_five().iter().map(|k| session.evaluate_mix(mix, k)).collect()
+}
+
+/// All evaluations of a multi-workload sweep for one scheduler.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Scheduler label.
+    pub label: String,
+    /// One evaluation per workload, in workload order.
+    pub evaluations: Vec<MixEvaluation>,
+}
+
+impl SweepRow {
+    /// Aggregates this row the way the paper's Table 4 does.
+    #[must_use]
+    pub fn summary(&self) -> SchedulerSummary {
+        let rows: Vec<parbs_metrics::MetricsRow> =
+            self.evaluations.iter().map(|e| e.metrics.clone()).collect();
+        let wc: Vec<u64> = self.evaluations.iter().map(|e| e.worst_case_latency).collect();
+        SchedulerSummary::aggregate(&self.label, &rows, &wc)
+    }
+}
+
+/// Runs every mix under every scheduler kind (Figs. 8, 10; Table 4).
+pub fn sweep(
+    session: &mut Session,
+    mixes: &[MixSpec],
+    kinds: &[(String, SchedulerKind)],
+) -> Vec<SweepRow> {
+    kinds
+        .iter()
+        .map(|(label, kind)| SweepRow {
+            label: label.clone(),
+            evaluations: mixes.iter().map(|m| session.evaluate_mix(m, kind)).collect(),
+        })
+        .collect()
+}
+
+/// The five paper schedulers as labeled sweep inputs.
+#[must_use]
+pub fn paper_five_labeled() -> Vec<(String, SchedulerKind)> {
+    SchedulerKind::paper_five().into_iter().map(|k| (k.name().to_owned(), k)).collect()
+}
+
+/// Fig. 11: Marking-Cap sweep. `caps` are the cap values (`None` = no cap);
+/// labels follow the paper ("c=1".."c=20", "no-c").
+pub fn marking_cap_sweep(
+    session: &mut Session,
+    mixes: &[MixSpec],
+    caps: &[Option<u32>],
+) -> Vec<SweepRow> {
+    let kinds: Vec<(String, SchedulerKind)> = caps
+        .iter()
+        .map(|cap| {
+            let label = match cap {
+                Some(c) => format!("c={c}"),
+                None => "no-c".to_owned(),
+            };
+            (
+                label,
+                SchedulerKind::ParBs(ParBsConfig { marking_cap: *cap, ..ParBsConfig::default() }),
+            )
+        })
+        .collect();
+    sweep(session, mixes, &kinds)
+}
+
+/// Fig. 12: batching-choice sweep — time-based static batching with the
+/// paper's durations, empty-slot batching, and full batching.
+pub fn batching_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
+    let mut kinds: Vec<(String, SchedulerKind)> =
+        [400u64, 800, 1_600, 3_200, 6_400, 12_800, 25_600]
+            .iter()
+            .map(|&d| {
+                (
+                    format!("st-{d}"),
+                    SchedulerKind::ParBs(ParBsConfig {
+                        batching: BatchingMode::Static { duration: d },
+                        ..ParBsConfig::default()
+                    }),
+                )
+            })
+            .collect();
+    kinds.push((
+        "eslot".to_owned(),
+        SchedulerKind::ParBs(ParBsConfig {
+            batching: BatchingMode::EmptySlot,
+            ..ParBsConfig::default()
+        }),
+    ));
+    kinds.push(("full".to_owned(), SchedulerKind::ParBs(ParBsConfig::default())));
+    sweep(session, mixes, &kinds)
+}
+
+/// The labeled scheduler list of Fig. 13: the within-batch ranking
+/// alternatives, the rank-free variants, and STFM for reference.
+#[must_use]
+pub fn ranking_kinds() -> Vec<(String, SchedulerKind)> {
+    let parbs = |ranking| SchedulerKind::ParBs(ParBsConfig { ranking, ..ParBsConfig::default() });
+    vec![
+        ("max-total(PAR-BS)".to_owned(), parbs(Ranking::MaxTotal)),
+        ("total-max".to_owned(), parbs(Ranking::TotalMax)),
+        ("random".to_owned(), parbs(Ranking::Random)),
+        ("round-robin".to_owned(), parbs(Ranking::RoundRobin)),
+        ("no-rank(FR-FCFS)".to_owned(), SchedulerKind::ParBs(ParBsConfig::no_rank_frfcfs())),
+        ("no-rank(FCFS)".to_owned(), SchedulerKind::ParBs(ParBsConfig::no_rank_fcfs())),
+        ("STFM".to_owned(), SchedulerKind::Stfm),
+    ]
+}
+
+/// Fig. 13: within-batch scheduling sweep — the ranking alternatives plus
+/// the rank-free variants and STFM for reference.
+pub fn ranking_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
+    let kinds = ranking_kinds();
+    sweep(session, mixes, &kinds)
+}
+
+/// Fig. 14 (left): four copies of lbm with unequal importance — NFQ/STFM
+/// weights 8-8-4-1, PAR-BS priorities 1-1-2-8. Returns one evaluation per
+/// scheme in the order FR-FCFS, NFQ, STFM, PAR-BS.
+pub fn priority_weighted_lbm(session: &mut Session) -> Vec<MixEvaluation> {
+    let mix = MixSpec::from_names("lbm-pri", &["lbm", "lbm", "lbm", "lbm"]);
+    let weights = vec![8.0, 8.0, 4.0, 1.0];
+    let priorities = vec![
+        ThreadPriority::Level1,
+        ThreadPriority::Level1,
+        ThreadPriority::Level(2),
+        ThreadPriority::Level(8),
+    ];
+    vec![
+        session.evaluate_mix(&mix, &SchedulerKind::FrFcfs),
+        session.evaluate_mix_with(&mix, &SchedulerKind::Nfq, weights.clone(), Vec::new()),
+        session.evaluate_mix_with(&mix, &SchedulerKind::Stfm, weights, Vec::new()),
+        session.evaluate_mix_with(
+            &mix,
+            &SchedulerKind::ParBs(ParBsConfig::default()),
+            Vec::new(),
+            priorities,
+        ),
+    ]
+}
+
+/// Fig. 14 (right): omnetpp is the only important thread; the other three
+/// run opportunistically (PAR-BS) or with a tiny share (weight 1 vs. 8192
+/// for NFQ/STFM, approximating "opportunistic" as the paper does).
+pub fn priority_opportunistic(session: &mut Session) -> Vec<MixEvaluation> {
+    let mix = MixSpec::from_names("omnetpp-pri", &["libquantum", "milc", "omnetpp", "astar"]);
+    let weights = vec![1.0, 1.0, 8192.0, 1.0];
+    let priorities = vec![
+        ThreadPriority::Opportunistic,
+        ThreadPriority::Opportunistic,
+        ThreadPriority::Level1,
+        ThreadPriority::Opportunistic,
+    ];
+    vec![
+        session.evaluate_mix(&mix, &SchedulerKind::FrFcfs),
+        session.evaluate_mix_with(&mix, &SchedulerKind::Nfq, weights.clone(), Vec::new()),
+        session.evaluate_mix_with(&mix, &SchedulerKind::Stfm, weights, Vec::new()),
+        session.evaluate_mix_with(
+            &mix,
+            &SchedulerKind::ParBs(ParBsConfig::default()),
+            Vec::new(),
+            priorities,
+        ),
+    ]
+}
+
+/// One row of the regenerated Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// The benchmark (paper targets included).
+    pub bench: &'static BenchmarkProfile,
+    /// Measured memory cycles per instruction (alone).
+    pub mcpi: f64,
+    /// Measured misses per kilo-instruction.
+    pub mpki: f64,
+    /// Measured row-buffer hit rate.
+    pub rb_hit: f64,
+    /// Measured bank-level parallelism.
+    pub blp: f64,
+    /// Measured average stall per request.
+    pub ast_per_req: f64,
+    /// Category computed from the measured values.
+    pub measured_category: u8,
+}
+
+/// Regenerates Table 3: every benchmark alone on the baseline system under
+/// FR-FCFS.
+pub fn table3(session: &mut Session) -> Vec<Table3Row> {
+    all_benchmarks()
+        .iter()
+        .map(|bench| {
+            let mix = MixSpec { name: bench.name.to_owned(), benchmarks: vec![bench] };
+            let mut alone_session =
+                Session::new(crate::SimConfig { cores: 1, ..session.config().clone() });
+            let result = alone_session.run_shared(&mix, &SchedulerKind::FrFcfs);
+            let t = result.threads[0];
+            Table3Row {
+                bench,
+                mcpi: t.mcpi(),
+                mpki: t.mpki(),
+                rb_hit: result.row_hit_rate,
+                blp: t.blp,
+                ast_per_req: t.ast_per_req(),
+                measured_category: classify(t.mcpi(), result.row_hit_rate, t.blp),
+            }
+        })
+        .collect()
+}
+
+/// Micro-experiments behind the motivation figures (Figs. 1 and 2).
+pub mod micro {
+    use parbs::{ParBsConfig, ParBsScheduler};
+    use parbs_dram::{
+        Controller, DramConfig, FcfsScheduler, LineAddr, Request, RequestKind, ThreadId,
+    };
+
+    fn read(id: u64, thread: usize, bank: usize, row: u64) -> Request {
+        Request::new(
+            id,
+            ThreadId(thread),
+            LineAddr { channel: 0, bank, row, col: 0 },
+            RequestKind::Read,
+            0,
+        )
+    }
+
+    /// Figure 1: one thread's two requests to **different banks** overlap,
+    /// while two requests to **different rows of one bank** serialize.
+    /// Returns `(overlapped_finish, serialized_finish)` — the cycle at
+    /// which the thread's second request completes in each scenario.
+    #[must_use]
+    pub fn fig1_overlap() -> (u64, u64) {
+        let run = |banks: [usize; 2], rows: [u64; 2]| {
+            let mut ctrl =
+                Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+            ctrl.try_enqueue(read(0, 0, banks[0], rows[0])).unwrap();
+            ctrl.try_enqueue(read(1, 0, banks[1], rows[1])).unwrap();
+            let mut now = 0;
+            let done = ctrl.run_to_drain(&mut now, 1_000_000);
+            done.iter().map(|c| c.finish).max().unwrap()
+        };
+        (run([0, 1], [1, 1]), run([0, 0], [1, 2]))
+    }
+
+    /// Figure 2: two threads, two banks, two requests each, arrival order
+    /// interleaved (T0→B0, T1→B1, T1→B0, T0→B1). Returns the per-thread
+    /// stall times `[T0, T1]` under a conventional (FCFS) scheduler and
+    /// under PAR-BS; the averages show ~2 vs ~1.5 bank latencies.
+    #[must_use]
+    pub fn fig2_stall_times() -> ([u64; 2], [u64; 2]) {
+        let run = |parbs: bool| {
+            let sched: Box<dyn parbs_dram::MemoryScheduler> = if parbs {
+                Box::new(ParBsScheduler::new(ParBsConfig::default()))
+            } else {
+                Box::new(FcfsScheduler::new())
+            };
+            let mut ctrl = Controller::with_checker(DramConfig::default(), sched);
+            // Arrival order from the figure: each thread's two concurrent
+            // requests interleave with the other thread's.
+            ctrl.try_enqueue(read(0, 0, 0, 1)).unwrap();
+            ctrl.try_enqueue(read(1, 1, 1, 2)).unwrap();
+            ctrl.try_enqueue(read(2, 1, 0, 3)).unwrap();
+            ctrl.try_enqueue(read(3, 0, 1, 4)).unwrap();
+            let mut now = 0;
+            let done = ctrl.run_to_drain(&mut now, 1_000_000);
+            let mut stall = [0u64; 2];
+            for c in &done {
+                stall[c.thread.0] = stall[c.thread.0].max(c.finish);
+            }
+            stall
+        };
+        (run(false), run(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use parbs_workloads::case_study_1;
+
+    fn quick_session() -> Session {
+        Session::new(SimConfig { target_instructions: 1_000, ..SimConfig::for_cores(4) })
+    }
+
+    #[test]
+    fn compare_schedulers_returns_five() {
+        let mut s = quick_session();
+        let evals = compare_schedulers(&mut s, &case_study_1());
+        assert_eq!(evals.len(), 5);
+        assert_eq!(evals[0].scheduler, "FR-FCFS");
+        assert_eq!(evals[4].scheduler, "PAR-BS");
+    }
+
+    #[test]
+    fn fig1_overlap_hides_second_access() {
+        let (overlapped, serialized) = micro::fig1_overlap();
+        assert!(
+            overlapped + 100 < serialized,
+            "different banks ({overlapped}) must overlap vs same bank ({serialized})"
+        );
+    }
+
+    #[test]
+    fn fig2_parbs_beats_conventional_on_average() {
+        let (conv, parbs) = micro::fig2_stall_times();
+        let avg = |s: [u64; 2]| (s[0] + s[1]) as f64 / 2.0;
+        assert!(
+            avg(parbs) < avg(conv),
+            "parallelism-aware avg stall {parbs:?} must beat conventional {conv:?}"
+        );
+        // One thread's stall shrinks toward a single bank latency (the
+        // "Saved cycles" of Fig. 2) without penalizing the other thread.
+        assert!(parbs.iter().min() < conv.iter().min());
+        assert!(parbs.iter().max() <= conv.iter().max());
+    }
+
+    #[test]
+    fn marking_cap_sweep_labels() {
+        let mut s = quick_session();
+        let mixes = [case_study_1()];
+        let rows = marking_cap_sweep(&mut s, &mixes, &[Some(1), Some(5), None]);
+        let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["c=1", "c=5", "no-c"]);
+        for row in &rows {
+            assert_eq!(row.evaluations.len(), 1);
+        }
+    }
+}

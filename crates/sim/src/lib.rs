@@ -1,0 +1,42 @@
+//! Full-system CMP + shared-DRAM simulator and the experiment harness that
+//! regenerates every table and figure of the PAR-BS paper.
+//!
+//! A [`System`] couples N [`parbs_cpu::Core`]s (one thread each) to one
+//! [`parbs_dram::Controller`] per DRAM channel, routes requests by the
+//! XOR-permuted address mapping, and feeds per-thread stall cycles back to
+//! stall-time-aware schedulers (STFM). The [`Session`] runner measures each
+//! thread both **shared** (in a multiprogrammed mix) and **alone** on the
+//! same memory system — the two measurements behind the paper's memory
+//! slowdown, unfairness, weighted/hmean speedup and AST/req metrics — with
+//! alone-run caching across experiments.
+//!
+//! The [`experiments`] module encodes the parameter sweeps of Section 8
+//! (scheduler comparisons, Marking-Cap sweep, batching-mode sweep,
+//! within-batch ranking sweep, thread priorities).
+//!
+//! # Examples
+//!
+//! ```
+//! use parbs_sim::{Session, SimConfig, SchedulerKind};
+//! use parbs_workloads::case_study_3;
+//!
+//! // A fast, scaled-down run of Case Study III (4 copies of lbm).
+//! let cfg = SimConfig { target_instructions: 2_000, ..SimConfig::for_cores(4) };
+//! let mut session = Session::new(cfg);
+//! let row = session.evaluate_mix(&case_study_3(), &SchedulerKind::FrFcfs);
+//! assert_eq!(row.metrics.slowdowns.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod runner;
+mod sched_kind;
+mod system;
+
+pub use config::SimConfig;
+pub use runner::{MixEvaluation, Session};
+pub use sched_kind::SchedulerKind;
+pub use system::{RunResult, System, ThreadRunStats};

@@ -1,0 +1,221 @@
+//! The measurement runner: shared runs vs. cached alone runs, combined into
+//! the paper's metrics.
+
+use std::collections::HashMap;
+
+use parbs_cpu::InstructionStream;
+use parbs_metrics::{evaluate, MetricsRow, ThreadComparison, ThreadMeasurement};
+use parbs_workloads::{BenchmarkProfile, MixSpec, SyntheticStream};
+
+use crate::{RunResult, SchedulerKind, SimConfig, System, ThreadRunStats};
+
+/// The evaluated result of one (mix, scheduler) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixEvaluation {
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Mix display name.
+    pub mix: String,
+    /// Benchmark name per thread.
+    pub thread_names: Vec<String>,
+    /// Unfairness / weighted speedup / hmean speedup / AST / slowdowns.
+    pub metrics: MetricsRow,
+    /// Shared-run snapshots per thread.
+    pub shared: Vec<ThreadRunStats>,
+    /// Worst-case read latency of the shared run.
+    pub worst_case_latency: u64,
+    /// Row-buffer hit rate of the shared run.
+    pub row_hit_rate: f64,
+}
+
+/// Runs experiments with alone-run caching. The alone baseline of a
+/// benchmark depends on the scheduler, the DRAM shape, and the run length,
+/// so the cache is keyed on all three.
+pub struct Session {
+    cfg: SimConfig,
+    alone_cache: HashMap<String, ThreadRunStats>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("cached_alone_runs", &self.alone_cache.len()).finish()
+    }
+}
+
+impl Session {
+    /// Creates a session with the given base configuration. Per-experiment
+    /// weight/priority overrides are passed to
+    /// [`Session::evaluate_mix_with`].
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        Session { cfg, alone_cache: HashMap::new() }
+    }
+
+    /// The base configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    fn stream_for(
+        &self,
+        bench: &'static BenchmarkProfile,
+        salt: u64,
+    ) -> Box<dyn InstructionStream> {
+        Box::new(SyntheticStream::new(bench, self.cfg.geometry(), self.cfg.seed, salt))
+    }
+
+    /// Runs `bench` alone on the same memory system under `kind`,
+    /// memoizing the result.
+    pub fn alone(
+        &mut self,
+        bench: &'static BenchmarkProfile,
+        kind: &SchedulerKind,
+    ) -> ThreadRunStats {
+        let key = format!(
+            "{}|{kind:?}|ch{}|n{}",
+            bench.name, self.cfg.dram.channels, self.cfg.target_instructions
+        );
+        if let Some(hit) = self.alone_cache.get(&key) {
+            return *hit;
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.cores = 1;
+        cfg.thread_weights = Vec::new();
+        cfg.thread_priorities = Vec::new();
+        let stream = self.stream_for(bench, 0);
+        let mut sys = System::new(cfg, vec![stream], kind);
+        let result = sys.run();
+        let stats = result.threads[0];
+        self.alone_cache.insert(key, stats);
+        stats
+    }
+
+    /// Runs `mix` shared under `kind` (with the session's base weights and
+    /// priorities) and returns the full shared-run result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix's core count differs from the session's — alone
+    /// baselines and streams must target the same DRAM geometry, so use one
+    /// session per system size.
+    pub fn run_shared(&mut self, mix: &MixSpec, kind: &SchedulerKind) -> RunResult {
+        assert_eq!(
+            mix.cores(),
+            self.cfg.cores,
+            "mix '{}' needs a {}-core session",
+            mix.name,
+            mix.cores()
+        );
+        let streams: Vec<Box<dyn InstructionStream>> =
+            mix.benchmarks.iter().enumerate().map(|(i, b)| self.stream_for(b, i as u64)).collect();
+        System::new(self.cfg.clone(), streams, kind).run()
+    }
+
+    /// Shared run + alone baselines + metrics for one (mix, scheduler).
+    pub fn evaluate_mix(&mut self, mix: &MixSpec, kind: &SchedulerKind) -> MixEvaluation {
+        let shared = self.run_shared(mix, kind);
+        let comparisons: Vec<ThreadComparison> = mix
+            .benchmarks
+            .iter()
+            .zip(&shared.threads)
+            .map(|(bench, s)| ThreadComparison {
+                shared: to_measurement(s),
+                alone: to_measurement(&self.alone(bench, kind)),
+            })
+            .collect();
+        MixEvaluation {
+            scheduler: kind.name().to_owned(),
+            mix: mix.name.clone(),
+            thread_names: mix.benchmarks.iter().map(|b| b.name.to_owned()).collect(),
+            metrics: evaluate(&comparisons),
+            shared: shared.threads.clone(),
+            worst_case_latency: shared.worst_case_latency,
+            row_hit_rate: shared.row_hit_rate,
+        }
+    }
+
+    /// Like [`Session::evaluate_mix`] but with per-thread weights (NFQ,
+    /// STFM) and priorities (PAR-BS) — the Section 5 / Fig. 14 experiments.
+    pub fn evaluate_mix_with(
+        &mut self,
+        mix: &MixSpec,
+        kind: &SchedulerKind,
+        weights: Vec<f64>,
+        priorities: Vec<parbs::ThreadPriority>,
+    ) -> MixEvaluation {
+        let saved_w = std::mem::replace(&mut self.cfg.thread_weights, weights);
+        let saved_p = std::mem::replace(&mut self.cfg.thread_priorities, priorities);
+        let result = self.evaluate_mix(mix, kind);
+        self.cfg.thread_weights = saved_w;
+        self.cfg.thread_priorities = saved_p;
+        result
+    }
+}
+
+fn to_measurement(s: &ThreadRunStats) -> ThreadMeasurement {
+    ThreadMeasurement {
+        instructions: s.instructions,
+        cycles: s.cycles,
+        mem_stall_cycles: s.mem_stall_cycles,
+        dram_reads: s.dram_reads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbs_workloads::{case_study_1, case_study_3};
+
+    fn quick_session() -> Session {
+        Session::new(SimConfig { target_instructions: 1_500, ..SimConfig::for_cores(4) })
+    }
+
+    #[test]
+    fn alone_runs_are_cached() {
+        let mut s = quick_session();
+        let b = parbs_workloads::by_name("mcf").unwrap();
+        let a1 = s.alone(b, &SchedulerKind::FrFcfs);
+        let a2 = s.alone(b, &SchedulerKind::FrFcfs);
+        assert_eq!(a1, a2);
+        assert_eq!(s.alone_cache.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_mix_produces_full_metrics() {
+        let mut s = quick_session();
+        let e = s.evaluate_mix(&case_study_1(), &SchedulerKind::FrFcfs);
+        assert_eq!(e.metrics.slowdowns.len(), 4);
+        assert!(e.metrics.unfairness >= 1.0);
+        assert!(e.metrics.weighted_speedup > 0.0 && e.metrics.weighted_speedup <= 4.0 + 1e-9);
+        for sl in &e.metrics.slowdowns {
+            assert!(*sl > 0.5, "slowdown {sl} out of plausible range");
+        }
+    }
+
+    #[test]
+    fn evaluate_mix_with_restores_base_config() {
+        let mut s = quick_session();
+        let mix = case_study_1();
+        let _ = s.evaluate_mix_with(
+            &mix,
+            &SchedulerKind::Nfq,
+            vec![8.0, 1.0, 1.0, 1.0],
+            vec![parbs::ThreadPriority::Opportunistic; 4],
+        );
+        assert!(s.config().thread_weights.is_empty(), "weights must be restored");
+        assert!(s.config().thread_priorities.is_empty(), "priorities must be restored");
+    }
+
+    #[test]
+    fn identical_threads_have_similar_slowdowns() {
+        let mut s = quick_session();
+        let e = s.evaluate_mix(&case_study_3(), &SchedulerKind::FrFcfs);
+        // 4 copies of lbm: unfairness should be near 1 (Fig. 7).
+        assert!(
+            e.metrics.unfairness < 1.5,
+            "uniform mix should be roughly fair, got {}",
+            e.metrics.unfairness
+        );
+    }
+}

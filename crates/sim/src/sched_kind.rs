@@ -1,0 +1,117 @@
+//! Scheduler selection: the five policies of the paper's evaluation.
+
+use parbs::{ParBsConfig, ParBsScheduler};
+use parbs_baselines::{FcfsScheduler, FrFcfsScheduler, NfqScheduler, StfmScheduler};
+use parbs_dram::{MemoryScheduler, ThreadId};
+
+use crate::SimConfig;
+
+/// One of the evaluated scheduling policies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// First-come-first-serve.
+    Fcfs,
+    /// First-ready FCFS (the baseline controller).
+    FrFcfs,
+    /// Network fair queueing (FQ-VFTF).
+    Nfq,
+    /// Start-time fair queueing (Rafique et al., PACT 2007) — the NFQ
+    /// improvement referenced in the paper's related work.
+    Stfq,
+    /// Stall-time fair memory scheduling.
+    Stfm,
+    /// Parallelism-aware batch scheduling with the given configuration.
+    ParBs(ParBsConfig),
+}
+
+impl SchedulerKind {
+    /// The five schedulers of Figures 5-10 in paper order, with PAR-BS in
+    /// its default (Marking-Cap 5, full batching, Max-Total) configuration.
+    #[must_use]
+    pub fn paper_five() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::FrFcfs,
+            SchedulerKind::Fcfs,
+            SchedulerKind::Nfq,
+            SchedulerKind::Stfm,
+            SchedulerKind::ParBs(ParBsConfig::default()),
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::FrFcfs => "FR-FCFS",
+            SchedulerKind::Nfq => "NFQ",
+            SchedulerKind::Stfq => "STFQ",
+            SchedulerKind::Stfm => "STFM",
+            SchedulerKind::ParBs(_) => "PAR-BS",
+        }
+    }
+
+    /// Instantiates a scheduler for one memory controller, applying the
+    /// per-thread weights (NFQ/STFM) or priorities (PAR-BS) in `cfg`.
+    #[must_use]
+    pub fn build(&self, cfg: &SimConfig) -> Box<dyn MemoryScheduler> {
+        match self {
+            SchedulerKind::Fcfs => Box::new(FcfsScheduler::new()),
+            SchedulerKind::FrFcfs => Box::new(FrFcfsScheduler::new()),
+            SchedulerKind::Nfq => {
+                let mut s = NfqScheduler::new();
+                for t in 0..cfg.cores {
+                    s.set_thread_weight(ThreadId(t), cfg.weight_of(t));
+                }
+                Box::new(s)
+            }
+            SchedulerKind::Stfq => {
+                let mut s = NfqScheduler::stfq();
+                for t in 0..cfg.cores {
+                    s.set_thread_weight(ThreadId(t), cfg.weight_of(t));
+                }
+                Box::new(s)
+            }
+            SchedulerKind::Stfm => {
+                let mut s = StfmScheduler::new();
+                for t in 0..cfg.cores {
+                    s.set_thread_weight(ThreadId(t), cfg.weight_of(t));
+                }
+                Box::new(s)
+            }
+            SchedulerKind::ParBs(pc) => {
+                let mut s = ParBsScheduler::new(*pc);
+                for t in 0..cfg.cores {
+                    s.set_thread_priority(ThreadId(t), cfg.priority_of(t));
+                }
+                Box::new(s)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_five_in_figure_order() {
+        let names: Vec<&str> = SchedulerKind::paper_five().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"]);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let cfg = SimConfig::for_cores(4);
+        for kind in SchedulerKind::paper_five() {
+            assert_eq!(kind.build(&cfg).name(), kind.name());
+        }
+        assert_eq!(SchedulerKind::Stfq.build(&cfg).name(), "STFQ");
+    }
+}

@@ -1,0 +1,453 @@
+//! The cycle-driven full system: cores + controllers + request routing.
+
+use std::collections::HashMap;
+
+use parbs_cpu::{Core, InstructionStream, MissId};
+use parbs_dram::{BlpTracker, Completion, Controller, Request, RequestKind, ThreadId, DRAM_CYCLE};
+
+use crate::{SchedulerKind, SimConfig};
+
+/// Per-thread measurement snapshot, taken the cycle the thread commits its
+/// target instruction count (contention continues afterwards so slower
+/// threads keep experiencing realistic interference).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ThreadRunStats {
+    /// Instructions committed at snapshot time.
+    pub instructions: u64,
+    /// Cycles elapsed at snapshot time.
+    pub cycles: u64,
+    /// Memory stall cycles at snapshot time.
+    pub mem_stall_cycles: u64,
+    /// DRAM read requests issued at snapshot time.
+    pub dram_reads: u64,
+    /// DRAM write requests issued at snapshot time.
+    pub dram_writes: u64,
+    /// Average bank-level parallelism observed for the thread.
+    pub blp: f64,
+    /// Read row-buffer hit rate of the thread.
+    pub read_hit_rate: f64,
+    /// Worst-case read latency observed for the thread (cycles).
+    pub worst_case_latency: u64,
+}
+
+impl ThreadRunStats {
+    /// Memory cycles per instruction.
+    #[must_use]
+    pub fn mcpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem_stall_cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// L2 misses per kilo-instruction.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dram_reads as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Average stall time per DRAM read.
+    #[must_use]
+    pub fn ast_per_req(&self) -> f64 {
+        if self.dram_reads == 0 {
+            0.0
+        } else {
+            self.mem_stall_cycles as f64 / self.dram_reads as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunResult {
+    /// Per-thread snapshots, in core order.
+    pub threads: Vec<ThreadRunStats>,
+    /// Total cycles simulated (until the last thread hit its target).
+    pub cycles: u64,
+    /// Row-buffer hit rate over all serviced requests, all channels.
+    pub row_hit_rate: f64,
+    /// Worst-case read latency over all threads.
+    pub worst_case_latency: u64,
+    /// True if the run hit `max_cycles` before every thread finished.
+    pub timed_out: bool,
+    /// Distribution of read latencies across all channels.
+    pub read_latency: parbs_metrics::LatencyHistogram,
+}
+
+/// A CMP system: one core per thread, one controller per DRAM channel.
+pub struct System {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    controllers: Vec<Controller>,
+    mapper: parbs_dram::AddressMapper,
+    next_request: u64,
+    /// In-flight read requests: request id → (core, miss).
+    inflight: HashMap<u64, (usize, MissId)>,
+    prev_stall: Vec<u64>,
+    blp: Vec<BlpTracker>,
+    thread_worst_case: Vec<u64>,
+    completions: Vec<Completion>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("channels", &self.controllers.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds a system with one instruction stream per core and fresh
+    /// instances of `scheduler` on every channel controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != cfg.cores` or the DRAM configuration is
+    /// invalid.
+    #[must_use]
+    pub fn new(
+        cfg: SimConfig,
+        streams: Vec<Box<dyn InstructionStream>>,
+        scheduler: &SchedulerKind,
+    ) -> Self {
+        let factory = |cfg: &SimConfig| scheduler.build(cfg);
+        Self::with_scheduler_factory(cfg, streams, &factory)
+    }
+
+    /// Like [`System::new`] but with an arbitrary scheduler factory — the
+    /// extension seam for custom [`parbs_dram::MemoryScheduler`]
+    /// implementations. The factory is called once per DRAM channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != cfg.cores` or the DRAM configuration is
+    /// invalid.
+    #[must_use]
+    pub fn with_scheduler_factory(
+        cfg: SimConfig,
+        streams: Vec<Box<dyn InstructionStream>>,
+        factory: &dyn Fn(&SimConfig) -> Box<dyn parbs_dram::MemoryScheduler>,
+    ) -> Self {
+        assert_eq!(streams.len(), cfg.cores, "one stream per core");
+        let cores: Vec<Core> = streams.into_iter().map(|s| Core::new(cfg.core, s)).collect();
+        let controllers: Vec<Controller> = (0..cfg.dram.channels)
+            .map(|_| {
+                if cfg.check_protocol {
+                    Controller::with_checker(cfg.dram.clone(), factory(&cfg))
+                } else {
+                    Controller::new(cfg.dram.clone(), factory(&cfg))
+                }
+            })
+            .collect();
+        let mapper = cfg.dram.mapper();
+        let n = cfg.cores;
+        System {
+            cores,
+            controllers,
+            mapper,
+            next_request: 0,
+            inflight: HashMap::new(),
+            prev_stall: vec![0; n],
+            blp: vec![BlpTracker::new(); n],
+            thread_worst_case: vec![0; n],
+            completions: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// One-line internal-state summaries of each channel's scheduler.
+    #[must_use]
+    pub fn scheduler_debug_summaries(&mut self) -> Vec<String> {
+        self.controllers.iter_mut().map(|c| c.scheduler_mut().debug_summary()).collect()
+    }
+
+    /// Runs until every thread has committed `target_instructions` (or
+    /// `max_cycles` elapse) and returns the per-thread snapshots.
+    pub fn run(&mut self) -> RunResult {
+        let target = self.cfg.target_instructions;
+        let n = self.cores.len();
+        let mut snapshots: Vec<Option<ThreadRunStats>> = vec![None; n];
+        let mut remaining = n;
+        let mut now = 0u64;
+        let mut timed_out = false;
+        while remaining > 0 {
+            if now >= self.cfg.max_cycles {
+                timed_out = true;
+                break;
+            }
+            self.tick(now);
+            for (t, slot) in snapshots.iter_mut().enumerate() {
+                if slot.is_none() && self.cores[t].stats().committed >= target {
+                    *slot = Some(self.snapshot(t, now + 1));
+                    remaining -= 1;
+                }
+            }
+            now += 1;
+        }
+        let threads: Vec<ThreadRunStats> = (0..n)
+            .map(|t| snapshots[t].take().unwrap_or_else(|| self.snapshot(t, now.max(1))))
+            .collect();
+        let (hits, total): (u64, u64) = self
+            .controllers
+            .iter()
+            .map(|c| {
+                let s = c.stats();
+                (s.row_hits, s.row_hits + s.row_closed + s.row_conflicts)
+            })
+            .fold((0, 0), |(h, t), (h2, t2)| (h + h2, t + t2));
+        let mut read_latency = parbs_metrics::LatencyHistogram::new();
+        for c in &self.controllers {
+            read_latency.merge(&c.stats().read_latency);
+        }
+        RunResult {
+            worst_case_latency: self.thread_worst_case.iter().copied().max().unwrap_or(0),
+            threads,
+            cycles: now,
+            row_hit_rate: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+            timed_out,
+            read_latency,
+        }
+    }
+
+    fn snapshot(&self, t: usize, cycles: u64) -> ThreadRunStats {
+        let s = self.cores[t].stats();
+        let (hits, total) = self
+            .controllers
+            .iter()
+            .map(|c| {
+                let cat = c.stats().thread_read_categories.get(t).copied().unwrap_or((0, 0, 0));
+                (cat.0, cat.0 + cat.1 + cat.2)
+            })
+            .fold((0u64, 0u64), |(h, n), (h2, n2)| (h + h2, n + n2));
+        ThreadRunStats {
+            instructions: s.committed,
+            cycles,
+            mem_stall_cycles: s.mem_stall_cycles,
+            dram_reads: s.dram_reads,
+            dram_writes: s.dram_writes,
+            blp: {
+                // Combine per-channel BLP trackers (weighted by samples is
+                // unavailable; with ≤4 channels a simple mean of non-zero
+                // channels is adequate).
+                let vals: Vec<f64> = self
+                    .controllers
+                    .iter()
+                    .map(|c| c.stats().thread_blp_average(ThreadId(t)))
+                    .filter(|v| *v > 0.0)
+                    .collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            },
+            read_hit_rate: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+            worst_case_latency: self.thread_worst_case[t],
+        }
+    }
+
+    /// One processor cycle: controllers, completion routing, cores, memory
+    /// issue, and (on DRAM-cycle boundaries) stall feedback + BLP sampling.
+    fn tick(&mut self, now: u64) {
+        for ctrl in &mut self.controllers {
+            ctrl.tick(now, &mut self.completions);
+        }
+        for c in self.completions.drain(..) {
+            if c.kind == RequestKind::Read {
+                if let Some((core, miss)) = self.inflight.remove(&c.request.0) {
+                    self.cores[core].complete_read(miss);
+                    let wc = &mut self.thread_worst_case[c.thread.0];
+                    *wc = (*wc).max(c.latency());
+                }
+            }
+        }
+        for core in &mut self.cores {
+            core.tick(now);
+        }
+        for t in 0..self.cores.len() {
+            self.issue_memory_ops(t, now);
+        }
+        if now.is_multiple_of(DRAM_CYCLE) {
+            let stalls: Vec<u64> = self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(t, c)| {
+                    let total = c.stats().mem_stall_cycles;
+                    let delta = total - self.prev_stall[t];
+                    self.prev_stall[t] = total;
+                    delta
+                })
+                .collect();
+            for ctrl in &mut self.controllers {
+                ctrl.report_stall_cycles(&stalls, now);
+            }
+            for t in 0..self.cores.len() {
+                let busy: usize = self
+                    .controllers
+                    .iter()
+                    .map(|c| c.channel().banks_servicing_thread(ThreadId(t), now))
+                    .sum();
+                self.blp[t].record(busy);
+            }
+        }
+    }
+
+    fn issue_memory_ops(&mut self, t: usize, now: u64) {
+        // Reads: issue as many ready misses as MSHRs and buffers allow.
+        while let Some((line, miss)) = self.cores[t].pending_read() {
+            let addr = self.mapper.decode(line);
+            let ctrl = &mut self.controllers[addr.channel];
+            if !ctrl.can_accept_read() {
+                break;
+            }
+            let mut req =
+                Request::new(self.next_request, ThreadId(t), addr, RequestKind::Read, now);
+            req.priority_level = self.cfg.priority_of(t).period().map(|p| p as u8);
+            ctrl.try_enqueue(req).expect("capacity was checked");
+            self.inflight.insert(self.next_request, (t, miss));
+            self.next_request += 1;
+            self.cores[t].read_issued(miss);
+        }
+        // Writes: drain the store queue into the write buffers.
+        while let Some(line) = self.cores[t].pending_write() {
+            let addr = self.mapper.decode(line);
+            let ctrl = &mut self.controllers[addr.channel];
+            if !ctrl.can_accept_write() {
+                break;
+            }
+            let mut req =
+                Request::new(self.next_request, ThreadId(t), addr, RequestKind::Write, now);
+            req.priority_level = self.cfg.priority_of(t).period().map(|p| p as u8);
+            ctrl.try_enqueue(req).expect("capacity was checked");
+            self.next_request += 1;
+            self.cores[t].write_issued();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbs_workloads::{by_name, SyntheticStream};
+
+    fn quick_cfg(cores: usize, target: u64) -> SimConfig {
+        SimConfig { target_instructions: target, ..SimConfig::for_cores(cores) }
+    }
+
+    fn streams(names: &[&str], cfg: &SimConfig) -> Vec<Box<dyn InstructionStream>> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Box::new(SyntheticStream::new(
+                    by_name(n).unwrap(),
+                    cfg.geometry(),
+                    cfg.seed,
+                    i as u64,
+                )) as Box<dyn InstructionStream>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_thread_run_completes() {
+        let cfg = quick_cfg(1, 3_000);
+        let s = streams(&["mcf"], &cfg);
+        let mut sys = System::new(cfg, s, &SchedulerKind::FrFcfs);
+        let r = sys.run();
+        assert!(!r.timed_out);
+        assert!(r.threads[0].instructions >= 3_000);
+        assert!(r.threads[0].dram_reads > 100, "mcf is memory intensive");
+        assert!(r.threads[0].blp > 2.0, "mcf has high BLP alone: {}", r.threads[0].blp);
+    }
+
+    #[test]
+    fn four_thread_shared_run_completes() {
+        let cfg = quick_cfg(4, 2_000);
+        let s = streams(&["libquantum", "mcf", "GemsFDTD", "xalancbmk"], &cfg);
+        let mut sys = System::new(cfg, s, &SchedulerKind::FrFcfs);
+        let r = sys.run();
+        assert!(!r.timed_out);
+        assert_eq!(r.threads.len(), 4);
+        for t in &r.threads {
+            assert!(t.instructions >= 2_000);
+            assert!(t.mem_stall_cycles > 0);
+        }
+        assert!(r.worst_case_latency > 0);
+        assert!(r.row_hit_rate > 0.0 && r.row_hit_rate < 1.0);
+    }
+
+    #[test]
+    fn shared_run_is_slower_than_alone() {
+        let alone_cfg = quick_cfg(1, 3_000);
+        let mut alone =
+            System::new(alone_cfg.clone(), streams(&["mcf"], &alone_cfg), &SchedulerKind::FrFcfs);
+        let ra = alone.run();
+        let shared_cfg = quick_cfg(4, 3_000);
+        let mut shared = System::new(
+            shared_cfg.clone(),
+            streams(&["mcf", "libquantum", "matlab", "lbm"], &shared_cfg),
+            &SchedulerKind::FrFcfs,
+        );
+        let rs = shared.run();
+        assert!(
+            rs.threads[0].mcpi() > ra.threads[0].mcpi(),
+            "interference must slow mcf down: shared {} vs alone {}",
+            rs.threads[0].mcpi(),
+            ra.threads[0].mcpi()
+        );
+    }
+
+    #[test]
+    fn all_five_schedulers_run_a_mix() {
+        for kind in SchedulerKind::paper_five() {
+            let cfg = quick_cfg(4, 1_000);
+            let s = streams(&["libquantum", "mcf", "hmmer", "h264ref"], &cfg);
+            let mut sys = System::new(cfg, s, &kind);
+            let r = sys.run();
+            assert!(!r.timed_out, "{} timed out", kind.name());
+        }
+    }
+
+    #[test]
+    fn high_row_locality_benchmark_sees_high_hit_rate_alone() {
+        let cfg = quick_cfg(1, 4_000);
+        let s = streams(&["libquantum"], &cfg);
+        let mut sys = System::new(cfg, s, &SchedulerKind::FrFcfs);
+        let r = sys.run();
+        assert!(
+            r.row_hit_rate > 0.85,
+            "libquantum targets 98% row hits, measured {:.2}",
+            r.row_hit_rate
+        );
+    }
+
+    #[test]
+    fn geometry_matches_multi_channel_decoding() {
+        let cfg = quick_cfg(8, 500);
+        let names = ["mcf", "lbm", "milc", "astar", "hmmer", "bzip2", "gcc", "sjeng"];
+        let s = streams(&names, &cfg);
+        let mut sys = System::new(cfg, s, &SchedulerKind::FrFcfs);
+        let r = sys.run();
+        assert!(!r.timed_out);
+        assert_eq!(r.threads.len(), 8);
+    }
+}

@@ -1,0 +1,216 @@
+//! Multiprogrammed workload-mix construction (Section 7 of the paper).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{all_benchmarks, by_name, by_number, BenchmarkProfile, CATEGORIES};
+
+/// A named multiprogrammed workload: one benchmark per core.
+#[derive(Debug, Clone)]
+pub struct MixSpec {
+    /// Display name ("mix042", "CS1", "intensive16").
+    pub name: String,
+    /// The benchmark running on each core, in core order.
+    pub benchmarks: Vec<&'static BenchmarkProfile>,
+}
+
+impl MixSpec {
+    /// Builds a mix from benchmark short names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown — mixes are static experiment
+    /// definitions, so a typo should fail fast.
+    #[must_use]
+    pub fn from_names(name: &str, names: &[&str]) -> Self {
+        let benchmarks = names
+            .iter()
+            .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect();
+        MixSpec { name: name.to_owned(), benchmarks }
+    }
+
+    /// Number of cores this mix occupies.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+}
+
+/// Pseudo-random mixes following the paper's rule: each mix selects its
+/// benchmarks from *different categories* (cycling through a shuffled
+/// category order when `cores > 8`), "such that different category
+/// combinations are evaluated". Deterministic in `seed`.
+///
+/// The paper uses 100 mixes for 4 cores, 16 for 8 cores and 12 for 16 cores.
+#[must_use]
+pub fn random_mixes(cores: usize, count: usize, seed: u64) -> Vec<MixSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let mut cats = CATEGORIES.to_vec();
+            cats.shuffle(&mut rng);
+            let benchmarks = (0..cores)
+                .map(|j| {
+                    let cat = cats[j % cats.len()];
+                    let pool: Vec<&'static BenchmarkProfile> =
+                        all_benchmarks().iter().filter(|b| b.category == cat).collect();
+                    pool[rng.gen_range(0..pool.len())]
+                })
+                .collect();
+            MixSpec { name: format!("mix{i:03}"), benchmarks }
+        })
+        .collect()
+}
+
+/// Case Study I (Fig. 5): a memory-intensive 4-core workload, one benchmark
+/// with very high bank-level parallelism (mcf).
+#[must_use]
+pub fn case_study_1() -> MixSpec {
+    MixSpec::from_names("CS1", &["libquantum", "mcf", "GemsFDTD", "xalancbmk"])
+}
+
+/// Case Study II (Fig. 6): three non-intensive benchmarks plus one intensive
+/// one; only omnetpp has high bank-level parallelism.
+#[must_use]
+pub fn case_study_2() -> MixSpec {
+    MixSpec::from_names("CS2", &["matlab", "h264ref", "omnetpp", "hmmer"])
+}
+
+/// Case Study III (Fig. 7): four identical copies of lbm — no fairness
+/// problem, pure parallelism benefit.
+#[must_use]
+pub fn case_study_3() -> MixSpec {
+    MixSpec::from_names("CS3", &["lbm", "lbm", "lbm", "lbm"])
+}
+
+/// The 8-core mixed workload of Fig. 9: 3 intensive + 5 non-intensive
+/// applications, mcf being the only one with very high bank-parallelism.
+#[must_use]
+pub fn fig9_8core() -> MixSpec {
+    MixSpec::from_names(
+        "fig9",
+        &["mcf", "xml-parser", "cactusADM", "astar", "hmmer", "h264ref", "gromacs", "bzip2"],
+    )
+}
+
+/// The five named 16-core workloads of Fig. 10. Two are given by Table 3 row
+/// numbers in the figure's x-axis labels; the other three are the 16 most
+/// intensive, the middle 16, and the 16 least intensive benchmarks by the
+/// paper's MCPI.
+#[must_use]
+pub fn fig10_named() -> Vec<MixSpec> {
+    let numbered = |name: &str, numbers: &[u8]| MixSpec {
+        name: name.to_owned(),
+        benchmarks: numbers
+            .iter()
+            .map(|&n| by_number(n).unwrap_or_else(|| panic!("bad Table 3 number {n}")))
+            .collect(),
+    };
+    let mut by_intensity: Vec<&'static BenchmarkProfile> = all_benchmarks().iter().collect();
+    by_intensity.sort_by(|a, b| b.paper.mcpi.total_cmp(&a.paper.mcpi));
+    let pick = |name: &str, range: std::ops::Range<usize>| MixSpec {
+        name: name.to_owned(),
+        benchmarks: by_intensity[range].to_vec(),
+    };
+    vec![
+        numbered(
+            "1,5,6,9,13-22,27,28",
+            &[1, 5, 6, 9, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 27, 28],
+        ),
+        numbered("9,13-22,24-28", &[9, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 24, 25, 26, 27, 28]),
+        pick("intensive16", 0..16),
+        pick("middle16", 6..22),
+        pick("non-intensive16", 12..28),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_mixes_are_deterministic() {
+        let a = random_mixes(4, 10, 7);
+        let b = random_mixes(4, 10, 7);
+        for (x, y) in a.iter().zip(&b) {
+            let xn: Vec<_> = x.benchmarks.iter().map(|b| b.name).collect();
+            let yn: Vec<_> = y.benchmarks.iter().map(|b| b.name).collect();
+            assert_eq!(xn, yn);
+        }
+    }
+
+    #[test]
+    fn four_core_mixes_use_four_distinct_categories() {
+        for mix in random_mixes(4, 100, 42) {
+            assert_eq!(mix.cores(), 4);
+            let mut cats: Vec<u8> = mix.benchmarks.iter().map(|b| b.category).collect();
+            cats.sort_unstable();
+            cats.dedup();
+            assert_eq!(cats.len(), 4, "mix {} reuses a category", mix.name);
+        }
+    }
+
+    #[test]
+    fn eight_core_mixes_cover_all_categories() {
+        for mix in random_mixes(8, 16, 42) {
+            assert_eq!(mix.cores(), 8);
+            let mut cats: Vec<u8> = mix.benchmarks.iter().map(|b| b.category).collect();
+            cats.sort_unstable();
+            cats.dedup();
+            assert_eq!(cats.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sixteen_core_mixes_have_sixteen_entries() {
+        for mix in random_mixes(16, 12, 42) {
+            assert_eq!(mix.cores(), 16);
+        }
+    }
+
+    #[test]
+    fn mixes_vary_across_index() {
+        let mixes = random_mixes(4, 100, 42);
+        let distinct: std::collections::HashSet<Vec<&str>> =
+            mixes.iter().map(|m| m.benchmarks.iter().map(|b| b.name).collect()).collect();
+        assert!(distinct.len() > 60, "only {} distinct mixes out of 100", distinct.len());
+    }
+
+    #[test]
+    fn case_studies_match_paper() {
+        assert_eq!(
+            case_study_1().benchmarks.iter().map(|b| b.name).collect::<Vec<_>>(),
+            ["libquantum", "mcf", "GemsFDTD", "xalancbmk"]
+        );
+        assert_eq!(
+            case_study_2().benchmarks.iter().map(|b| b.name).collect::<Vec<_>>(),
+            ["matlab", "h264ref", "omnetpp", "hmmer"]
+        );
+        assert!(case_study_3().benchmarks.iter().all(|b| b.name == "lbm"));
+        assert_eq!(fig9_8core().cores(), 8);
+    }
+
+    #[test]
+    fn fig10_named_are_16_core() {
+        let named = fig10_named();
+        assert_eq!(named.len(), 5);
+        for mix in &named {
+            assert_eq!(mix.cores(), 16, "{}", mix.name);
+        }
+        // intensive16 must contain the heaviest benchmarks.
+        let intensive = &named[2];
+        assert!(intensive.benchmarks.iter().any(|b| b.name == "mcf"));
+        assert!(intensive.benchmarks.iter().any(|b| b.name == "matlab"));
+        // non-intensive16 must not contain them.
+        let light = &named[4];
+        assert!(light.benchmarks.iter().all(|b| b.name != "mcf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn from_names_rejects_typos() {
+        let _ = MixSpec::from_names("bad", &["mfc"]);
+    }
+}

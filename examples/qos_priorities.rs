@@ -1,0 +1,54 @@
+//! Quality of service: system-level thread priorities and purely
+//! opportunistic service (Section 5 of the paper, Fig. 14).
+//!
+//! Scenario: omnetpp is the user-facing application; libquantum, milc and
+//! astar are background jobs. With PAR-BS the background threads are marked
+//! *opportunistic* — their requests never join a batch and are serviced only
+//! when the memory system has a free slot.
+//!
+//! Run with: `cargo run --release --example qos_priorities`
+
+use parbs::ThreadPriority;
+use parbs_sim::{experiments, Session, SimConfig};
+
+fn main() {
+    let mut session =
+        Session::new(SimConfig { target_instructions: 10_000, ..SimConfig::for_cores(4) });
+
+    println!("four lbm copies with decreasing importance (priorities 1-1-2-8):\n");
+    let left = experiments::priority_weighted_lbm(&mut session);
+    print_rows(&left);
+
+    println!("\nomnetpp important, the rest opportunistic:\n");
+    let right = experiments::priority_opportunistic(&mut session);
+    print_rows(&right);
+
+    println!(
+        "\nUnder PAR-BS the high-priority thread is marked every batch and ranked first; \
+         opportunistic threads are never marked and never displace it — no weights or \
+         division hardware needed ({:?} marking periods).",
+        [
+            ThreadPriority::Level1.period(),
+            ThreadPriority::Level(2).period(),
+            ThreadPriority::Level(8).period(),
+            ThreadPriority::Opportunistic.period(),
+        ]
+    );
+}
+
+fn print_rows(evals: &[parbs_sim::MixEvaluation]) {
+    if let Some(first) = evals.first() {
+        print!("{:10}", "scheduler");
+        for n in &first.thread_names {
+            print!(" {n:>12}");
+        }
+        println!();
+    }
+    for e in evals {
+        print!("{:10}", e.scheduler);
+        for s in &e.metrics.slowdowns {
+            print!(" {s:>12.2}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Trace-driven workloads: write a memory trace in the text format, load it
+//! back, and run it through the full system next to a synthetic benchmark.
+//!
+//! Run with: `cargo run --release --example trace_workload`
+
+use parbs_cpu::{Instr, InstructionStream};
+use parbs_dram::AddressMapper;
+use parbs_sim::{SchedulerKind, SimConfig, System};
+use parbs_workloads::{by_name, format_trace, load_trace, SyntheticStream};
+
+fn main() {
+    // ── 1. Build a pointer-chase trace programmatically: each load depends
+    //       on the previous one (D = dependent), hopping across banks.
+    let mapper = AddressMapper::new(1, 8, 32);
+    let mut instrs = Vec::new();
+    for i in 0..64u64 {
+        instrs.push(Instr::DependentLoad(mapper.encode(parbs_dram::LineAddr {
+            channel: 0,
+            bank: (i % 8) as usize,
+            row: i / 8,
+            col: (i * 3) % 32,
+        })));
+        for _ in 0..40 {
+            instrs.push(Instr::Compute);
+        }
+    }
+    let text = format_trace(&instrs);
+    let path = std::env::temp_dir().join("pointer_chase.trace");
+    std::fs::write(&path, &text).expect("write trace");
+    println!(
+        "wrote {} ({} lines):\n{}...",
+        path.display(),
+        text.lines().count(),
+        text.lines().take(4).collect::<Vec<_>>().join("\n")
+    );
+
+    // ── 2. Run the trace on core 0 next to three synthetic benchmarks.
+    let cfg = SimConfig { target_instructions: 5_000, ..SimConfig::for_cores(4) };
+    let trace_stream = load_trace(&path).expect("parse trace");
+    let streams: Vec<Box<dyn InstructionStream>> = vec![
+        Box::new(trace_stream),
+        Box::new(SyntheticStream::new(by_name("lbm").unwrap(), cfg.geometry(), cfg.seed, 1)),
+        Box::new(SyntheticStream::new(by_name("astar").unwrap(), cfg.geometry(), cfg.seed, 2)),
+        Box::new(SyntheticStream::new(by_name("gcc").unwrap(), cfg.geometry(), cfg.seed, 3)),
+    ];
+    let mut sys = System::new(cfg, streams, &SchedulerKind::ParBs(Default::default()));
+    let r = sys.run();
+    println!("\nshared run under PAR-BS:");
+    for (i, name) in ["trace(chase)", "lbm", "astar", "gcc"].iter().enumerate() {
+        let t = &r.threads[i];
+        println!(
+            "  {:12} MCPI {:5.2}  MPKI {:5.1}  BLP {:4.2}  AST/req {:5.0}",
+            name,
+            t.mcpi(),
+            t.mpki(),
+            t.blp,
+            t.ast_per_req()
+        );
+    }
+    println!(
+        "\nthe serial pointer chase shows BLP ~1 and a near-full access latency per miss, \
+         unlike lbm's parallel misses"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,17 @@
+//! Workspace-level façade for the PAR-BS reproduction suite.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it re-exports the member crates
+//! so that examples read naturally. Library users should depend on the
+//! individual crates (`parbs`, `parbs-dram`, `parbs-sim`, ...) directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use parbs;
+pub use parbs_baselines;
+pub use parbs_cpu;
+pub use parbs_dram;
+pub use parbs_metrics;
+pub use parbs_sim;
+pub use parbs_workloads;
