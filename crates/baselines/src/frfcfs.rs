@@ -38,6 +38,11 @@ impl MemoryScheduler for FrFcfsScheduler {
         "FR-FCFS"
     }
 
+    fn priority_key(&self, req: &Request, view: &SchedView<'_>) -> u128 {
+        // Row hit in the high bit, then oldest-first via the inverted id.
+        (u128::from(view.is_row_hit(req)) << 64) | u128::from(u64::MAX - req.id.0)
+    }
+
     fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
         let hit_a = view.is_row_hit(a);
         let hit_b = view.is_row_hit(b);

@@ -71,6 +71,12 @@ pub struct NfqScheduler {
     deadlines: HashMap<RequestId, f64>,
     /// Per-thread share weights (default 1.0).
     weights: Vec<f64>,
+    /// Bitmask of banks whose open row is still inside its capture window
+    /// (`now - last_activate < tras_threshold`), as of the last
+    /// `pre_schedule`. A capture window *expiring* changes priorities with
+    /// no command being issued, so `pre_schedule` recomputes this mask and
+    /// reports the change to the controller's key cache.
+    recent_banks: u64,
 }
 
 impl NfqScheduler {
@@ -92,7 +98,21 @@ impl NfqScheduler {
     /// Creates an NFQ scheduler with explicit parameters.
     #[must_use]
     pub fn with_config(cfg: NfqConfig) -> Self {
-        NfqScheduler { cfg, clocks: HashMap::new(), deadlines: HashMap::new(), weights: Vec::new() }
+        NfqScheduler {
+            cfg,
+            clocks: HashMap::new(),
+            deadlines: HashMap::new(),
+            weights: Vec::new(),
+            recent_banks: 0,
+        }
+    }
+
+    /// True if `r` is a row hit whose bank is still inside the capture
+    /// window (priority-inversion prevention).
+    fn recent_hit(&self, r: &Request, view: &SchedView<'_>) -> bool {
+        view.is_row_hit(r)
+            && view.now.saturating_sub(view.channel.bank(r.addr.bank).last_activate_at())
+                < self.cfg.tras_threshold
     }
 
     fn weight(&self, thread: ThreadId) -> f64 {
@@ -147,16 +167,42 @@ impl MemoryScheduler for NfqScheduler {
         self.deadlines.remove(&req.id);
     }
 
+    fn pre_schedule(&mut self, _queue: &mut [Request], view: &SchedView<'_>) -> bool {
+        // Row-capture windows expire by the mere passage of time; the
+        // controller cannot see that, so detect it here per the key-caching
+        // contract. (Windows *opening* coincide with an activate, which the
+        // controller observes itself, but recomputing the whole mask is
+        // simplest and equally correct.)
+        let mut mask = 0u64;
+        for bank in 0..view.channel.bank_count() {
+            let b = view.channel.bank(bank);
+            if b.open_row().is_some()
+                && view.now.saturating_sub(b.last_activate_at()) < self.cfg.tras_threshold
+            {
+                mask |= 1 << bank;
+            }
+        }
+        std::mem::replace(&mut self.recent_banks, mask) != mask
+    }
+
+    fn priority_key(&self, req: &Request, view: &SchedView<'_>) -> u128 {
+        // Capture-window row hits first, then the earliest virtual deadline,
+        // then oldest-first. Deadlines are non-negative finite f64s, for
+        // which IEEE-754 bit patterns order like the values — inverting the
+        // bits makes smaller deadlines pack larger.
+        let dl = self.deadlines.get(&req.id).copied().unwrap_or(f64::MAX);
+        debug_assert!(dl >= 0.0, "virtual deadlines are non-negative");
+        debug_assert!(req.id.0 < 1 << 63, "request id fits 63 key bits");
+        (u128::from(self.recent_hit(req, view)) << 127)
+            | (u128::from(!dl.to_bits()) << 63)
+            | u128::from(((1u64 << 63) - 1) - req.id.0)
+    }
+
     fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
         // Priority-inversion prevention: row hits go first, but a row may
         // only be "captured" for tras_threshold cycles after its activate.
-        let recent_hit = |r: &Request| {
-            view.is_row_hit(r)
-                && view.now.saturating_sub(view.channel.bank(r.addr.bank).last_activate_at())
-                    < self.cfg.tras_threshold
-        };
-        let hit_a = recent_hit(a);
-        let hit_b = recent_hit(b);
+        let hit_a = self.recent_hit(a, view);
+        let hit_b = self.recent_hit(b, view);
         let dl = |r: &Request| self.deadlines.get(&r.id).copied().unwrap_or(f64::MAX);
         hit_b.cmp(&hit_a).then_with(|| dl(a).total_cmp(&dl(b))).then_with(|| a.id.cmp(&b.id))
     }

@@ -151,7 +151,8 @@ impl MemoryScheduler for StfmScheduler {
         }
     }
 
-    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) {
+    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) -> bool {
+        let was_prioritized = self.prioritized;
         // Counter aging.
         let now = view.now;
         if now.saturating_sub(self.last_aging) >= self.cfg.interval_length {
@@ -202,6 +203,10 @@ impl MemoryScheduler for StfmScheduler {
             Some(t) if max_s / min_s > self.cfg.alpha => Some(t),
             _ => None,
         };
+        // Only the fairness-mode thread feeds request priorities; the
+        // slowdown bookkeeping above does not. Report a key-relevant change
+        // exactly when the prioritized thread switched.
+        self.prioritized != was_prioritized
     }
 
     fn on_command(&mut self, cmd: &Command, req: &Request, _now: u64) {
@@ -225,6 +230,14 @@ impl MemoryScheduler for StfmScheduler {
                 self.thread_mut(t).t_interference += bus / f64::from(gamma);
             }
         }
+    }
+
+    fn priority_key(&self, req: &Request, view: &SchedView<'_>) -> u128 {
+        // Fairness-mode thread first, then row hits, then oldest-first.
+        let boosted = self.prioritized == Some(req.thread);
+        (u128::from(boosted) << 65)
+            | (u128::from(view.is_row_hit(req)) << 64)
+            | u128::from(u64::MAX - req.id.0)
     }
 
     fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {

@@ -46,6 +46,36 @@ fn scheduler_decision(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: one scheduling decision over an n-entry queue
+/// via the retired full-queue comparator sort vs. a single-pass scan of
+/// cached priority keys, for every shipped policy at 32/64/128 entries.
+fn sched_hotpath(c: &mut Criterion) {
+    use parbs_bench::hotpath;
+    use parbs_dram::SchedView;
+    for n in [32u64, 64, 128] {
+        let mut group = c.benchmark_group(format!("sched_hotpath_{n}req"));
+        for kind in hotpath::all_schedulers() {
+            let (sched, queue, channel) = hotpath::warmed(&kind, n);
+            let view = SchedView { channel: &channel, now: 100 };
+            group.bench_function(BenchmarkId::new("sort", kind.name()), |b| {
+                b.iter(|| black_box(hotpath::decide_by_sort(&*sched, &queue, &view)));
+            });
+            let mut keys = Vec::new();
+            hotpath::compute_keys(&*sched, &queue, &view, &mut keys);
+            group.bench_function(BenchmarkId::new("keyed", kind.name()), |b| {
+                b.iter(|| black_box(hotpath::decide_by_key_scan(black_box(&keys))));
+            });
+            group.bench_function(BenchmarkId::new("key_refresh", kind.name()), |b| {
+                b.iter(|| {
+                    hotpath::compute_keys(&*sched, &queue, &view, &mut keys);
+                    black_box(keys.len())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
 fn batch_formation(c: &mut Criterion) {
     use parbs_dram::{Channel, MemoryScheduler, SchedView, TimingParams};
     c.bench_function("parbs_batch_formation_128req", |b| {
@@ -149,6 +179,7 @@ fn end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     scheduler_decision,
+    sched_hotpath,
     batch_formation,
     abstract_fig3,
     address_mapping,

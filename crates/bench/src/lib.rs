@@ -164,12 +164,116 @@ pub fn print_unfairness_by_workload(title: &str, rows: &[SweepRow], samples: usi
     println!("\n");
 }
 
+/// Harness for the scheduling hot-path comparison: the cost of one
+/// controller decision slot over an n-entry read queue, measured as the
+/// retired full-queue comparator sort versus a single-pass scan of cached
+/// priority keys (what `Controller::try_issue` now does).
+pub mod hotpath {
+    use parbs_dram::{
+        Channel, LineAddr, MemoryScheduler, Request, RequestKind, SchedView, ThreadId, TimingParams,
+    };
+    use parbs_sim::{SchedulerKind, SimConfig};
+
+    /// The scheduler kinds covered by the hot-path benchmarks: the paper's
+    /// five plus STFQ — every policy shipped with the repository.
+    #[must_use]
+    pub fn all_schedulers() -> Vec<SchedulerKind> {
+        let mut kinds = SchedulerKind::paper_five();
+        kinds.push(SchedulerKind::Stfq);
+        kinds
+    }
+
+    /// An `n`-request read queue spread over 4 threads and 8 banks with a
+    /// mix of row-hit and row-conflict addresses.
+    #[must_use]
+    pub fn queue(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                let addr =
+                    LineAddr { channel: 0, bank: (i % 8) as usize, row: i * 7 % 13, col: i % 32 };
+                Request::new(i, ThreadId((i % 4) as usize), addr, RequestKind::Read, i / 4)
+            })
+            .collect()
+    }
+
+    /// A warmed scheduler over `queue(n)`: arrivals announced and one
+    /// `pre_schedule` pass applied (forms the PAR-BS batch, assigns NFQ
+    /// deadlines), so a decision measured afterwards is a steady-state slot.
+    #[must_use]
+    pub fn warmed(
+        kind: &SchedulerKind,
+        n: u64,
+    ) -> (Box<dyn MemoryScheduler>, Vec<Request>, Channel) {
+        let channel = Channel::new(8, TimingParams::ddr2_800());
+        let mut sched = kind.build(&SimConfig::for_cores(4));
+        let mut q = queue(n);
+        for r in &q {
+            sched.on_arrival(r, r.arrival);
+        }
+        sched.pre_schedule(&mut q, &SchedView { channel: &channel, now: 100 });
+        (sched, q, channel)
+    }
+
+    /// One decision via the retired path: sort the whole queue with the
+    /// scheduler's comparator and take the head.
+    #[must_use]
+    pub fn decide_by_sort(
+        sched: &dyn MemoryScheduler,
+        q: &[Request],
+        view: &SchedView<'_>,
+    ) -> usize {
+        let mut order: Vec<usize> = (0..q.len()).collect();
+        order.sort_by(|&i, &j| sched.compare(&q[i], &q[j], view));
+        order[0]
+    }
+
+    /// Fills `keys` with the packed priority key of each queued request —
+    /// the cache-refresh cost, paid only on priority-changing events.
+    pub fn compute_keys(
+        sched: &dyn MemoryScheduler,
+        q: &[Request],
+        view: &SchedView<'_>,
+        keys: &mut Vec<u128>,
+    ) {
+        keys.clear();
+        keys.extend(q.iter().map(|r| sched.priority_key(r, view)));
+    }
+
+    /// One decision via the hot path: a single max-scan over cached keys.
+    #[must_use]
+    pub fn decide_by_key_scan(keys: &[u128]) -> usize {
+        let mut best = 0;
+        for (i, &k) in keys.iter().enumerate() {
+            if k > keys[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn hotpath_sort_and_key_scan_pick_the_same_request() {
+        for kind in hotpath::all_schedulers() {
+            let (sched, q, channel) = hotpath::warmed(&kind, 64);
+            let view = parbs_dram::SchedView { channel: &channel, now: 100 };
+            let mut keys = Vec::new();
+            hotpath::compute_keys(&*sched, &q, &view, &mut keys);
+            assert_eq!(
+                hotpath::decide_by_sort(&*sched, &q, &view),
+                hotpath::decide_by_key_scan(&keys),
+                "{}: both paths must pick the same head request",
+                kind.name()
+            );
+        }
     }
 
     #[test]

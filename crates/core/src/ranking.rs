@@ -46,8 +46,15 @@ pub fn compute_ranks(
             order.sort_by_key(|(l, tie)| (*tie, l.thread));
         }
         Ranking::RoundRobin => {
+            // Rotate over the participants *by sorted position*, not by raw
+            // thread id: `(thread + batch_index) % n` collides for sparse
+            // ids (e.g. threads {0, 2} with n = 2 both map to batch_index
+            // % 2), which broke the rotation into a tie resolved by queue
+            // order. Position indices are dense by construction, so the
+            // rotation is a true permutation for any id set.
             let n = order.len().max(1) as u64;
-            order.sort_by_key(|(l, _)| (l.thread as u64 + batch_index) % n);
+            order.sort_by_key(|(l, _)| l.thread);
+            order.rotate_left((batch_index % n) as usize);
         }
         Ranking::None => {
             return loads.iter().map(|l| (l.thread, 0)).collect();
@@ -105,6 +112,24 @@ mod tests {
         let top0 = b0.iter().find(|(_, r)| *r == 0).unwrap().0;
         let top1 = b1.iter().find(|(_, r)| *r == 0).unwrap().0;
         assert_ne!(top0, top1);
+    }
+
+    #[test]
+    fn round_robin_is_a_permutation_for_sparse_thread_ids() {
+        // Regression: with participants {1, 3, 5} and the old
+        // `(thread + batch_index) % n` key, every thread mapped to the same
+        // residue class in some batches, collapsing the rotation into ties.
+        let loads = [load(1, 1, 1), load(3, 1, 1), load(5, 1, 1)];
+        let mut tops = Vec::new();
+        for batch in 0..3u64 {
+            let ranks = compute_ranks(Ranking::RoundRobin, &loads, batch, &mut rng());
+            let mut seen: Vec<u32> = ranks.iter().map(|(_, r)| *r).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2], "batch {batch}: ranks must be a permutation");
+            tops.push(ranks.iter().find(|(_, r)| *r == 0).unwrap().0);
+        }
+        tops.sort_unstable();
+        assert_eq!(tops, vec![1, 3, 5], "each participant leads exactly one of 3 batches");
     }
 
     #[test]

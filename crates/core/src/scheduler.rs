@@ -1,7 +1,6 @@
 //! The PAR-BS memory scheduler.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
 
 use parbs_dram::{MemoryScheduler, Request, SchedView, ThreadId};
 use rand::rngs::StdRng;
@@ -60,8 +59,16 @@ pub struct ParBsScheduler {
     ranks: Vec<u32>,
     /// System-software priority per thread index (default level 1).
     priorities: Vec<ThreadPriority>,
-    /// Marking budget already granted per (thread, bank) in this batch.
-    granted: HashMap<(usize, usize), u32>,
+    /// Marking budget already granted this batch: `granted[thread][bank]`,
+    /// grown on demand and zeroed (not reallocated) at each batch boundary.
+    granted: Vec<Vec<u32>>,
+    /// Scratch for [`ParBsScheduler::mark`]: `(id, queue index)` of unmarked
+    /// eligible requests. Reused so the per-slot eslot/static re-mark checks
+    /// allocate nothing.
+    mark_scratch: Vec<(u64, usize)>,
+    /// Scratch for [`ParBsScheduler::loads`]: `(thread, bank)` of marked
+    /// requests.
+    load_pairs: Vec<(usize, usize)>,
     /// Threads eligible for marking in the current batch (priority cadence).
     eligible: Vec<bool>,
     batch_formed_at: u64,
@@ -81,7 +88,9 @@ impl ParBsScheduler {
             cfg,
             ranks: Vec::new(),
             priorities: Vec::new(),
-            granted: HashMap::new(),
+            granted: Vec::new(),
+            mark_scratch: Vec::new(),
+            load_pairs: Vec::new(),
             eligible: Vec::new(),
             batch_formed_at: 0,
             batch_open: false,
@@ -127,58 +136,88 @@ impl ParBsScheduler {
         self.priorities.get(thread).copied().unwrap_or_default()
     }
 
+    /// The marking budget already spent by `(thread, bank)` this batch,
+    /// growing the table on demand.
+    fn granted_slot(&mut self, thread: usize, bank: usize) -> &mut u32 {
+        if self.granted.len() <= thread {
+            self.granted.resize_with(thread + 1, Vec::new);
+        }
+        let row = &mut self.granted[thread];
+        if row.len() <= bank {
+            row.resize(bank + 1, 0);
+        }
+        &mut row[bank]
+    }
+
     /// Marks up to `Marking-Cap` oldest unmarked requests per (thread, bank)
     /// for threads in `eligible`, honoring budget already granted this
     /// batch. Returns the number of requests marked.
+    ///
+    /// Runs in O(k log k) over the k unmarked requests using reusable
+    /// scratch — this is called once per scheduling slot in the eslot and
+    /// static batching modes, where k is almost always 0.
     fn mark(&mut self, queue: &mut [Request]) -> u64 {
         let cap = self.current_cap.unwrap_or(u32::MAX);
-        // Group unmarked requests by (thread, bank), oldest first.
-        let mut groups: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-        for (i, r) in queue.iter().enumerate() {
-            if !r.marked {
-                groups.entry((r.thread.0, r.addr.bank)).or_default().push(i);
-            }
+        let mut scratch = std::mem::take(&mut self.mark_scratch);
+        scratch.clear();
+        scratch.extend(queue.iter().enumerate().filter_map(|(i, r)| {
+            let eligible = self.eligible.get(r.thread.0).copied().unwrap_or(true);
+            (!r.marked && eligible).then_some((r.id.0, i))
+        }));
+        if scratch.is_empty() {
+            self.mark_scratch = scratch;
+            return 0;
         }
+        // Walking candidates oldest-first and charging each against its
+        // (thread, bank) budget marks exactly the per-group oldest-within-cap
+        // set, since budgets of distinct groups are independent.
+        scratch.sort_unstable();
         let mut marked = 0;
-        for ((thread, bank), mut idxs) in groups {
-            if !self.eligible.get(thread).copied().unwrap_or(true) {
-                continue;
-            }
-            idxs.sort_by_key(|&i| queue[i].id);
-            let used = self.granted.entry((thread, bank)).or_insert(0);
-            for i in idxs {
-                if *used >= cap {
-                    break;
-                }
-                queue[i].marked = true;
+        for &(_, i) in &scratch {
+            let r = &mut queue[i];
+            let used = self.granted_slot(r.thread.0, r.addr.bank);
+            if *used < cap {
                 *used += 1;
+                r.marked = true;
                 marked += 1;
             }
         }
+        scratch.clear();
+        self.mark_scratch = scratch;
         self.stats.requests_marked += marked;
         marked
     }
 
-    /// Computes Rule 3 thread loads over the currently marked requests.
-    fn loads(queue: &[Request]) -> Vec<ThreadLoad> {
-        let mut per_thread_bank: HashMap<(usize, usize), u32> = HashMap::new();
-        for r in queue.iter().filter(|r| r.marked) {
-            *per_thread_bank.entry((r.thread.0, r.addr.bank)).or_insert(0) += 1;
+    /// Computes Rule 3 thread loads over the currently marked requests,
+    /// sorted by thread id. Sort-and-scan over reusable scratch; no maps.
+    fn loads(&mut self, queue: &[Request]) -> Vec<ThreadLoad> {
+        let mut pairs = std::mem::take(&mut self.load_pairs);
+        pairs.clear();
+        pairs.extend(queue.iter().filter(|r| r.marked).map(|r| (r.thread.0, r.addr.bank)));
+        pairs.sort_unstable();
+        let mut loads: Vec<ThreadLoad> = Vec::new();
+        let mut run = 0u32; // length of the current (thread, bank) run
+        for i in 0..pairs.len() {
+            run += 1;
+            let last_of_bank = pairs.get(i + 1) != Some(&pairs[i]);
+            if last_of_bank {
+                let thread = pairs[i].0;
+                if loads.last().map(|l| l.thread) != Some(thread) {
+                    loads.push(ThreadLoad { thread, max_bank_load: 0, total_load: 0 });
+                }
+                let e = loads.last_mut().expect("pushed above");
+                e.max_bank_load = e.max_bank_load.max(run);
+                e.total_load += run;
+                run = 0;
+            }
         }
-        let mut agg: HashMap<usize, ThreadLoad> = HashMap::new();
-        for ((thread, _bank), count) in per_thread_bank {
-            let e =
-                agg.entry(thread).or_insert(ThreadLoad { thread, max_bank_load: 0, total_load: 0 });
-            e.max_bank_load = e.max_bank_load.max(count);
-            e.total_load += count;
-        }
-        let mut loads: Vec<ThreadLoad> = agg.into_values().collect();
-        loads.sort_by_key(|l| l.thread);
+        pairs.clear();
+        self.load_pairs = pairs;
         loads
     }
 
     fn recompute_ranks(&mut self, queue: &[Request]) {
-        let loads = Self::loads(queue);
+        let loads = self.loads(queue);
         let ranked =
             compute_ranks(self.cfg.ranking, &loads, self.stats.batches_formed, &mut self.rng);
         self.ranks.clear();
@@ -213,10 +252,18 @@ impl ParBsScheduler {
             self.stats.batches_completed += 1;
             self.adapt_cap(duration);
         }
-        self.granted.clear();
+        for row in &mut self.granted {
+            row.fill(0);
+        }
         self.refresh_eligibility(queue);
-        self.stats.batches_formed += 1;
         let marked = self.mark(queue);
+        // Only batches that actually open count: a formation attempt that
+        // marks nothing (e.g. a queue of only opportunistic requests) must
+        // not advance the priority-cadence / ranking batch index or skew
+        // avg_batch_size.
+        if marked > 0 {
+            self.stats.batches_formed += 1;
+        }
         self.recompute_ranks(queue);
         self.batch_formed_at = now;
         self.batch_open = marked > 0;
@@ -257,19 +304,26 @@ impl MemoryScheduler for ParBsScheduler {
         "PAR-BS"
     }
 
-    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) {
+    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) -> bool {
         match self.cfg.batching {
             BatchingMode::Full => {
                 if !queue.is_empty() && !queue.iter().any(|r| r.marked) {
+                    // Batch formation rewrites marks and ranks even when it
+                    // marks nothing (stale ranks are cleared).
                     self.form_batch(queue, view.now);
+                    return true;
                 }
+                false
             }
             BatchingMode::EmptySlot => {
                 if !queue.is_empty() && !queue.iter().any(|r| r.marked) {
                     self.form_batch(queue, view.now);
+                    true
                 } else if self.batch_open {
                     // Late arrivals may fill unused (thread, bank) slots.
-                    self.mark(queue);
+                    self.mark(queue) > 0
+                } else {
+                    false
                 }
             }
             BatchingMode::Static { duration } => {
@@ -283,8 +337,13 @@ impl MemoryScheduler for ParBsScheduler {
                     // already-marked requests stay marked.
                     self.form_batch(queue, view.now);
                 }
+                due
             }
         }
+    }
+
+    fn priority_key(&self, req: &Request, view: &SchedView<'_>) -> u128 {
+        self.priority_value(req, view).bits()
     }
 
     fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
@@ -571,6 +630,30 @@ mod tests {
             now += 10_000; // every batch over-long → keeps shrinking
         }
         assert_eq!(s.current_cap(), Some(2), "cap clamps at min");
+    }
+
+    #[test]
+    fn empty_batches_are_not_counted() {
+        // Regression: a formation attempt that marks nothing (here: only an
+        // opportunistic thread is queued) used to increment batches_formed
+        // anyway, advancing the priority cadence and deflating
+        // avg_batch_size with phantom batches.
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        s.set_thread_priority(ThreadId(0), ThreadPriority::Opportunistic);
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1)];
+        for now in [0, 100, 200] {
+            s.pre_schedule(&mut q, &view(&ch, now));
+        }
+        assert!(!q[0].marked);
+        assert_eq!(s.stats().batches_formed, 0, "no batch opened, none counted");
+        // A markable thread arrives: the next formation is batch #1 and the
+        // level-2 cadence starts from it.
+        q.push(req(1, 1, 1, 1));
+        s.pre_schedule(&mut q, &view(&ch, 300));
+        assert!(q[1].marked);
+        assert_eq!(s.stats().batches_formed, 1);
+        assert!((s.stats().avg_batch_size() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -74,6 +74,25 @@ pub struct Controller {
     last_refresh: u64,
     /// Command trace, recorded when enabled via [`Controller::set_tracing`].
     trace: Option<Vec<(u64, Command)>>,
+    /// Cached packed priority keys, parallel to `reads` while
+    /// `read_keys_dirty` is false (see the key-caching contract on
+    /// [`MemoryScheduler`]). Larger key = serviced first.
+    read_keys: Vec<u128>,
+    /// Set on any event that can change read priorities (arrival,
+    /// bank-state-changing command, `pre_schedule` reporting a change,
+    /// external scheduler mutation); cleared by recomputing `read_keys`.
+    read_keys_dirty: bool,
+    /// Test shim: route scheduling decisions through the O(n log n)
+    /// comparator sort instead of cached keys.
+    comparator_path: bool,
+    /// Reusable buffer for inline write-side FR-FCFS keys.
+    write_keys: Vec<u128>,
+    /// Reusable selection scratch: requests already tried this decision.
+    tried: Vec<bool>,
+    /// Reusable per-thread bank bitmasks for [`Controller::sample_blp`].
+    blp_masks: Vec<u64>,
+    /// Threads with a non-zero mask in `blp_masks`, in first-touch order.
+    blp_touched: Vec<usize>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -110,6 +129,13 @@ impl Controller {
             draining: false,
             last_refresh: 0,
             trace: None,
+            read_keys: Vec::new(),
+            read_keys_dirty: true,
+            comparator_path: false,
+            write_keys: Vec::new(),
+            tried: Vec::new(),
+            blp_masks: Vec::new(),
+            blp_touched: Vec::new(),
             config,
         }
     }
@@ -130,8 +156,21 @@ impl Controller {
     }
 
     /// Mutable access to the scheduling policy (to configure weights etc.).
+    /// Conservatively invalidates the cached priority keys, since the caller
+    /// may mutate priority-relevant state.
     pub fn scheduler_mut(&mut self) -> &mut dyn MemoryScheduler {
+        self.read_keys_dirty = true;
         &mut *self.scheduler
+    }
+
+    /// Test/verification shim: when enabled, scheduling decisions run
+    /// through the original full-queue comparator sort
+    /// ([`MemoryScheduler::compare`]) instead of cached priority keys. Both
+    /// paths must produce identical command streams; the keyed path is the
+    /// default because it avoids the per-cycle O(n log n) sort.
+    pub fn set_comparator_path(&mut self, enabled: bool) {
+        self.comparator_path = enabled;
+        self.read_keys_dirty = true;
     }
 
     /// The channel state (open rows, bus occupancy).
@@ -186,6 +225,7 @@ impl Controller {
                 self.scheduler.on_arrival(&req, req.arrival);
                 self.stats.reads_received += 1;
                 self.reads.push(req);
+                self.read_keys_dirty = true;
             }
             RequestKind::Write => {
                 if !self.can_accept_write() {
@@ -219,6 +259,7 @@ impl Controller {
     /// the last call.
     pub fn report_stall_cycles(&mut self, stall_cycles: &[u64], now: u64) {
         self.scheduler.on_stall_cycles(stall_cycles, now);
+        self.read_keys_dirty = true;
     }
 
     /// Advances the controller to processor cycle `now`.
@@ -243,7 +284,9 @@ impl Controller {
         self.sample_blp(now);
         {
             let view = SchedView { channel: &self.channel, now };
-            self.scheduler.pre_schedule(&mut self.reads, &view);
+            if self.scheduler.pre_schedule(&mut self.reads, &view) {
+                self.read_keys_dirty = true;
+            }
         }
         // Refresh: one all-bank REF every t_refi. Once due, the controller
         // stops issuing new commands until the data bus drains and the
@@ -264,6 +307,8 @@ impl Controller {
                 self.stats.refreshes += 1;
                 self.stats.commands_issued += 1;
                 self.last_refresh = now;
+                // Refresh closes every row: all row-hit bits changed.
+                self.read_keys_dirty = true;
             }
             return;
         }
@@ -313,14 +358,20 @@ impl Controller {
     /// serviced in the DRAM banks", measured per Chou et al.'s MLP
     /// definition).
     fn sample_blp(&mut self, now: u64) {
-        // (thread, bank-bitmask) pairs; banks_per_channel ≤ 64.
-        let mut per_thread: Vec<(ThreadId, u64)> = Vec::new();
-        let mut note =
-            |thread: ThreadId, bank: usize| match per_thread.iter_mut().find(|(t, _)| *t == thread)
-            {
-                Some((_, mask)) => *mask |= 1 << bank,
-                None => per_thread.push((thread, 1 << bank)),
-            };
+        // Per-thread bank bitmasks (banks_per_channel ≤ 64) in reusable,
+        // thread-indexed buffers: O(requests + banks) per sample instead of
+        // a linear scan of the pair list per request.
+        let masks = &mut self.blp_masks;
+        let touched = &mut self.blp_touched;
+        let mut note = |thread: ThreadId, bank: usize| {
+            if masks.len() <= thread.0 {
+                masks.resize(thread.0 + 1, 0);
+            }
+            if masks[thread.0] == 0 {
+                touched.push(thread.0);
+            }
+            masks[thread.0] |= 1 << bank;
+        };
         for r in &self.reads {
             note(r.thread, r.addr.bank);
         }
@@ -330,22 +381,162 @@ impl Controller {
             }
         }
         let mut union = 0u64;
-        for (thread, mask) in &per_thread {
+        for &t in self.blp_touched.iter() {
+            let mask = self.blp_masks[t];
             union |= mask;
-            self.stats.record_thread_blp(*thread, mask.count_ones() as usize);
+            self.stats.record_thread_blp(ThreadId(t), mask.count_ones() as usize);
+            self.blp_masks[t] = 0;
         }
+        self.blp_touched.clear();
         self.stats.blp.record(union.count_ones() as usize);
     }
 
     /// Attempts to issue one command for the given queue side. Returns true
     /// if a command was placed on the command bus.
+    ///
+    /// The hot path walks the queue in descending cached-priority-key order
+    /// via repeated max-selection — no per-cycle sort, no virtual dispatch
+    /// per comparison. The retired comparator sort is kept behind
+    /// [`Controller::set_comparator_path`] as the reference implementation;
+    /// both paths must make identical decisions (priority keys and
+    /// [`MemoryScheduler::compare`] are both injective total orders, so
+    /// there are no ties for stability to resolve).
     fn try_issue(&mut self, side: RequestKind, now: u64) -> bool {
         let is_write = side == RequestKind::Write;
-        let queue = if is_write { &self.writes } else { &self.reads };
-        if queue.is_empty() {
+        let empty = if is_write { self.writes.is_empty() } else { self.reads.is_empty() };
+        if empty {
             return false;
         }
-        // Priority order: scheduler-defined for reads, FR-FCFS for writes.
+        let decision = if self.comparator_path {
+            self.select_by_comparator(is_write, now)
+        } else {
+            self.select_by_key(is_write, now)
+        };
+        let Some((i, cmd)) = decision else { return false };
+        self.apply(i, cmd, is_write, now);
+        true
+    }
+
+    /// Recomputes the cached read priority keys from the scheduler.
+    fn refresh_read_keys(&mut self, now: u64) {
+        let Controller { read_keys, reads, scheduler, channel, .. } = self;
+        let view = SchedView { channel, now };
+        read_keys.clear();
+        read_keys.extend(reads.iter().map(|r| scheduler.priority_key(r, &view)));
+        self.read_keys_dirty = false;
+    }
+
+    /// The write-side FR-FCFS key (row hit first, then oldest), packed the
+    /// same way as read keys: larger = drained first.
+    fn write_key(hit: bool, id: u64) -> u128 {
+        (u128::from(hit) << 64) | u128::from(u64::MAX - id)
+    }
+
+    /// Which banks a queued command may not close: initialized from queued
+    /// read row-hits when draining writes (reads outrank all writes), then
+    /// extended with the banks of higher-priority column commands during the
+    /// priority walk.
+    fn initial_protected_banks(&self, is_write: bool) -> u64 {
+        let mut protected = 0u64;
+        if is_write {
+            for r in &self.reads {
+                if self.channel.bank(r.addr.bank).is_row_hit(r.addr.row) {
+                    protected |= 1 << r.addr.bank;
+                }
+            }
+        }
+        protected
+    }
+
+    /// Whether `req`'s next command can issue right now given the banks
+    /// protected by higher-priority requests; updates `protected_banks` for
+    /// the requests walked after it.
+    fn ready_command(
+        &self,
+        req: &Request,
+        is_write: bool,
+        now: u64,
+        protected_banks: &mut u64,
+    ) -> Option<Command> {
+        let bank = req.addr.bank;
+        let needed = self.channel.bank(bank).needed_command(req.addr.row, is_write);
+        if needed.is_column() {
+            *protected_banks |= 1 << bank;
+        } else if needed == CommandKind::Precharge {
+            if *protected_banks & (1 << bank) != 0 {
+                return None;
+            }
+            // Open-page grace: a recently accessed row is speculatively
+            // held open in anticipation of further hits, bounded by a
+            // total open time so conflicts cannot starve. Requests of
+            // the current batch (marked) override the speculation —
+            // batch progress outranks locality speculation just as the
+            // BS rule outranks the RH rule.
+            let b = self.channel.bank(bank);
+            let grace = self.config.timing.t_row_grace;
+            if !req.marked
+                && grace > 0
+                && now < b.last_column_at() + grace
+                && now < b.last_activate_at() + 3 * grace
+            {
+                return None;
+            }
+        }
+        let row = match needed {
+            CommandKind::Precharge => self.channel.bank(bank).open_row().unwrap_or(0),
+            _ => req.addr.row,
+        };
+        let cmd = Command { kind: needed, bank, row, col: req.addr.col, request: req.id };
+        self.channel.can_issue(&cmd, now).then_some(cmd)
+    }
+
+    /// Keyed selection: repeatedly pick the highest-keyed untried request
+    /// and stop at the first whose command is ready. Read keys come from the
+    /// event-maintained cache; write keys are computed inline (the write
+    /// queue's FR-FCFS keys depend only on bank state, and writes drain in
+    /// rare bursts).
+    fn select_by_key(&mut self, is_write: bool, now: u64) -> Option<(usize, Command)> {
+        if is_write {
+            let Controller { write_keys, writes, channel, .. } = self;
+            let view = SchedView { channel, now };
+            write_keys.clear();
+            write_keys.extend(writes.iter().map(|r| Self::write_key(view.is_row_hit(r), r.id.0)));
+        } else if self.read_keys_dirty {
+            self.refresh_read_keys(now);
+        }
+        let mut tried = std::mem::take(&mut self.tried);
+        let queue = if is_write { &self.writes } else { &self.reads };
+        let keys = if is_write { &self.write_keys } else { &self.read_keys };
+        debug_assert_eq!(keys.len(), queue.len());
+        tried.clear();
+        tried.resize(queue.len(), false);
+        let mut protected_banks = self.initial_protected_banks(is_write);
+        let mut decision = None;
+        let mut remaining = queue.len();
+        while remaining > 0 {
+            let mut best: Option<(usize, u128)> = None;
+            for (i, &k) in keys.iter().enumerate() {
+                if !tried[i] && best.is_none_or(|(_, bk)| k > bk) {
+                    best = Some((i, k));
+                }
+            }
+            let (i, _) = best.expect("remaining > 0 guarantees an untried request");
+            tried[i] = true;
+            remaining -= 1;
+            if let Some(cmd) = self.ready_command(&queue[i], is_write, now, &mut protected_banks) {
+                decision = Some((i, cmd));
+                break;
+            }
+        }
+        self.tried = tried;
+        decision
+    }
+
+    /// Reference selection: full-queue comparator sort (scheduler-defined
+    /// for reads, FR-FCFS for writes), then a walk in priority order. Kept
+    /// only for validating the keyed path.
+    fn select_by_comparator(&mut self, is_write: bool, now: u64) -> Option<(usize, Command)> {
+        let queue = if is_write { &self.writes } else { &self.reads };
         let mut order: Vec<usize> = (0..queue.len()).collect();
         {
             let view = SchedView { channel: &self.channel, now };
@@ -360,60 +551,13 @@ impl Controller {
                 order.sort_by(|&i, &j| self.scheduler.compare(&queue[i], &queue[j], &view));
             }
         }
-        // Select the first request (in priority order) with a ready command.
-        // A lower-priority request may not precharge a bank whose open row a
-        // higher-priority request still wants to hit; writes additionally
-        // must not close rows that queued reads (which outrank all writes)
-        // are about to hit.
-        let mut protected_banks = 0u64;
-        if is_write {
-            for r in &self.reads {
-                if self.channel.bank(r.addr.bank).is_row_hit(r.addr.row) {
-                    protected_banks |= 1 << r.addr.bank;
-                }
+        let mut protected_banks = self.initial_protected_banks(is_write);
+        for &i in &order {
+            if let Some(cmd) = self.ready_command(&queue[i], is_write, now, &mut protected_banks) {
+                return Some((i, cmd));
             }
         }
-        let mut decision: Option<(usize, Command)> = None;
-        for (pos, &i) in order.iter().enumerate() {
-            let req = &queue[i];
-            let bank = req.addr.bank;
-            let needed = self.channel.bank(bank).needed_command(req.addr.row, is_write);
-            if needed.is_column() {
-                protected_banks |= 1 << bank;
-            } else if needed == CommandKind::Precharge {
-                if protected_banks & (1 << bank) != 0 {
-                    continue;
-                }
-                // Open-page grace: a recently accessed row is speculatively
-                // held open in anticipation of further hits, bounded by a
-                // total open time so conflicts cannot starve. Requests of
-                // the current batch (marked) override the speculation —
-                // batch progress outranks locality speculation just as the
-                // BS rule outranks the RH rule.
-                let _ = pos;
-                let b = self.channel.bank(bank);
-                let grace = self.config.timing.t_row_grace;
-                if !req.marked
-                    && grace > 0
-                    && now < b.last_column_at() + grace
-                    && now < b.last_activate_at() + 3 * grace
-                {
-                    continue;
-                }
-            }
-            let row = match needed {
-                CommandKind::Precharge => self.channel.bank(bank).open_row().unwrap_or(0),
-                _ => req.addr.row,
-            };
-            let cmd = Command { kind: needed, bank, row, col: req.addr.col, request: req.id };
-            if self.channel.can_issue(&cmd, now) {
-                decision = Some((i, cmd));
-                break;
-            }
-        }
-        let Some((i, cmd)) = decision else { return false };
-        self.apply(i, cmd, is_write, now);
-        true
+        None
     }
 
     /// Issues `cmd` for the request at index `i` of the chosen queue and
@@ -440,6 +584,13 @@ impl Controller {
         let data = self.channel.issue(&cmd, req.thread, now);
         self.scheduler.on_command(&cmd, &req, now);
         self.stats.commands_issued += 1;
+        // Activate/precharge change a bank's open row, which feeds every
+        // row-hit-aware priority key; invalidate the read-key cache.
+        // Column commands leave bank state untouched (any priority change
+        // they trigger inside the scheduler must surface via pre_schedule).
+        if matches!(cmd.kind, CommandKind::Activate | CommandKind::Precharge) {
+            self.read_keys_dirty = true;
+        }
         if let Some((_, end)) = data {
             let finish = end + self.config.timing.front_latency;
             self.touched.remove(&req.id);
@@ -457,6 +608,11 @@ impl Controller {
             } else {
                 self.scheduler.on_complete(&req, now);
                 self.reads.swap_remove(i);
+                // Mirror the removal in the parallel key cache so clean keys
+                // stay index-aligned with `reads`.
+                if !self.read_keys_dirty {
+                    self.read_keys.swap_remove(i);
+                }
                 self.stats.reads_completed += 1;
                 self.stats.record_read_latency(finish - req.arrival, req.thread);
             }

@@ -45,8 +45,23 @@ impl SchedView<'_> {
 /// 2. once per DRAM cycle, [`MemoryScheduler::pre_schedule`] may mutate
 ///    policy metadata stored on the requests (e.g. PAR-BS marking) and
 ///    recompute internal state (ranks, virtual times, slowdowns);
-/// 3. [`MemoryScheduler::compare`] defines the priority order used to pick
-///    the request to service.
+/// 3. [`MemoryScheduler::priority_key`] assigns each request a packed
+///    priority; the controller caches the keys and services the
+///    highest-keyed ready request. [`MemoryScheduler::compare`] is the
+///    equivalent pairwise order, retained as the reference/verification
+///    path.
+///
+/// # Key-caching contract
+///
+/// The controller recomputes cached keys only on events: a request arrival,
+/// a bank-state-changing command (activate, precharge, refresh), external
+/// scheduler mutation, and whenever `pre_schedule` returns `true`. A policy
+/// whose priorities can change for any *other* reason — the passage of time
+/// (e.g. a row-capture window expiring) or state mutated in
+/// [`MemoryScheduler::on_command`] / [`MemoryScheduler::on_complete`] that
+/// feeds `priority_key` — MUST detect that change in its next
+/// `pre_schedule` call and return `true` there, or the controller will keep
+/// scheduling on stale keys.
 ///
 /// The controller never reorders writes through this trait; reads are
 /// prioritized over writes and writes drain in FR-FCFS order (Section 7.2).
@@ -67,15 +82,40 @@ pub trait MemoryScheduler {
     /// Called once per scheduling slot before prioritization. `queue` is the
     /// read request buffer; schedulers may mutate per-request policy state
     /// (such as the `marked` bit) but must not add or remove requests.
-    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) {
+    ///
+    /// Returns `true` if request priorities may have changed since the last
+    /// call for any reason the controller cannot observe itself (per-request
+    /// metadata mutated here, internal rank/mode recomputation, a
+    /// time-dependent priority window expiring). Returning `true`
+    /// conservatively is always correct; returning `false` after a change is
+    /// a staleness bug. The default does nothing and reports no change.
+    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) -> bool {
         let _ = (queue, view);
+        false
     }
+
+    /// The packed scheduling priority of one queued read request: the
+    /// controller services the request with the **largest** key whose DRAM
+    /// command is ready.
+    ///
+    /// Must order exactly like [`MemoryScheduler::compare`]
+    /// (`key(a) > key(b)` ⇔ `compare(a, b) == Ordering::Less`) and must be
+    /// injective over distinct queued requests (embed the request id, or a
+    /// strictly-id-derived field, in the low bits) so the order is total.
+    fn priority_key(&self, req: &Request, view: &SchedView<'_>) -> u128;
 
     /// Priority order between two queued read requests: `Ordering::Less`
     /// means `a` is scheduled **before** `b` (i.e. `a` has higher priority),
     /// matching the contract of `slice::sort_by`. Must be a total order for
-    /// the current scheduler state.
-    fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering;
+    /// the current scheduler state and must agree with
+    /// [`MemoryScheduler::priority_key`].
+    ///
+    /// The controller only calls this on its comparator reference path
+    /// (see `Controller::set_comparator_path`), which exists to validate
+    /// keyed selection; the hot path uses cached keys.
+    fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
+        self.priority_key(b, view).cmp(&self.priority_key(a, view))
+    }
 
     /// Feedback from the cores: `stall_cycles[t]` processor cycles of
     /// memory-related stall accrued by thread `t` since the previous call.
@@ -120,6 +160,10 @@ impl FcfsScheduler {
 impl MemoryScheduler for FcfsScheduler {
     fn name(&self) -> &str {
         "FCFS"
+    }
+
+    fn priority_key(&self, req: &Request, _view: &SchedView<'_>) -> u128 {
+        u128::from(u64::MAX - req.id.0)
     }
 
     fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {

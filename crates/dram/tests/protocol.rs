@@ -19,6 +19,9 @@ impl MemoryScheduler for LifoScheduler {
     fn name(&self) -> &str {
         "LIFO"
     }
+    fn priority_key(&self, req: &Request, _view: &SchedView<'_>) -> u128 {
+        u128::from(req.id.0)
+    }
     fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {
         b.id.cmp(&a.id)
     }
@@ -33,6 +36,11 @@ struct HashOrderScheduler {
 impl MemoryScheduler for HashOrderScheduler {
     fn name(&self) -> &str {
         "HASH"
+    }
+    fn priority_key(&self, req: &Request, _view: &SchedView<'_>) -> u128 {
+        // Smaller hash wins under `compare`, so invert for the packed key.
+        let h = (req.id.0 ^ self.key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (u128::from(!h) << 64) | u128::from(u64::MAX - req.id.0)
     }
     fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {
         let h = |r: &Request| (r.id.0 ^ self.key).wrapping_mul(0x9E37_79B9_7F4A_7C15);

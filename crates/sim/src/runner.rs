@@ -72,17 +72,19 @@ impl Session {
         bench: &'static BenchmarkProfile,
         kind: &SchedulerKind,
     ) -> ThreadRunStats {
-        let key = format!(
-            "{}|{kind:?}|ch{}|n{}",
-            bench.name, self.cfg.dram.channels, self.cfg.target_instructions
-        );
-        if let Some(hit) = self.alone_cache.get(&key) {
-            return *hit;
-        }
+        // Build the alone-run configuration first and key the cache on its
+        // entire Debug rendering: the baseline depends on every DRAM and run
+        // parameter (banks, timing, queue depth, seed, ...), not just the
+        // channel count — keying on a subset silently reuses a baseline
+        // across different memory systems.
         let mut cfg = self.cfg.clone();
         cfg.cores = 1;
         cfg.thread_weights = Vec::new();
         cfg.thread_priorities = Vec::new();
+        let key = format!("{}|{kind:?}|{cfg:?}", bench.name);
+        if let Some(hit) = self.alone_cache.get(&key) {
+            return *hit;
+        }
         let stream = self.stream_for(bench, 0);
         let mut sys = System::new(cfg, vec![stream], kind);
         let result = sys.run();
@@ -179,6 +181,21 @@ mod tests {
         let a2 = s.alone(b, &SchedulerKind::FrFcfs);
         assert_eq!(a1, a2);
         assert_eq!(s.alone_cache.len(), 1);
+    }
+
+    #[test]
+    fn alone_cache_distinguishes_dram_shapes() {
+        // Regression: the cache key once covered only the channel count and
+        // run length, so sessions differing in any other DRAM parameter
+        // (here: bank count) would alias to one entry and reuse a baseline
+        // from the wrong memory system.
+        let mut s = quick_session();
+        let b = parbs_workloads::by_name("mcf").unwrap();
+        let eight_banks = s.alone(b, &SchedulerKind::FrFcfs);
+        s.cfg.dram.banks_per_channel = 4;
+        let four_banks = s.alone(b, &SchedulerKind::FrFcfs);
+        assert_eq!(s.alone_cache.len(), 2, "different bank counts must cache separately");
+        assert_ne!(eight_banks, four_banks, "halving the banks must change the baseline");
     }
 
     #[test]

@@ -33,9 +33,19 @@ impl MemoryScheduler for BankRoundRobin {
         "BANK-RR"
     }
 
-    fn pre_schedule(&mut self, _queue: &mut [Request], view: &SchedView<'_>) {
+    fn pre_schedule(&mut self, _queue: &mut [Request], view: &SchedView<'_>) -> bool {
         self.banks = view.channel.bank_count();
         self.pointer = (self.pointer + 1) % self.banks.max(1);
+        // The pointer moves every slot, so every slot reshuffles priorities:
+        // report the change so the controller rebuilds its key cache.
+        true
+    }
+
+    fn priority_key(&self, req: &Request, _view: &SchedView<'_>) -> u128 {
+        // Smaller cyclic distance from the pointer wins, age breaks ties;
+        // invert both so a larger key means higher priority.
+        let dist = (req.addr.bank + self.banks - self.pointer) % self.banks.max(1);
+        (u128::from(!(dist as u64)) << 64) | u128::from(u64::MAX - req.id.0)
     }
 
     fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {
@@ -101,5 +111,8 @@ fn main() {
     system_run("FR-FCFS", &|| Box::new(FrFcfsScheduler::new()));
     system_run("PAR-BS", &|| Box::new(ParBsScheduler::new(ParBsConfig::default())));
     system_run("BANK-RR", &|| Box::new(BankRoundRobin::default()));
-    println!("\nA policy is ~20 lines: implement `compare` (and optionally `pre_schedule`).");
+    println!(
+        "\nA policy is ~25 lines: implement `priority_key` (and `pre_schedule` if \
+         priorities change between controller-visible events)."
+    );
 }

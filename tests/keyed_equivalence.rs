@@ -1,0 +1,175 @@
+//! End-to-end equivalence of the controller's two selection paths: the
+//! cached-priority-key hot path must reproduce, command for command and
+//! cycle for cycle, the retired full-queue comparator sort it replaced —
+//! under every shipped scheduler, with the DRAM protocol checker enabled.
+//!
+//! The workload is a fig08-style 4-core mix: four threads with different
+//! intensities and row localities, reads and writes, bursty arrivals —
+//! enough to exercise batch formation (PAR-BS), capture-window expiry
+//! (NFQ/STFQ), fairness-mode switches (STFM, via synthetic stall reports),
+//! write drains, and refresh.
+
+use parbs::{BatchingMode, ParBsConfig, ParBsScheduler, ThreadPriority};
+use parbs_baselines::{FrFcfsScheduler, NfqScheduler, StfmScheduler};
+use parbs_dram::{
+    Command, Completion, Controller, DramConfig, FcfsScheduler, LineAddr, MemoryScheduler, Request,
+    RequestKind, ThreadId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled arrival of the synthetic mix.
+struct Arrival {
+    at: u64,
+    req: Request,
+}
+
+/// A deterministic 4-thread mix: thread 0 is intensive with high row
+/// locality, thread 1 is intensive with random rows (mcf-like), thread 2 is
+/// moderate, thread 3 is light and bursty. ~15% writes.
+fn mix(seed: u64, count: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals = Vec::new();
+    let mut now = 0u64;
+    let mut hot_rows = [0u64; 4];
+    for id in 0..count {
+        let thread = match rng.gen_range(0u32..10) {
+            0..=3 => 0usize,
+            4..=6 => 1,
+            7..=8 => 2,
+            _ => 3,
+        };
+        // Per-thread arrival pacing; thread 3 arrives in far-apart bursts.
+        now += match thread {
+            0 | 1 => rng.gen_range(0u64..6),
+            2 => rng.gen_range(0u64..20),
+            _ => {
+                if rng.gen_bool(0.2) {
+                    rng.gen_range(100u64..400)
+                } else {
+                    0
+                }
+            }
+        };
+        // Row locality: thread 0 mostly re-hits its current row; thread 1
+        // almost never does.
+        let hit_chance = [0.85, 0.05, 0.5, 0.5][thread];
+        if !rng.gen_bool(hit_chance) {
+            hot_rows[thread] = rng.gen_range(0u64..32);
+        }
+        let kind = if rng.gen_bool(0.15) { RequestKind::Write } else { RequestKind::Read };
+        let addr = LineAddr {
+            channel: 0,
+            bank: rng.gen_range(0usize..8),
+            row: hot_rows[thread],
+            col: rng.gen_range(0u64..64),
+        };
+        arrivals
+            .push(Arrival { at: now, req: Request::new(id, ThreadId(thread), addr, kind, now) });
+    }
+    arrivals
+}
+
+/// Drives one controller through the mix and returns its full command trace.
+/// Enqueues retry while the request buffer is full; synthetic per-thread
+/// stall cycles are reported every 1000 cycles to exercise STFM's
+/// fairness-mode switching.
+fn run(mut ctrl: Controller, arrivals: &[Arrival]) -> (Vec<(u64, Command)>, usize) {
+    ctrl.set_tracing(true);
+    let mut out: Vec<Completion> = Vec::new();
+    let mut completed = 0usize;
+    let mut now = 0u64;
+    let mut next = 0usize;
+    let mut pending: Option<Request> = None;
+    let stalls = [[37u64, 0, 0, 0], [0, 911, 13, 0], [5, 5, 5, 450]];
+    while next < arrivals.len() || pending.is_some() {
+        if now.is_multiple_of(1_000) && now > 0 {
+            let s = stalls[(now / 1_000) as usize % stalls.len()];
+            ctrl.report_stall_cycles(&s, now);
+        }
+        if let Some(req) = pending.take() {
+            if ctrl.try_enqueue(req.clone()).is_err() {
+                pending = Some(req);
+            }
+        }
+        while pending.is_none() && next < arrivals.len() && arrivals[next].at <= now {
+            let req = arrivals[next].req.clone();
+            if ctrl.try_enqueue(req.clone()).is_err() {
+                pending = Some(req);
+            }
+            next += 1;
+        }
+        ctrl.tick(now, &mut out);
+        completed += out.len();
+        out.clear();
+        now += 1;
+    }
+    let done = ctrl.run_to_drain(&mut now, 10_000_000);
+    completed += done.len();
+    (ctrl.take_trace(), completed)
+}
+
+/// Runs the same mix through the keyed and comparator paths and asserts the
+/// traces are identical.
+fn assert_paths_agree(name: &str, make: &dyn Fn() -> Box<dyn MemoryScheduler>) {
+    let arrivals = mix(0xC0FFEE, 600);
+    let cfg = DramConfig::default();
+    let keyed = Controller::with_checker(cfg.clone(), make());
+    let mut comparator = Controller::with_checker(cfg, make());
+    comparator.set_comparator_path(true);
+    let (trace_k, done_k) = run(keyed, &arrivals);
+    let (trace_c, done_c) = run(comparator, &arrivals);
+    assert_eq!(done_k, arrivals.len(), "{name}: keyed path must drain the whole mix");
+    assert_eq!(done_c, arrivals.len(), "{name}: comparator path must drain the whole mix");
+    assert_eq!(trace_k.len(), trace_c.len(), "{name}: command counts differ");
+    for (i, (k, c)) in trace_k.iter().zip(&trace_c).enumerate() {
+        assert_eq!(k, c, "{name}: traces diverge at command {i}");
+    }
+}
+
+#[test]
+fn fcfs_keyed_path_matches_comparator() {
+    assert_paths_agree("FCFS", &|| Box::new(FcfsScheduler::new()));
+}
+
+#[test]
+fn frfcfs_keyed_path_matches_comparator() {
+    assert_paths_agree("FR-FCFS", &|| Box::new(FrFcfsScheduler::new()));
+}
+
+#[test]
+fn parbs_keyed_path_matches_comparator() {
+    assert_paths_agree("PAR-BS", &|| Box::new(ParBsScheduler::new(ParBsConfig::default())));
+}
+
+#[test]
+fn parbs_eslot_with_priorities_keyed_path_matches_comparator() {
+    // Empty-slot batching re-marks every slot and the priority levels give
+    // threads different marking cadences — the hardest key-staleness case.
+    assert_paths_agree("PAR-BS/eslot", &|| {
+        let cfg = ParBsConfig {
+            batching: BatchingMode::EmptySlot,
+            marking_cap: Some(3),
+            ..ParBsConfig::default()
+        };
+        let mut s = ParBsScheduler::new(cfg);
+        s.set_thread_priority(ThreadId(2), ThreadPriority::Level(2));
+        s.set_thread_priority(ThreadId(3), ThreadPriority::Opportunistic);
+        Box::new(s)
+    });
+}
+
+#[test]
+fn nfq_keyed_path_matches_comparator() {
+    assert_paths_agree("NFQ", &|| Box::new(NfqScheduler::new()));
+}
+
+#[test]
+fn stfq_keyed_path_matches_comparator() {
+    assert_paths_agree("STFQ", &|| Box::new(NfqScheduler::stfq()));
+}
+
+#[test]
+fn stfm_keyed_path_matches_comparator() {
+    assert_paths_agree("STFM", &|| Box::new(StfmScheduler::new()));
+}

@@ -107,9 +107,12 @@ fn shortest_job_first_ranking_beats_random_within_batch() {
 
 #[test]
 fn marking_cap_controls_unfairness() {
-    // Fig. 11: a very large cap (no-c) is less fair than a small cap.
-    let mut s = session(4_000);
-    let mixes = parbs_workloads::random_mixes(4, 6, 11);
+    // Fig. 11: a very large cap (no-c) is less fair than a small cap. The
+    // effect needs runs long enough for batch-level fairness to dominate
+    // warmup noise, hence the larger instruction target than the other
+    // sweeps here.
+    let mut s = session(6_000);
+    let mixes = parbs_workloads::random_mixes(4, 8, 9);
     let rows = experiments::marking_cap_sweep(&mut s, &mixes, &[Some(1), None]);
     let unf = |label: &str| rows.iter().find(|r| r.label == label).unwrap().summary().unfairness;
     assert!(

@@ -1,0 +1,423 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so the criterion surface
+//! this repository's benches use is vendored here: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Differences from real criterion: no statistical analysis beyond
+//! median/mean-of-samples, no HTML reports, no baseline storage. Each
+//! benchmark is calibrated so one sample takes roughly
+//! [`Criterion::measurement_budget`], then `sample_size` samples are timed
+//! with `std::time::Instant` and the per-iteration median/mean are printed.
+//!
+//! Harness flags understood (others are ignored so `cargo bench` extra args
+//! don't break the run): positional substrings filter benchmark names,
+//! `--test` runs every benchmark body exactly once without timing (what
+//! `cargo test` passes to `harness = false` bench targets), and `--quick`
+//! cuts sample counts and budgets for CI smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup and routine.
+///
+/// The shim times each sample as one pre-generated batch regardless of the
+/// variant; the enum exists for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is small; large batches per sample.
+    SmallInput,
+    /// Routine input is large; smaller batches per sample.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter (grouped benches already carry the
+    /// group name).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a RunConfig,
+    /// Filled in by the timing loops; one entry per sample, already divided
+    /// down to per-iteration nanoseconds.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly; the routine's return value is black-boxed
+    /// so its computation cannot be optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            return;
+        }
+        let iters = calibrate(self.cfg, |n| {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns.push(per_iter_ns(start.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup cost is kept
+    /// out of the measurement by pre-generating each sample's batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.cfg.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let iters = calibrate(self.cfg, |n| {
+            let batch: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in batch {
+                black_box(routine(input));
+            }
+            start.elapsed()
+        });
+        for _ in 0..self.cfg.sample_size {
+            let batch: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in batch {
+                black_box(routine(input));
+            }
+            self.samples_ns.push(per_iter_ns(start.elapsed(), iters));
+        }
+    }
+}
+
+fn per_iter_ns(elapsed: Duration, iters: u64) -> f64 {
+    elapsed.as_secs_f64() * 1e9 / iters as f64
+}
+
+/// Doubles the iteration count until one sample meets the measurement
+/// budget, warming the code up as a side effect.
+fn calibrate<F: FnMut(u64) -> Duration>(cfg: &RunConfig, mut run: F) -> u64 {
+    let mut iters: u64 = 1;
+    loop {
+        let took = run(iters);
+        if took >= cfg.budget || iters >= 1 << 24 {
+            return iters;
+        }
+        iters = if took.is_zero() {
+            iters * 8
+        } else {
+            // Aim directly at the budget with 20% headroom, at least doubling.
+            let scale = cfg.budget.as_secs_f64() / took.as_secs_f64() * 1.2;
+            ((iters as f64 * scale) as u64).max(iters * 2)
+        };
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunConfig {
+    sample_size: usize,
+    budget: Duration,
+    test_mode: bool,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_size: usize,
+    budget: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            sample_size: 30,
+            budget: Duration::from_millis(10),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies harness command-line arguments (filters, `--test`,
+    /// `--quick`); unknown flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                "--quick" => {
+                    self.sample_size = 10;
+                    self.budget = Duration::from_millis(2);
+                }
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    // Value-carrying criterion flags: swallow the value when
+                    // present so it is not mistaken for a filter.
+                    if arg == "--save-baseline"
+                        || arg == "--baseline"
+                        || arg == "--profile-time"
+                        || arg == "--measurement-time"
+                        || arg == "--warm-up-time"
+                        || arg == "--sample-size"
+                    {
+                        let _ = args.next();
+                    }
+                }
+                other if other.starts_with('-') => {}
+                filter => self.filters.push(filter.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides how long one calibrated sample should take.
+    pub fn measurement_budget(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group_name: group_name.into(), sample_size: None }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let cfg = RunConfig {
+            sample_size: self.sample_size,
+            budget: self.budget,
+            test_mode: self.test_mode,
+        };
+        self.run_one(id.to_owned(), cfg, f);
+        self
+    }
+
+    fn matches_filter(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, full_id: String, cfg: RunConfig, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if !self.matches_filter(&full_id) {
+            return;
+        }
+        let mut bencher = Bencher { cfg: &cfg, samples_ns: Vec::new() };
+        f(&mut bencher);
+        if cfg.test_mode {
+            println!("test {full_id} ... ok");
+            return;
+        }
+        let mut s = bencher.samples_ns;
+        if s.is_empty() {
+            println!("{full_id}: no samples recorded");
+            return;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{full_id}: median {} / mean {} ({} samples)",
+            format_ns(median),
+            format_ns(mean),
+            s.len()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing an id prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group_name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn cfg(&self) -> RunConfig {
+        RunConfig {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            budget: self.criterion.budget,
+            test_mode: self.criterion.test_mode,
+        }
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full_id = format!("{}/{}", self.group_name, id.into());
+        let cfg = self.cfg();
+        self.criterion.run_one(full_id, cfg, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full_id = format!("{}/{}", self.group_name, id);
+        let cfg = self.cfg();
+        self.criterion.run_one(full_id, cfg, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrate_reaches_budget() {
+        let cfg =
+            RunConfig { sample_size: 2, budget: Duration::from_micros(200), test_mode: false };
+        let mut total: u64 = 0;
+        let iters = calibrate(&cfg, |n| {
+            let start = Instant::now();
+            for i in 0..n {
+                total = total.wrapping_add(black_box(i));
+            }
+            start.elapsed()
+        });
+        assert!(iters >= 2, "trivial loop must need many iterations, got {iters}");
+    }
+
+    #[test]
+    fn bench_function_records_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_budget(Duration::from_micros(50));
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| black_box(41u64) + 1);
+        });
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &7u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion::default();
+        c.filters.push("only_this".to_owned());
+        let mut ran = false;
+        let cfg = RunConfig { sample_size: 2, budget: Duration::from_micros(10), test_mode: true };
+        c.run_one("something_else".to_owned(), cfg.clone(), |_| ran = true);
+        assert!(!ran, "filtered-out benchmark must not run");
+        c.run_one("has_only_this_inside".to_owned(), cfg, |_| ran = true);
+        assert!(ran, "matching benchmark must run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("FCFS").to_string(), "FCFS");
+    }
+}

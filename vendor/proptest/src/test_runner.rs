@@ -1,0 +1,59 @@
+//! Test configuration, RNG, and case-level error types.
+
+use std::hash::{Hash, Hasher};
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest's default; cheap for the property bodies in this
+        // repository.
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by [`crate::prop_assume!`].
+    Reject(&'static str),
+    /// A [`crate::prop_assert!`]-family assertion failed.
+    Fail(String),
+}
+
+/// The deterministic RNG driving generation: seeded from the test's name so
+/// every test sees a stable, independent stream across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// An RNG seeded from `test_name`.
+    #[must_use]
+    pub fn for_test(test_name: &str) -> Self {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        // DefaultHasher::new() is specified to be stable within a process
+        // and, in practice, across runs of the same toolchain; the seed only
+        // needs to differ between tests.
+        test_name.hash(&mut hasher);
+        TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(hasher.finish()))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
