@@ -4,7 +4,7 @@
 //! latency for mean slowdown equality.
 
 use parbs_bench::Scale;
-use parbs_sim::{SchedulerKind, Session, SimConfig};
+use parbs_sim::{EvalOverrides, Harness, SchedulerKind, SimConfig};
 use parbs_workloads::{case_study_1, random_mixes};
 
 fn main() {
@@ -23,13 +23,13 @@ fn main() {
             "scheduler", "mean", "p50", "p95", "p99", "max"
         );
         for kind in SchedulerKind::paper_five() {
-            let mut session = Session::new(SimConfig {
+            let harness = Harness::new(SimConfig {
                 target_instructions: scale.target,
                 ..SimConfig::for_cores(4)
             });
             let mut h = parbs_metrics::LatencyHistogram::new();
             for mix in &mixes {
-                let r = session.run_shared(mix, &kind);
+                let r = harness.run_shared(mix, &kind, &EvalOverrides::none());
                 h.merge(&r.read_latency);
             }
             println!(

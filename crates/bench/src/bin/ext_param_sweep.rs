@@ -3,14 +3,14 @@
 //! open-row grace policy. Reports PAR-BS vs FR-FCFS under each variation.
 
 use parbs_bench::Scale;
-use parbs_sim::{experiments, Session, SimConfig};
+use parbs_sim::{experiments, Harness, SimConfig};
 use parbs_workloads::random_mixes;
 
-fn run_point(label: &str, cfg: SimConfig, mixes_n: usize, seed: u64) {
-    let mut session = Session::new(cfg);
+fn run_point(label: &str, cfg: SimConfig, mixes_n: usize, seed: u64, jobs: usize) {
+    let harness = Harness::new(cfg);
     let mixes = random_mixes(4, mixes_n, seed);
     let kinds = experiments::paper_five_labeled();
-    let rows = experiments::sweep(&mut session, &mixes, &kinds);
+    let rows = experiments::sweep_plan(&mixes, &kinds).run(&harness, jobs);
     let get = |name: &str| {
         rows.iter().find(|r| r.label == name).map(|r| r.summary()).expect("scheduler present")
     };
@@ -36,30 +36,30 @@ fn main() {
     for banks in [4usize, 8, 16] {
         let mut cfg = base();
         cfg.dram.banks_per_channel = banks;
-        run_point(&format!("  {banks} banks"), cfg, n, scale.seed);
+        run_point(&format!("  {banks} banks"), cfg, n, scale.seed, scale.jobs);
     }
     println!("\nchannels (4 cores):");
     for channels in [1usize, 2, 4] {
         let mut cfg = base();
         cfg.dram.channels = channels;
-        run_point(&format!("  {channels} channel(s)"), cfg, n, scale.seed);
+        run_point(&format!("  {channels} channel(s)"), cfg, n, scale.seed, scale.jobs);
     }
     println!("\nrow-buffer size (lines per row):");
     for cols in [16u64, 32, 64] {
         let mut cfg = base();
         cfg.dram.cols_per_row = cols;
-        run_point(&format!("  {} B rows", cols * 64), cfg, n, scale.seed);
+        run_point(&format!("  {} B rows", cols * 64), cfg, n, scale.seed, scale.jobs);
     }
     println!("\nopen-row grace ablation (controller policy of this model):");
     for grace in [0u64, 100, 200, 400] {
         let mut cfg = base();
         cfg.dram.timing.t_row_grace = grace;
-        run_point(&format!("  grace {grace}"), cfg, n, scale.seed);
+        run_point(&format!("  grace {grace}"), cfg, n, scale.seed, scale.jobs);
     }
     println!("\nrequest-buffer size:");
     for cap in [32usize, 64, 128] {
         let mut cfg = base();
         cfg.dram.request_buffer_cap = cap;
-        run_point(&format!("  {cap} entries"), cfg, n, scale.seed);
+        run_point(&format!("  {cap} entries"), cfg, n, scale.seed, scale.jobs);
     }
 }

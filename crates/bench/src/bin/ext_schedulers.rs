@@ -4,13 +4,13 @@
 
 use parbs::{AdaptiveCap, ParBsConfig};
 use parbs_bench::{print_summaries, Scale};
-use parbs_sim::experiments::sweep;
-use parbs_sim::SchedulerKind;
+use parbs_sim::experiments::sweep_plan;
+use parbs_sim::{EvalOverrides, SchedulerKind};
 use parbs_workloads::random_mixes;
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
+    let harness = scale.harness(4);
     let mixes = random_mixes(4, scale.mixes4.min(30), scale.seed);
     let mut kinds = parbs_sim::experiments::paper_five_labeled();
     kinds.insert(3, ("STFQ".to_owned(), SchedulerKind::Stfq));
@@ -21,7 +21,7 @@ fn main() {
             ..ParBsConfig::default()
         }),
     ));
-    let rows = sweep(&mut session, &mixes, &kinds);
+    let rows = sweep_plan(&mixes, &kinds).run(&harness, scale.jobs);
     print_summaries("Extension — seven schedulers, 4-core averages", &rows);
     println!(
         "note: with equal shares STFQ's start tags are NFQ's finish tags shifted by one\n\
@@ -31,8 +31,9 @@ fn main() {
     // Weighted demonstration: 4 x lbm with shares 8-1-1-1.
     let mix = parbs_workloads::MixSpec::from_names("lbm-w8111", &["lbm", "lbm", "lbm", "lbm"]);
     println!("\n4 x lbm with shares 8-1-1-1 (slowdowns per thread):");
+    let shares = EvalOverrides::weighted(vec![8.0, 1.0, 1.0, 1.0]);
     for kind in [SchedulerKind::Nfq, SchedulerKind::Stfq] {
-        let e = session.evaluate_mix_with(&mix, &kind, vec![8.0, 1.0, 1.0, 1.0], Vec::new());
+        let e = harness.evaluate_mix_with(&mix, &kind, &shares);
         println!(
             "  {:5} {:?}",
             e.scheduler,

@@ -2,12 +2,12 @@
 //! (libquantum, mcf, GemsFDTD, xalancbmk).
 
 use parbs_bench::{print_case_study, Scale};
-use parbs_sim::experiments::compare_schedulers;
+use parbs_sim::experiments::compare_plan;
 use parbs_workloads::case_study_1;
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
-    let evals = compare_schedulers(&mut session, &case_study_1());
+    let harness = scale.harness(4);
+    let evals = harness.run_plan(&compare_plan(&case_study_1()), scale.jobs);
     print_case_study("Figure 5 — Case Study I (memory-intensive workload)", &evals);
 }

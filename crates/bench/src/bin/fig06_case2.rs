@@ -2,12 +2,12 @@
 //! (matlab, h264ref, omnetpp, hmmer).
 
 use parbs_bench::{print_case_study, Scale};
-use parbs_sim::experiments::compare_schedulers;
+use parbs_sim::experiments::compare_plan;
 use parbs_workloads::case_study_2;
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
-    let evals = compare_schedulers(&mut session, &case_study_2());
+    let harness = scale.harness(4);
+    let evals = harness.run_plan(&compare_plan(&case_study_2()), scale.jobs);
     print_case_study("Figure 6 — Case Study II (non-intensive workload)", &evals);
 }

@@ -2,14 +2,14 @@
 //! over the full workload suite; average system throughput.
 
 use parbs_bench::{print_summaries, print_unfairness_by_workload, Scale};
-use parbs_sim::experiments::{paper_five_labeled, sweep};
+use parbs_sim::experiments::{paper_five_labeled, sweep_plan};
 use parbs_workloads::random_mixes;
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
+    let harness = scale.harness(4);
     let mixes = random_mixes(4, scale.mixes4, scale.seed);
-    let rows = sweep(&mut session, &mixes, &paper_five_labeled());
+    let rows = sweep_plan(&mixes, &paper_five_labeled()).run(&harness, scale.jobs);
     print_unfairness_by_workload(
         &format!("Figure 8 (left) — unfairness, {} 4-core workloads", mixes.len()),
         &rows,

@@ -2,12 +2,12 @@
 //! applications; mcf has the only very high bank-parallelism).
 
 use parbs_bench::{print_case_study, Scale};
-use parbs_sim::experiments::compare_schedulers;
+use parbs_sim::experiments::compare_plan;
 use parbs_workloads::fig9_8core;
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(8);
-    let evals = compare_schedulers(&mut session, &fig9_8core());
+    let harness = scale.harness(8);
+    let evals = harness.run_plan(&compare_plan(&fig9_8core()), scale.jobs);
     print_case_study("Figure 9 — mixed 8-core workload", &evals);
 }

@@ -2,15 +2,15 @@
 //! mean over the random 16-core workload suite.
 
 use parbs_bench::{print_summaries, print_unfairness_by_workload, Scale};
-use parbs_sim::experiments::{paper_five_labeled, sweep};
+use parbs_sim::experiments::{paper_five_labeled, sweep_plan};
 use parbs_workloads::{fig10_named, random_mixes};
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(16);
+    let harness = scale.harness(16);
     let mut mixes = fig10_named();
     mixes.extend(random_mixes(16, scale.mixes16, scale.seed));
-    let rows = sweep(&mut session, &mixes, &paper_five_labeled());
+    let rows = sweep_plan(&mixes, &paper_five_labeled()).run(&harness, scale.jobs);
     print_unfairness_by_workload(
         "Figure 10 (left) — unfairness, named + random 16-core workloads",
         &rows,

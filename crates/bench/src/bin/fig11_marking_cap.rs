@@ -1,38 +1,29 @@
 //! Figure 11: effect of Marking-Cap on unfairness and throughput, plus the
 //! per-thread slowdowns of Case Studies I and II.
 
-use parbs::ParBsConfig;
 use parbs_bench::{print_case_study, print_summaries, Scale};
-use parbs_sim::experiments::marking_cap_sweep;
-use parbs_sim::SchedulerKind;
+use parbs_sim::experiments::{marking_cap_kinds, marking_cap_plan};
+use parbs_sim::{EvalJob, EvalPlan};
 use parbs_workloads::{case_study_1, case_study_2, random_mixes};
 
 fn main() {
     let scale = Scale::from_args();
     let caps: Vec<Option<u32>> = (1..=10).map(Some).chain([Some(20), None]).collect();
-    let mut session = scale.session(4);
+    let harness = scale.harness(4);
     let mixes = random_mixes(4, scale.mixes4.min(30), scale.seed);
-    let rows = marking_cap_sweep(&mut session, &mixes, &caps);
+    let rows = marking_cap_plan(&mixes, &caps).run(&harness, scale.jobs);
     print_summaries("Figure 11 (left) — Marking-Cap sweep, averages", &rows);
+    let labeled = marking_cap_kinds(&caps);
     for (mix, title) in [
         (case_study_1(), "Figure 11 (middle) — Case Study I slowdowns"),
         (case_study_2(), "Figure 11 (right) — Case Study II slowdowns"),
     ] {
-        let evals: Vec<_> = caps
-            .iter()
-            .map(|cap| {
-                let kind = SchedulerKind::ParBs(ParBsConfig {
-                    marking_cap: *cap,
-                    ..ParBsConfig::default()
-                });
-                let mut e = session.evaluate_mix(&mix, &kind);
-                e.scheduler = match cap {
-                    Some(c) => format!("c={c}"),
-                    None => "no-c".to_owned(),
-                };
-                e
-            })
-            .collect();
+        let plan: EvalPlan =
+            labeled.iter().map(|(_, kind)| EvalJob::new(mix.clone(), kind.clone())).collect();
+        let mut evals = harness.run_plan(&plan, scale.jobs);
+        for (e, (label, _)) in evals.iter_mut().zip(&labeled) {
+            e.scheduler = label.clone();
+        }
         print_case_study(title, &evals);
     }
 }

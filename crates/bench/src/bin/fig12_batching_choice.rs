@@ -1,49 +1,28 @@
 //! Figure 12: batching-choice comparison — static time-based batching
 //! (400..25600 cycles), empty-slot batching, and full batching.
 
-use parbs::{BatchingMode, ParBsConfig};
 use parbs_bench::{print_case_study, print_summaries, Scale};
-use parbs_sim::experiments::batching_sweep;
-use parbs_sim::SchedulerKind;
+use parbs_sim::experiments::{batching_kinds, batching_plan};
+use parbs_sim::{EvalJob, EvalPlan};
 use parbs_workloads::{case_study_1, case_study_2, random_mixes};
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
+    let harness = scale.harness(4);
     let mixes = random_mixes(4, scale.mixes4.min(30), scale.seed);
-    let rows = batching_sweep(&mut session, &mixes);
+    let rows = batching_plan(&mixes).run(&harness, scale.jobs);
     print_summaries("Figure 12 (left) — batching choice, averages", &rows);
-    let variants: Vec<(String, ParBsConfig)> = [400u64, 800, 1_600, 3_200, 6_400, 12_800, 25_600]
-        .iter()
-        .map(|&d| {
-            (
-                format!("st-{d}"),
-                ParBsConfig {
-                    batching: BatchingMode::Static { duration: d },
-                    ..ParBsConfig::default()
-                },
-            )
-        })
-        .chain([
-            (
-                "eslot".to_owned(),
-                ParBsConfig { batching: BatchingMode::EmptySlot, ..ParBsConfig::default() },
-            ),
-            ("full".to_owned(), ParBsConfig::default()),
-        ])
-        .collect();
+    let variants = batching_kinds();
     for (mix, title) in [
         (case_study_1(), "Figure 12 (middle) — Case Study I slowdowns"),
         (case_study_2(), "Figure 12 (right) — Case Study II slowdowns"),
     ] {
-        let evals: Vec<_> = variants
-            .iter()
-            .map(|(label, cfg)| {
-                let mut e = session.evaluate_mix(&mix, &SchedulerKind::ParBs(*cfg));
-                e.scheduler = label.clone();
-                e
-            })
-            .collect();
+        let plan: EvalPlan =
+            variants.iter().map(|(_, kind)| EvalJob::new(mix.clone(), kind.clone())).collect();
+        let mut evals = harness.run_plan(&plan, scale.jobs);
+        for (e, (label, _)) in evals.iter_mut().zip(&variants) {
+            e.scheduler = label.clone();
+        }
         print_case_study(title, &evals);
     }
 }

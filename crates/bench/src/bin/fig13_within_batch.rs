@@ -4,22 +4,22 @@
 //! 4 x matlab mixes that isolate the parallelism component.
 
 use parbs_bench::{print_summaries, Scale};
-use parbs_sim::experiments::{ranking_sweep, sweep};
+use parbs_sim::experiments::{ranking_kinds, ranking_plan, sweep_plan};
 use parbs_workloads::{random_mixes, MixSpec};
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
+    let harness = scale.harness(4);
     let mixes = random_mixes(4, scale.mixes4.min(30), scale.seed);
-    let rows = ranking_sweep(&mut session, &mixes);
+    let rows = ranking_plan(&mixes).run(&harness, scale.jobs);
     print_summaries("Figure 13 (left) — within-batch policy, averages", &rows);
     for (names, title) in [
         (["lbm"; 4], "Figure 13 (middle) — 4 x lbm"),
         (["matlab"; 4], "Figure 13 (right) — 4 x matlab"),
     ] {
         let mix = MixSpec::from_names(names[0], &names);
-        let kinds = parbs_sim::experiments::ranking_kinds();
-        let rows = sweep(&mut session, std::slice::from_ref(&mix), &kinds);
+        let rows =
+            sweep_plan(std::slice::from_ref(&mix), &ranking_kinds()).run(&harness, scale.jobs);
         print_summaries(title, &rows);
     }
 }

@@ -2,17 +2,17 @@
 //! copies (left) and purely opportunistic service (right).
 
 use parbs_bench::{print_case_study, Scale};
-use parbs_sim::experiments::{priority_opportunistic, priority_weighted_lbm};
+use parbs_sim::experiments::{priority_opportunistic_plan, priority_weighted_plan};
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
-    let left = priority_weighted_lbm(&mut session);
+    let harness = scale.harness(4);
+    let left = harness.run_plan(&priority_weighted_plan(), scale.jobs);
     print_case_study(
         "Figure 14 (left) — 4 x lbm, priorities 1-1-2-8 (NFQ/STFM weights 8-8-4-1)",
         &left,
     );
-    let right = priority_opportunistic(&mut session);
+    let right = harness.run_plan(&priority_opportunistic_plan(), scale.jobs);
     print_case_study(
         "Figure 14 (right) — omnetpp important, others opportunistic (weights 1-1-8192-1)",
         &right,

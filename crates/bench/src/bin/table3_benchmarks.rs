@@ -2,17 +2,17 @@
 //! benchmark alone on one core of the baseline 4-core system (FR-FCFS).
 
 use parbs_bench::Scale;
-use parbs_sim::experiments::table3;
+use parbs_sim::experiments::table3_rows;
 
 fn main() {
     let scale = Scale::from_args();
-    let mut session = scale.session(4);
+    let harness = scale.harness(4);
     println!("## Table 3 — benchmark characteristics (measured | paper)");
     println!(
         "{:>2} {:12} {:>13} {:>13} {:>11} {:>11} {:>11} {:>9}",
         "#", "name", "MCPI", "L2 MPKI", "RB hit", "BLP", "AST/req", "category"
     );
-    for row in table3(&mut session) {
+    for row in table3_rows(&harness, scale.jobs) {
         let b = row.bench;
         println!(
             "{:>2} {:12} {:>6.2}|{:<6.2} {:>6.2}|{:<6.2} {:>5.2}|{:<5.2} {:>5.2}|{:<5.2} {:>5.0}|{:<5.0} {:>4}|{:<4}",

@@ -2,15 +2,15 @@
 //! unfairness, weighted/hmean speedup, AST/req, and worst-case latency.
 
 use parbs_bench::{print_summaries, Scale};
-use parbs_sim::experiments::{paper_five_labeled, sweep};
+use parbs_sim::experiments::{paper_five_labeled, sweep_plan};
 use parbs_workloads::random_mixes;
 
 fn main() {
     let scale = Scale::from_args();
     for (cores, n) in [(4usize, scale.mixes4), (8, scale.mixes8), (16, scale.mixes16)] {
-        let mut session = scale.session(cores);
+        let harness = scale.harness(cores);
         let mixes = random_mixes(cores, n, scale.seed);
-        let rows = sweep(&mut session, &mixes, &paper_five_labeled());
+        let rows = sweep_plan(&mixes, &paper_five_labeled()).run(&harness, scale.jobs);
         print_summaries(&format!("Table 4 — {cores}-core system ({n} workloads)"), &rows);
     }
 }

@@ -5,7 +5,9 @@
 //!
 //! * `--quick` — a fast smoke-test scale (short runs, few workloads);
 //! * `--target <N>` — instructions per thread before snapshot;
-//! * `--mixes <N>` — number of random 4-core workloads (where applicable).
+//! * `--mixes <N>` — number of random 4-core workloads (where applicable);
+//! * `--jobs <N>` — worker threads fanning the evaluation plan (default:
+//!   all available cores; results are identical at any jobs level).
 //!
 //! The default scale (30 000 instructions per thread; 100/16/12 workloads
 //! for 4/8/16 cores) regenerates every figure in a few minutes on a laptop.
@@ -17,7 +19,7 @@
 #![warn(missing_docs)]
 
 use parbs_sim::experiments::SweepRow;
-use parbs_sim::{MixEvaluation, Session, SimConfig};
+use parbs_sim::{Harness, MixEvaluation, Session, SimConfig};
 
 /// Run scale parsed from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,22 +34,39 @@ pub struct Scale {
     pub mixes16: usize,
     /// Seed for workload-mix construction.
     pub seed: u64,
+    /// Worker threads the evaluation plan fans across.
+    pub jobs: usize,
 }
 
 impl Scale {
     /// The paper-shaped default scale.
     #[must_use]
     pub fn paper() -> Self {
-        Scale { target: 30_000, mixes4: 100, mixes8: 16, mixes16: 12, seed: 42 }
+        Scale {
+            target: 30_000,
+            mixes4: 100,
+            mixes8: 16,
+            mixes16: 12,
+            seed: 42,
+            jobs: parbs_sim::default_jobs(),
+        }
     }
 
     /// A smoke-test scale for CI and quick looks.
     #[must_use]
     pub fn quick() -> Self {
-        Scale { target: 6_000, mixes4: 10, mixes8: 4, mixes16: 3, seed: 42 }
+        Scale {
+            target: 6_000,
+            mixes4: 10,
+            mixes8: 4,
+            mixes16: 3,
+            seed: 42,
+            jobs: parbs_sim::default_jobs(),
+        }
     }
 
-    /// Parses `--quick`, `--target N`, `--mixes N`, `--seed N` from argv.
+    /// Parses `--quick`, `--target N`, `--mixes N`, `--seed N`, `--jobs N`
+    /// from argv.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,10 +94,21 @@ impl Scale {
         if let Some(s) = value_of("--seed") {
             scale.seed = s;
         }
+        if let Some(j) = value_of("--jobs") {
+            scale.jobs = (j as usize).max(1);
+        }
         scale
     }
 
+    /// A measurement harness for a `cores`-core system at this scale. Fan
+    /// plans across workers with [`Harness::run_plan`] and `self.jobs`.
+    #[must_use]
+    pub fn harness(&self, cores: usize) -> Harness {
+        Harness::new(SimConfig { target_instructions: self.target, ..SimConfig::for_cores(cores) })
+    }
+
     /// A measurement session for an `cores`-core system at this scale.
+    #[deprecated(note = "use `Scale::harness` and the plan-based API")]
     #[must_use]
     pub fn session(&self, cores: usize) -> Session {
         Session::new(SimConfig { target_instructions: self.target, ..SimConfig::for_cores(cores) })
@@ -296,6 +326,16 @@ mod tests {
         assert_eq!(s.mixes4, 7);
         assert_eq!(s.seed, 3);
         assert_eq!(s.mixes8, Scale::quick().mixes8, "unset fields keep the base");
+    }
+
+    #[test]
+    fn jobs_flag_overrides_and_is_clamped() {
+        let s = Scale::from_arg_slice(&args(&["--jobs", "6"]));
+        assert_eq!(s.jobs, 6);
+        let s = Scale::from_arg_slice(&args(&["--jobs", "0"]));
+        assert_eq!(s.jobs, 1, "jobs=0 clamps to one worker");
+        let s = Scale::from_arg_slice(&[]);
+        assert_eq!(s.jobs, parbs_sim::default_jobs());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The parallel plan executor: fans an [`EvalPlan`] across scoped worker
+//! threads and collates results in plan order.
+//!
+//! Jobs are pulled from a shared atomic cursor (work stealing by another
+//! name: a fast job frees its worker for the next one, so stragglers never
+//! idle the pool), and every result lands in the slot of its plan index —
+//! the output of [`Harness::run_plan`] is therefore **identical** at any
+//! jobs level, including `jobs = 1`, which runs inline without spawning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::{EvalPlan, Harness, MixEvaluation};
+
+/// The machine's available parallelism (the default for `--jobs`), falling
+/// back to 1 when it cannot be determined.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
+/// results in item order. `jobs <= 1` (or a single item) runs inline.
+pub(crate) fn scope_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                assert!(slots[i].set(result).is_ok(), "slot {i} filled twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot is filled before the scope ends"))
+        .collect()
+}
+
+impl Harness {
+    /// Evaluates every job of `plan` on up to `jobs` worker threads and
+    /// returns the results **in plan order** — byte-identical to running
+    /// the plan serially, whatever the execution interleaving. Alone
+    /// baselines are shared through the harness's single-flight memo, so
+    /// no worker ever re-simulates a baseline another worker has produced
+    /// (or is producing).
+    ///
+    /// `jobs` is clamped to `1..=plan.len()`; pass
+    /// [`default_jobs`](crate::default_jobs) for the machine's available
+    /// parallelism.
+    pub fn run_plan(&self, plan: &EvalPlan, jobs: usize) -> Vec<MixEvaluation> {
+        scope_map(plan.jobs(), jobs, |job| self.evaluate(job))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalJob, SchedulerKind, SimConfig};
+    use parbs_workloads::case_study_1;
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn scope_map_preserves_item_order() {
+        let items: Vec<u64> = (0..37).collect();
+        for jobs in [1, 3, 8, 64] {
+            let doubled = scope_map(&items, jobs, |x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_runs_at_any_width() {
+        let h = Harness::new(SimConfig::for_cores(4));
+        assert!(h.run_plan(&EvalPlan::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn parallel_run_shares_alone_baselines() {
+        // Two identical jobs racing on two workers: the single-flight memo
+        // must simulate each of the 4 baselines exactly once.
+        let cfg = SimConfig { target_instructions: 1_000, ..SimConfig::for_cores(4) };
+        let h = Harness::new(cfg);
+        let mut plan = EvalPlan::new();
+        plan.push(EvalJob::new(case_study_1(), SchedulerKind::FrFcfs));
+        plan.push(EvalJob::new(case_study_1(), SchedulerKind::FrFcfs));
+        let evals = h.run_plan(&plan, 2);
+        assert_eq!(evals[0], evals[1], "identical jobs must evaluate identically");
+        let stats = h.cache_stats();
+        assert_eq!(stats.entries, 4, "one baseline per distinct benchmark");
+        assert_eq!(stats.misses, 4, "each baseline simulated exactly once");
+        assert_eq!(stats.hits, 4, "the second job reuses all four");
+    }
+}

@@ -1,17 +1,36 @@
-//! Experiment harness: the parameter sweeps and case studies of Section 8.
+//! Experiment harness: the parameter sweeps and case studies of Section 8,
+//! expressed as **plan builders**.
 //!
-//! Each function returns structured data; the `parbs-bench` regeneration
-//! binaries print them in the shape of the paper's tables and figures.
+//! Each `*_plan` function returns an immutable description of the work —
+//! an [`EvalPlan`] (flat job list) or a [`SweepPlan`] (jobs plus the
+//! collation recipe back into labeled [`SweepRow`]s). Execute a plan on a
+//! [`Harness`] with [`Harness::run_plan`] / [`SweepPlan::run`], choosing
+//! any worker count; output is identical at every `jobs` level. The
+//! `parbs-bench` regeneration binaries print the results in the shape of
+//! the paper's tables and figures.
+//!
+//! The pre-plan entry points taking `&mut Session` remain as deprecated
+//! shims that build the equivalent plan and run it serially.
 
 use parbs::{BatchingMode, ParBsConfig, Ranking, ThreadPriority};
 use parbs_metrics::SchedulerSummary;
 use parbs_workloads::{all_benchmarks, classify, BenchmarkProfile, MixSpec};
 
-use crate::{MixEvaluation, SchedulerKind, Session};
+use crate::{
+    EvalJob, EvalOverrides, EvalPlan, Harness, MixEvaluation, SchedulerKind, Session, SimConfig,
+};
+
+/// The plan behind Figs. 5, 6, 7 and 9: one mix under the paper's five
+/// schedulers, in figure order.
+#[must_use]
+pub fn compare_plan(mix: &MixSpec) -> EvalPlan {
+    SchedulerKind::paper_five().into_iter().map(|k| EvalJob::new(mix.clone(), k)).collect()
+}
 
 /// Runs one mix under the paper's five schedulers (Figs. 5, 6, 7, 9).
+#[deprecated(note = "run `compare_plan(mix)` on a `Harness` via `Harness::run_plan`")]
 pub fn compare_schedulers(session: &mut Session, mix: &MixSpec) -> Vec<MixEvaluation> {
-    SchedulerKind::paper_five().iter().map(|k| session.evaluate_mix(mix, k)).collect()
+    session.harness().run_plan(&compare_plan(mix), 1)
 }
 
 /// All evaluations of a multi-workload sweep for one scheduler.
@@ -34,19 +53,92 @@ impl SweepRow {
     }
 }
 
+/// A labeled (mixes × kinds) sweep as an immutable plan: the flat job list
+/// (kind-major, matching the serial sweeps) plus the recipe to collate the
+/// flat results back into one [`SweepRow`] per labeled kind.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    labels: Vec<String>,
+    mixes_per_row: usize,
+    plan: EvalPlan,
+}
+
+impl SweepPlan {
+    /// Builds the plan for every mix under every labeled kind.
+    #[must_use]
+    pub fn new(mixes: &[MixSpec], kinds: &[(String, SchedulerKind)]) -> Self {
+        let mut plan = EvalPlan::new();
+        for (_, kind) in kinds {
+            for mix in mixes {
+                plan.add(mix.clone(), kind.clone());
+            }
+        }
+        SweepPlan {
+            labels: kinds.iter().map(|(l, _)| l.clone()).collect(),
+            mixes_per_row: mixes.len(),
+            plan,
+        }
+    }
+
+    /// The flat job list (kind-major).
+    #[must_use]
+    pub fn plan(&self) -> &EvalPlan {
+        &self.plan
+    }
+
+    /// The row labels, in row order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Total number of jobs in the sweep.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Collates flat plan-order results into labeled rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evals` does not hold exactly one evaluation per job.
+    #[must_use]
+    pub fn collate(&self, evals: Vec<MixEvaluation>) -> Vec<SweepRow> {
+        assert_eq!(evals.len(), self.plan.len(), "one evaluation per planned job");
+        let mut evals = evals.into_iter();
+        self.labels
+            .iter()
+            .map(|label| SweepRow {
+                label: label.clone(),
+                evaluations: evals.by_ref().take(self.mixes_per_row).collect(),
+            })
+            .collect()
+    }
+
+    /// Executes the sweep on `harness` with up to `jobs` worker threads
+    /// and collates the results.
+    #[must_use]
+    pub fn run(&self, harness: &Harness, jobs: usize) -> Vec<SweepRow> {
+        self.collate(harness.run_plan(&self.plan, jobs))
+    }
+}
+
+/// The plan behind Figs. 8 and 10 and Table 4: every mix under every
+/// labeled scheduler kind.
+#[must_use]
+pub fn sweep_plan(mixes: &[MixSpec], kinds: &[(String, SchedulerKind)]) -> SweepPlan {
+    SweepPlan::new(mixes, kinds)
+}
+
 /// Runs every mix under every scheduler kind (Figs. 8, 10; Table 4).
+#[deprecated(note = "run `sweep_plan(mixes, kinds)` on a `Harness` via `SweepPlan::run`")]
 pub fn sweep(
     session: &mut Session,
     mixes: &[MixSpec],
     kinds: &[(String, SchedulerKind)],
 ) -> Vec<SweepRow> {
-    kinds
-        .iter()
-        .map(|(label, kind)| SweepRow {
-            label: label.clone(),
-            evaluations: mixes.iter().map(|m| session.evaluate_mix(m, kind)).collect(),
-        })
-        .collect()
+    sweep_plan(mixes, kinds).run(session.harness(), 1)
 }
 
 /// The five paper schedulers as labeled sweep inputs.
@@ -55,15 +147,12 @@ pub fn paper_five_labeled() -> Vec<(String, SchedulerKind)> {
     SchedulerKind::paper_five().into_iter().map(|k| (k.name().to_owned(), k)).collect()
 }
 
-/// Fig. 11: Marking-Cap sweep. `caps` are the cap values (`None` = no cap);
-/// labels follow the paper ("c=1".."c=20", "no-c").
-pub fn marking_cap_sweep(
-    session: &mut Session,
-    mixes: &[MixSpec],
-    caps: &[Option<u32>],
-) -> Vec<SweepRow> {
-    let kinds: Vec<(String, SchedulerKind)> = caps
-        .iter()
+/// The labeled kinds of the Fig. 11 Marking-Cap sweep. `caps` are the cap
+/// values (`None` = no cap); labels follow the paper ("c=1".."c=20",
+/// "no-c").
+#[must_use]
+pub fn marking_cap_kinds(caps: &[Option<u32>]) -> Vec<(String, SchedulerKind)> {
+    caps.iter()
         .map(|cap| {
             let label = match cap {
                 Some(c) => format!("c={c}"),
@@ -74,13 +163,31 @@ pub fn marking_cap_sweep(
                 SchedulerKind::ParBs(ParBsConfig { marking_cap: *cap, ..ParBsConfig::default() }),
             )
         })
-        .collect();
-    sweep(session, mixes, &kinds)
+        .collect()
 }
 
-/// Fig. 12: batching-choice sweep — time-based static batching with the
-/// paper's durations, empty-slot batching, and full batching.
-pub fn batching_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
+/// The plan behind Fig. 11: the Marking-Cap sweep.
+#[must_use]
+pub fn marking_cap_plan(mixes: &[MixSpec], caps: &[Option<u32>]) -> SweepPlan {
+    SweepPlan::new(mixes, &marking_cap_kinds(caps))
+}
+
+/// Fig. 11: Marking-Cap sweep. `caps` are the cap values (`None` = no cap);
+/// labels follow the paper ("c=1".."c=20", "no-c").
+#[deprecated(note = "run `marking_cap_plan(mixes, caps)` on a `Harness` via `SweepPlan::run`")]
+pub fn marking_cap_sweep(
+    session: &mut Session,
+    mixes: &[MixSpec],
+    caps: &[Option<u32>],
+) -> Vec<SweepRow> {
+    marking_cap_plan(mixes, caps).run(session.harness(), 1)
+}
+
+/// The labeled kinds of the Fig. 12 batching-choice sweep: time-based
+/// static batching with the paper's durations, empty-slot batching, and
+/// full batching.
+#[must_use]
+pub fn batching_kinds() -> Vec<(String, SchedulerKind)> {
     let mut kinds: Vec<(String, SchedulerKind)> =
         [400u64, 800, 1_600, 3_200, 6_400, 12_800, 25_600]
             .iter()
@@ -102,7 +209,20 @@ pub fn batching_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow>
         }),
     ));
     kinds.push(("full".to_owned(), SchedulerKind::ParBs(ParBsConfig::default())));
-    sweep(session, mixes, &kinds)
+    kinds
+}
+
+/// The plan behind Fig. 12: the batching-choice sweep.
+#[must_use]
+pub fn batching_plan(mixes: &[MixSpec]) -> SweepPlan {
+    SweepPlan::new(mixes, &batching_kinds())
+}
+
+/// Fig. 12: batching-choice sweep — time-based static batching with the
+/// paper's durations, empty-slot batching, and full batching.
+#[deprecated(note = "run `batching_plan(mixes)` on a `Harness` via `SweepPlan::run`")]
+pub fn batching_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
+    batching_plan(mixes).run(session.harness(), 1)
 }
 
 /// The labeled scheduler list of Fig. 13: the within-batch ranking
@@ -121,17 +241,24 @@ pub fn ranking_kinds() -> Vec<(String, SchedulerKind)> {
     ]
 }
 
-/// Fig. 13: within-batch scheduling sweep — the ranking alternatives plus
-/// the rank-free variants and STFM for reference.
-pub fn ranking_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
-    let kinds = ranking_kinds();
-    sweep(session, mixes, &kinds)
+/// The plan behind Fig. 13: the within-batch scheduling sweep.
+#[must_use]
+pub fn ranking_plan(mixes: &[MixSpec]) -> SweepPlan {
+    SweepPlan::new(mixes, &ranking_kinds())
 }
 
-/// Fig. 14 (left): four copies of lbm with unequal importance — NFQ/STFM
-/// weights 8-8-4-1, PAR-BS priorities 1-1-2-8. Returns one evaluation per
-/// scheme in the order FR-FCFS, NFQ, STFM, PAR-BS.
-pub fn priority_weighted_lbm(session: &mut Session) -> Vec<MixEvaluation> {
+/// Fig. 13: within-batch scheduling sweep — the ranking alternatives plus
+/// the rank-free variants and STFM for reference.
+#[deprecated(note = "run `ranking_plan(mixes)` on a `Harness` via `SweepPlan::run`")]
+pub fn ranking_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
+    ranking_plan(mixes).run(session.harness(), 1)
+}
+
+/// The plan behind Fig. 14 (left): four copies of lbm with unequal
+/// importance — NFQ/STFM weights 8-8-4-1, PAR-BS priorities 1-1-2-8. One
+/// job per scheme in the order FR-FCFS, NFQ, STFM, PAR-BS.
+#[must_use]
+pub fn priority_weighted_plan() -> EvalPlan {
     let mix = MixSpec::from_names("lbm-pri", &["lbm", "lbm", "lbm", "lbm"]);
     let weights = vec![8.0, 8.0, 4.0, 1.0];
     let priorities = vec![
@@ -140,23 +267,30 @@ pub fn priority_weighted_lbm(session: &mut Session) -> Vec<MixEvaluation> {
         ThreadPriority::Level(2),
         ThreadPriority::Level(8),
     ];
-    vec![
-        session.evaluate_mix(&mix, &SchedulerKind::FrFcfs),
-        session.evaluate_mix_with(&mix, &SchedulerKind::Nfq, weights.clone(), Vec::new()),
-        session.evaluate_mix_with(&mix, &SchedulerKind::Stfm, weights, Vec::new()),
-        session.evaluate_mix_with(
-            &mix,
-            &SchedulerKind::ParBs(ParBsConfig::default()),
-            Vec::new(),
-            priorities,
-        ),
-    ]
+    let mut plan = EvalPlan::new();
+    plan.push(EvalJob::new(mix.clone(), SchedulerKind::FrFcfs));
+    plan.push(EvalJob::new(mix.clone(), SchedulerKind::Nfq).with_weights(weights.clone()));
+    plan.push(EvalJob::new(mix.clone(), SchedulerKind::Stfm).with_weights(weights));
+    plan.push(
+        EvalJob::new(mix, SchedulerKind::ParBs(ParBsConfig::default())).with_priorities(priorities),
+    );
+    plan
 }
 
-/// Fig. 14 (right): omnetpp is the only important thread; the other three
-/// run opportunistically (PAR-BS) or with a tiny share (weight 1 vs. 8192
-/// for NFQ/STFM, approximating "opportunistic" as the paper does).
-pub fn priority_opportunistic(session: &mut Session) -> Vec<MixEvaluation> {
+/// Fig. 14 (left): four copies of lbm with unequal importance — NFQ/STFM
+/// weights 8-8-4-1, PAR-BS priorities 1-1-2-8. Returns one evaluation per
+/// scheme in the order FR-FCFS, NFQ, STFM, PAR-BS.
+#[deprecated(note = "run `priority_weighted_plan()` on a `Harness` via `Harness::run_plan`")]
+pub fn priority_weighted_lbm(session: &mut Session) -> Vec<MixEvaluation> {
+    session.harness().run_plan(&priority_weighted_plan(), 1)
+}
+
+/// The plan behind Fig. 14 (right): omnetpp is the only important thread;
+/// the other three run opportunistically (PAR-BS) or with a tiny share
+/// (weight 1 vs. 8192 for NFQ/STFM, approximating "opportunistic" as the
+/// paper does).
+#[must_use]
+pub fn priority_opportunistic_plan() -> EvalPlan {
     let mix = MixSpec::from_names("omnetpp-pri", &["libquantum", "milc", "omnetpp", "astar"]);
     let weights = vec![1.0, 1.0, 8192.0, 1.0];
     let priorities = vec![
@@ -165,17 +299,22 @@ pub fn priority_opportunistic(session: &mut Session) -> Vec<MixEvaluation> {
         ThreadPriority::Level1,
         ThreadPriority::Opportunistic,
     ];
-    vec![
-        session.evaluate_mix(&mix, &SchedulerKind::FrFcfs),
-        session.evaluate_mix_with(&mix, &SchedulerKind::Nfq, weights.clone(), Vec::new()),
-        session.evaluate_mix_with(&mix, &SchedulerKind::Stfm, weights, Vec::new()),
-        session.evaluate_mix_with(
-            &mix,
-            &SchedulerKind::ParBs(ParBsConfig::default()),
-            Vec::new(),
-            priorities,
-        ),
-    ]
+    let mut plan = EvalPlan::new();
+    plan.push(EvalJob::new(mix.clone(), SchedulerKind::FrFcfs));
+    plan.push(EvalJob::new(mix.clone(), SchedulerKind::Nfq).with_weights(weights.clone()));
+    plan.push(EvalJob::new(mix.clone(), SchedulerKind::Stfm).with_weights(weights));
+    plan.push(
+        EvalJob::new(mix, SchedulerKind::ParBs(ParBsConfig::default())).with_priorities(priorities),
+    );
+    plan
+}
+
+/// Fig. 14 (right): omnetpp is the only important thread; the other three
+/// run opportunistically (PAR-BS) or with a tiny share (weight 1 vs. 8192
+/// for NFQ/STFM, approximating "opportunistic" as the paper does).
+#[deprecated(note = "run `priority_opportunistic_plan()` on a `Harness` via `Harness::run_plan`")]
+pub fn priority_opportunistic(session: &mut Session) -> Vec<MixEvaluation> {
+    session.harness().run_plan(&priority_opportunistic_plan(), 1)
 }
 
 /// One row of the regenerated Table 3.
@@ -198,27 +337,33 @@ pub struct Table3Row {
 }
 
 /// Regenerates Table 3: every benchmark alone on the baseline system under
+/// FR-FCFS, fanned over up to `jobs` worker threads. `harness` supplies
+/// the base configuration (its core count is replaced by 1).
+#[must_use]
+pub fn table3_rows(harness: &Harness, jobs: usize) -> Vec<Table3Row> {
+    let alone = Harness::new(SimConfig { cores: 1, ..harness.config().clone() });
+    let benches: Vec<&'static BenchmarkProfile> = all_benchmarks().iter().collect();
+    crate::executor::scope_map(&benches, jobs, |&bench| {
+        let mix = MixSpec { name: bench.name.to_owned(), benchmarks: vec![bench] };
+        let result = alone.run_shared(&mix, &SchedulerKind::FrFcfs, &EvalOverrides::none());
+        let t = result.threads[0];
+        Table3Row {
+            bench,
+            mcpi: t.mcpi(),
+            mpki: t.mpki(),
+            rb_hit: result.row_hit_rate,
+            blp: t.blp,
+            ast_per_req: t.ast_per_req(),
+            measured_category: classify(t.mcpi(), result.row_hit_rate, t.blp),
+        }
+    })
+}
+
+/// Regenerates Table 3: every benchmark alone on the baseline system under
 /// FR-FCFS.
+#[deprecated(note = "use `table3_rows(harness, jobs)`")]
 pub fn table3(session: &mut Session) -> Vec<Table3Row> {
-    all_benchmarks()
-        .iter()
-        .map(|bench| {
-            let mix = MixSpec { name: bench.name.to_owned(), benchmarks: vec![bench] };
-            let mut alone_session =
-                Session::new(crate::SimConfig { cores: 1, ..session.config().clone() });
-            let result = alone_session.run_shared(&mix, &SchedulerKind::FrFcfs);
-            let t = result.threads[0];
-            Table3Row {
-                bench,
-                mcpi: t.mcpi(),
-                mpki: t.mpki(),
-                rb_hit: result.row_hit_rate,
-                blp: t.blp,
-                ast_per_req: t.ast_per_req(),
-                measured_category: classify(t.mcpi(), result.row_hit_rate, t.blp),
-            }
-        })
-        .collect()
+    table3_rows(session.harness(), 1)
 }
 
 /// Micro-experiments behind the motivation figures (Figs. 1 and 2).
@@ -293,17 +438,28 @@ mod tests {
     use crate::SimConfig;
     use parbs_workloads::case_study_1;
 
-    fn quick_session() -> Session {
-        Session::new(SimConfig { target_instructions: 1_000, ..SimConfig::for_cores(4) })
+    fn quick_harness() -> Harness {
+        Harness::new(SimConfig { target_instructions: 1_000, ..SimConfig::for_cores(4) })
     }
 
     #[test]
-    fn compare_schedulers_returns_five() {
-        let mut s = quick_session();
-        let evals = compare_schedulers(&mut s, &case_study_1());
+    fn compare_plan_returns_five() {
+        let h = quick_harness();
+        let evals = h.run_plan(&compare_plan(&case_study_1()), 2);
         assert_eq!(evals.len(), 5);
         assert_eq!(evals[0].scheduler, "FR-FCFS");
         assert_eq!(evals[4].scheduler, "PAR-BS");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_session_shims_match_the_plan_api() {
+        let mut s =
+            Session::new(SimConfig { target_instructions: 1_000, ..SimConfig::for_cores(4) });
+        let via_shim = compare_schedulers(&mut s, &case_study_1());
+        let h = quick_harness();
+        let via_plan = h.run_plan(&compare_plan(&case_study_1()), 1);
+        assert_eq!(via_shim, via_plan);
     }
 
     #[test]
@@ -330,14 +486,25 @@ mod tests {
     }
 
     #[test]
-    fn marking_cap_sweep_labels() {
-        let mut s = quick_session();
+    fn marking_cap_plan_labels() {
+        let h = quick_harness();
         let mixes = [case_study_1()];
-        let rows = marking_cap_sweep(&mut s, &mixes, &[Some(1), Some(5), None]);
+        let sweep = marking_cap_plan(&mixes, &[Some(1), Some(5), None]);
+        assert_eq!(sweep.job_count(), 3);
+        let rows = sweep.run(&h, 3);
         let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
         assert_eq!(labels, ["c=1", "c=5", "no-c"]);
         for row in &rows {
             assert_eq!(row.evaluations.len(), 1);
         }
+    }
+
+    #[test]
+    fn table3_rows_parallel_matches_serial() {
+        let h = quick_harness();
+        let serial = table3_rows(&h, 1);
+        let parallel = table3_rows(&h, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), all_benchmarks().len());
     }
 }

@@ -4,39 +4,56 @@
 //! A [`System`] couples N [`parbs_cpu::Core`]s (one thread each) to one
 //! [`parbs_dram::Controller`] per DRAM channel, routes requests by the
 //! XOR-permuted address mapping, and feeds per-thread stall cycles back to
-//! stall-time-aware schedulers (STFM). The [`Session`] runner measures each
-//! thread both **shared** (in a multiprogrammed mix) and **alone** on the
-//! same memory system — the two measurements behind the paper's memory
-//! slowdown, unfairness, weighted/hmean speedup and AST/req metrics — with
-//! alone-run caching across experiments.
+//! stall-time-aware schedulers (STFM).
+//!
+//! Measurement is **plan-based**: an [`EvalPlan`] is an immutable list of
+//! [`EvalJob`]s (mix × scheduler × [`EvalOverrides`]), and a `Send + Sync`
+//! [`Harness`] executes plans — serially or fanned across worker threads
+//! with [`Harness::run_plan`] — measuring each thread both **shared** (in a
+//! multiprogrammed mix) and **alone** on the same memory system. The two
+//! measurements yield the paper's memory slowdown, unfairness,
+//! weighted/hmean speedup and AST/req metrics; alone baselines are memoized
+//! in a concurrent single-flight cache keyed by [`AloneKey`], so results
+//! are identical at every `jobs` level.
 //!
 //! The [`experiments`] module encodes the parameter sweeps of Section 8
 //! (scheduler comparisons, Marking-Cap sweep, batching-mode sweep,
-//! within-batch ranking sweep, thread priorities).
+//! within-batch ranking sweep, thread priorities) as plan builders.
 //!
 //! # Examples
 //!
 //! ```
-//! use parbs_sim::{Session, SimConfig, SchedulerKind};
+//! use parbs_sim::{EvalJob, EvalPlan, Harness, SchedulerKind, SimConfig};
 //! use parbs_workloads::case_study_3;
 //!
-//! // A fast, scaled-down run of Case Study III (4 copies of lbm).
+//! // A fast, scaled-down run of Case Study III (4 copies of lbm) under
+//! // two schedulers, executed on two worker threads.
 //! let cfg = SimConfig { target_instructions: 2_000, ..SimConfig::for_cores(4) };
-//! let mut session = Session::new(cfg);
-//! let row = session.evaluate_mix(&case_study_3(), &SchedulerKind::FrFcfs);
-//! assert_eq!(row.metrics.slowdowns.len(), 4);
+//! let harness = Harness::new(cfg);
+//! let mut plan = EvalPlan::new();
+//! plan.push(EvalJob::new(case_study_3(), SchedulerKind::FrFcfs));
+//! plan.push(EvalJob::new(case_study_3(), SchedulerKind::ParBs(Default::default())));
+//! let rows = harness.run_plan(&plan, 2);
+//! assert_eq!(rows.len(), 2);
+//! assert_eq!(rows[0].metrics.slowdowns.len(), 4);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+mod executor;
 pub mod experiments;
+mod harness;
+mod plan;
 mod runner;
 mod sched_kind;
 mod system;
 
 pub use config::SimConfig;
-pub use runner::{MixEvaluation, Session};
+pub use executor::default_jobs;
+pub use harness::{AloneKey, CacheStats, Harness, MixEvaluation};
+pub use plan::{EvalJob, EvalOverrides, EvalPlan};
+pub use runner::Session;
 pub use sched_kind::SchedulerKind;
 pub use system::{RunResult, System, ThreadRunStats};

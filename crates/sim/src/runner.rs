@@ -1,68 +1,64 @@
-//! The measurement runner: shared runs vs. cached alone runs, combined into
-//! the paper's metrics.
+//! The legacy serial measurement runner, kept as a thin shim over
+//! [`Harness`] so existing callers keep compiling.
+//!
+//! [`Session`] predates the plan-based API: it bundled a mutable
+//! configuration with a Debug-string-keyed alone cache, and experiments
+//! mutated the config in place (save/restore) to apply per-run weights.
+//! The replacement splits those roles: an immutable, `Send + Sync`
+//! [`Harness`] owns the config and the concurrent alone memo, immutable
+//! [`crate::EvalPlan`]s describe what to run, and per-job
+//! [`EvalOverrides`] replace the mutate-then-restore dance. New code
+//! should use [`Harness`] directly (see [`Harness::run_plan`]).
 
-use std::collections::HashMap;
+use parbs_workloads::{BenchmarkProfile, MixSpec};
 
-use parbs_cpu::InstructionStream;
-use parbs_metrics::{evaluate, MetricsRow, ThreadComparison, ThreadMeasurement};
-use parbs_workloads::{BenchmarkProfile, MixSpec, SyntheticStream};
+use crate::{
+    EvalOverrides, Harness, MixEvaluation, RunResult, SchedulerKind, SimConfig, ThreadRunStats,
+};
 
-use crate::{RunResult, SchedulerKind, SimConfig, System, ThreadRunStats};
-
-/// The evaluated result of one (mix, scheduler) pair.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MixEvaluation {
-    /// Scheduler display name.
-    pub scheduler: String,
-    /// Mix display name.
-    pub mix: String,
-    /// Benchmark name per thread.
-    pub thread_names: Vec<String>,
-    /// Unfairness / weighted speedup / hmean speedup / AST / slowdowns.
-    pub metrics: MetricsRow,
-    /// Shared-run snapshots per thread.
-    pub shared: Vec<ThreadRunStats>,
-    /// Worst-case read latency of the shared run.
-    pub worst_case_latency: u64,
-    /// Row-buffer hit rate of the shared run.
-    pub row_hit_rate: f64,
-}
-
-/// Runs experiments with alone-run caching. The alone baseline of a
-/// benchmark depends on the scheduler, the DRAM shape, and the run length,
-/// so the cache is keyed on all three.
+/// Serial convenience wrapper around [`Harness`] (the pre-plan API).
+///
+/// Methods take `&mut self` for source compatibility with the old mutable
+/// runner; all state changes happen inside the harness's thread-safe alone
+/// memo. Prefer [`Harness`] in new code — it is `Send + Sync` and powers
+/// the parallel executor.
 pub struct Session {
-    cfg: SimConfig,
-    alone_cache: HashMap<String, ThreadRunStats>,
+    harness: Harness,
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Session").field("cached_alone_runs", &self.alone_cache.len()).finish()
+        f.debug_struct("Session")
+            .field("cached_alone_runs", &self.harness.cache_stats().entries)
+            .finish()
     }
 }
 
 impl Session {
-    /// Creates a session with the given base configuration. Per-experiment
-    /// weight/priority overrides are passed to
-    /// [`Session::evaluate_mix_with`].
+    /// Creates a session with the given base configuration.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
-        Session { cfg, alone_cache: HashMap::new() }
+        Session { harness: Harness::new(cfg) }
     }
 
     /// The base configuration.
     #[must_use]
     pub fn config(&self) -> &SimConfig {
-        &self.cfg
+        self.harness.config()
     }
 
-    fn stream_for(
-        &self,
-        bench: &'static BenchmarkProfile,
-        salt: u64,
-    ) -> Box<dyn InstructionStream> {
-        Box::new(SyntheticStream::new(bench, self.cfg.geometry(), self.cfg.seed, salt))
+    /// The underlying harness — the migration path to the plan-based API
+    /// (share it across threads, run [`crate::EvalPlan`]s on it).
+    #[must_use]
+    pub fn harness(&self) -> &Harness {
+        &self.harness
+    }
+
+    /// Consumes the session, returning the harness with its warm alone
+    /// cache.
+    #[must_use]
+    pub fn into_harness(self) -> Harness {
+        self.harness
     }
 
     /// Runs `bench` alone on the same memory system under `kind`,
@@ -72,25 +68,7 @@ impl Session {
         bench: &'static BenchmarkProfile,
         kind: &SchedulerKind,
     ) -> ThreadRunStats {
-        // Build the alone-run configuration first and key the cache on its
-        // entire Debug rendering: the baseline depends on every DRAM and run
-        // parameter (banks, timing, queue depth, seed, ...), not just the
-        // channel count — keying on a subset silently reuses a baseline
-        // across different memory systems.
-        let mut cfg = self.cfg.clone();
-        cfg.cores = 1;
-        cfg.thread_weights = Vec::new();
-        cfg.thread_priorities = Vec::new();
-        let key = format!("{}|{kind:?}|{cfg:?}", bench.name);
-        if let Some(hit) = self.alone_cache.get(&key) {
-            return *hit;
-        }
-        let stream = self.stream_for(bench, 0);
-        let mut sys = System::new(cfg, vec![stream], kind);
-        let result = sys.run();
-        let stats = result.threads[0];
-        self.alone_cache.insert(key, stats);
-        stats
+        self.harness.alone(bench, kind)
     }
 
     /// Runs `mix` shared under `kind` (with the session's base weights and
@@ -102,43 +80,26 @@ impl Session {
     /// baselines and streams must target the same DRAM geometry, so use one
     /// session per system size.
     pub fn run_shared(&mut self, mix: &MixSpec, kind: &SchedulerKind) -> RunResult {
-        assert_eq!(
-            mix.cores(),
-            self.cfg.cores,
-            "mix '{}' needs a {}-core session",
-            mix.name,
-            mix.cores()
-        );
-        let streams: Vec<Box<dyn InstructionStream>> =
-            mix.benchmarks.iter().enumerate().map(|(i, b)| self.stream_for(b, i as u64)).collect();
-        System::new(self.cfg.clone(), streams, kind).run()
+        self.harness.run_shared(mix, kind, &EvalOverrides::none())
     }
 
     /// Shared run + alone baselines + metrics for one (mix, scheduler).
     pub fn evaluate_mix(&mut self, mix: &MixSpec, kind: &SchedulerKind) -> MixEvaluation {
-        let shared = self.run_shared(mix, kind);
-        let comparisons: Vec<ThreadComparison> = mix
-            .benchmarks
-            .iter()
-            .zip(&shared.threads)
-            .map(|(bench, s)| ThreadComparison {
-                shared: to_measurement(s),
-                alone: to_measurement(&self.alone(bench, kind)),
-            })
-            .collect();
-        MixEvaluation {
-            scheduler: kind.name().to_owned(),
-            mix: mix.name.clone(),
-            thread_names: mix.benchmarks.iter().map(|b| b.name.to_owned()).collect(),
-            metrics: evaluate(&comparisons),
-            shared: shared.threads.clone(),
-            worst_case_latency: shared.worst_case_latency,
-            row_hit_rate: shared.row_hit_rate,
-        }
+        self.harness.evaluate_mix(mix, kind)
     }
 
     /// Like [`Session::evaluate_mix`] but with per-thread weights (NFQ,
     /// STFM) and priorities (PAR-BS) — the Section 5 / Fig. 14 experiments.
+    ///
+    /// Unlike the original implementation this no longer mutates the
+    /// session's config (which corrupted the session if a run panicked
+    /// mid-way); an empty `weights`/`priorities` vector now means "inherit
+    /// the base configuration" rather than "clear it", which is identical
+    /// whenever the base is unweighted (the only way sessions were built).
+    #[deprecated(
+        note = "use `Harness::evaluate_mix_with` with `&EvalOverrides` (or an `EvalPlan` \
+                job with overrides)"
+    )]
     pub fn evaluate_mix_with(
         &mut self,
         mix: &MixSpec,
@@ -146,72 +107,32 @@ impl Session {
         weights: Vec<f64>,
         priorities: Vec<parbs::ThreadPriority>,
     ) -> MixEvaluation {
-        let saved_w = std::mem::replace(&mut self.cfg.thread_weights, weights);
-        let saved_p = std::mem::replace(&mut self.cfg.thread_priorities, priorities);
-        let result = self.evaluate_mix(mix, kind);
-        self.cfg.thread_weights = saved_w;
-        self.cfg.thread_priorities = saved_p;
-        result
-    }
-}
-
-fn to_measurement(s: &ThreadRunStats) -> ThreadMeasurement {
-    ThreadMeasurement {
-        instructions: s.instructions,
-        cycles: s.cycles,
-        mem_stall_cycles: s.mem_stall_cycles,
-        dram_reads: s.dram_reads,
+        self.harness.evaluate_mix_with(mix, kind, &EvalOverrides { weights, priorities })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parbs_workloads::{case_study_1, case_study_3};
+    use parbs_workloads::case_study_1;
 
     fn quick_session() -> Session {
         Session::new(SimConfig { target_instructions: 1_500, ..SimConfig::for_cores(4) })
     }
 
     #[test]
-    fn alone_runs_are_cached() {
+    fn session_delegates_to_a_shared_harness_cache() {
         let mut s = quick_session();
         let b = parbs_workloads::by_name("mcf").unwrap();
         let a1 = s.alone(b, &SchedulerKind::FrFcfs);
         let a2 = s.alone(b, &SchedulerKind::FrFcfs);
         assert_eq!(a1, a2);
-        assert_eq!(s.alone_cache.len(), 1);
+        assert_eq!(s.harness().cache_stats().entries, 1);
     }
 
     #[test]
-    fn alone_cache_distinguishes_dram_shapes() {
-        // Regression: the cache key once covered only the channel count and
-        // run length, so sessions differing in any other DRAM parameter
-        // (here: bank count) would alias to one entry and reuse a baseline
-        // from the wrong memory system.
-        let mut s = quick_session();
-        let b = parbs_workloads::by_name("mcf").unwrap();
-        let eight_banks = s.alone(b, &SchedulerKind::FrFcfs);
-        s.cfg.dram.banks_per_channel = 4;
-        let four_banks = s.alone(b, &SchedulerKind::FrFcfs);
-        assert_eq!(s.alone_cache.len(), 2, "different bank counts must cache separately");
-        assert_ne!(eight_banks, four_banks, "halving the banks must change the baseline");
-    }
-
-    #[test]
-    fn evaluate_mix_produces_full_metrics() {
-        let mut s = quick_session();
-        let e = s.evaluate_mix(&case_study_1(), &SchedulerKind::FrFcfs);
-        assert_eq!(e.metrics.slowdowns.len(), 4);
-        assert!(e.metrics.unfairness >= 1.0);
-        assert!(e.metrics.weighted_speedup > 0.0 && e.metrics.weighted_speedup <= 4.0 + 1e-9);
-        for sl in &e.metrics.slowdowns {
-            assert!(*sl > 0.5, "slowdown {sl} out of plausible range");
-        }
-    }
-
-    #[test]
-    fn evaluate_mix_with_restores_base_config() {
+    #[allow(deprecated)]
+    fn deprecated_override_signature_still_works_and_leaves_config_clean() {
         let mut s = quick_session();
         let mix = case_study_1();
         let _ = s.evaluate_mix_with(
@@ -220,19 +141,16 @@ mod tests {
             vec![8.0, 1.0, 1.0, 1.0],
             vec![parbs::ThreadPriority::Opportunistic; 4],
         );
-        assert!(s.config().thread_weights.is_empty(), "weights must be restored");
-        assert!(s.config().thread_priorities.is_empty(), "priorities must be restored");
+        assert!(s.config().thread_weights.is_empty(), "weights must not leak into the base");
+        assert!(s.config().thread_priorities.is_empty(), "priorities must not leak");
     }
 
     #[test]
-    fn identical_threads_have_similar_slowdowns() {
+    fn session_and_harness_agree() {
         let mut s = quick_session();
-        let e = s.evaluate_mix(&case_study_3(), &SchedulerKind::FrFcfs);
-        // 4 copies of lbm: unfairness should be near 1 (Fig. 7).
-        assert!(
-            e.metrics.unfairness < 1.5,
-            "uniform mix should be roughly fair, got {}",
-            e.metrics.unfairness
-        );
+        let via_session = s.evaluate_mix(&case_study_1(), &SchedulerKind::FrFcfs);
+        let h = Harness::new(SimConfig { target_instructions: 1_500, ..SimConfig::for_cores(4) });
+        let via_harness = h.evaluate_mix(&case_study_1(), &SchedulerKind::FrFcfs);
+        assert_eq!(via_session, via_harness);
     }
 }

@@ -7,7 +7,7 @@ use parbs_dram::{MemoryScheduler, ThreadId};
 use crate::SimConfig;
 
 /// One of the evaluated scheduling policies.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// First-come-first-serve.
     Fcfs,

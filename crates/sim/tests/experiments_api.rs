@@ -1,23 +1,25 @@
 //! Integration tests for the experiment harness itself: labels, row
-//! alignment, Table 3 coverage, and the sweep plumbing the figure binaries
-//! rely on.
+//! alignment, Table 3 coverage, and the plan/collation plumbing the figure
+//! binaries rely on.
 
 use parbs_sim::experiments::{
-    batching_sweep, marking_cap_sweep, paper_five_labeled, ranking_kinds, sweep, table3,
+    batching_plan, marking_cap_plan, paper_five_labeled, ranking_kinds, sweep_plan, table3_rows,
 };
-use parbs_sim::{Session, SimConfig};
+use parbs_sim::{Harness, SimConfig};
 use parbs_workloads::{all_benchmarks, random_mixes};
 
-fn quick_session() -> Session {
-    Session::new(SimConfig { target_instructions: 800, ..SimConfig::for_cores(4) })
+fn quick_harness() -> Harness {
+    Harness::new(SimConfig { target_instructions: 800, ..SimConfig::for_cores(4) })
 }
 
 #[test]
 fn sweep_rows_align_with_mixes_and_kinds() {
-    let mut s = quick_session();
+    let h = quick_harness();
     let mixes = random_mixes(4, 3, 5);
     let kinds = paper_five_labeled();
-    let rows = sweep(&mut s, &mixes, &kinds);
+    let sweep = sweep_plan(&mixes, &kinds);
+    assert_eq!(sweep.job_count(), mixes.len() * kinds.len());
+    let rows = sweep.run(&h, 4);
     assert_eq!(rows.len(), kinds.len());
     for (row, (label, _)) in rows.iter().zip(&kinds) {
         assert_eq!(&row.label, label);
@@ -31,18 +33,18 @@ fn sweep_rows_align_with_mixes_and_kinds() {
 
 #[test]
 fn marking_cap_sweep_labels_follow_paper() {
-    let mut s = quick_session();
+    let h = quick_harness();
     let mixes = random_mixes(4, 1, 5);
-    let rows = marking_cap_sweep(&mut s, &mixes, &[Some(1), Some(20), None]);
+    let rows = marking_cap_plan(&mixes, &[Some(1), Some(20), None]).run(&h, 2);
     let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
     assert_eq!(labels, ["c=1", "c=20", "no-c"]);
 }
 
 #[test]
 fn batching_sweep_has_nine_variants() {
-    let mut s = quick_session();
+    let h = quick_harness();
     let mixes = random_mixes(4, 1, 5);
-    let rows = batching_sweep(&mut s, &mixes);
+    let rows = batching_plan(&mixes).run(&h, 4);
     let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
     assert_eq!(
         labels,
@@ -64,8 +66,8 @@ fn ranking_kinds_cover_figure13() {
 
 #[test]
 fn table3_covers_all_28_benchmarks_in_order() {
-    let mut s = quick_session();
-    let rows = table3(&mut s);
+    let h = quick_harness();
+    let rows = table3_rows(&h, 4);
     assert_eq!(rows.len(), 28);
     for (row, bench) in rows.iter().zip(all_benchmarks()) {
         assert_eq!(row.bench.number, bench.number);
@@ -81,14 +83,32 @@ fn table3_covers_all_28_benchmarks_in_order() {
 
 #[test]
 fn summaries_aggregate_consistently() {
-    let mut s = quick_session();
+    let h = quick_harness();
     let mixes = random_mixes(4, 2, 5);
-    let rows = sweep(&mut s, &mixes, &paper_five_labeled());
+    let rows = sweep_plan(&mixes, &paper_five_labeled()).run(&h, 4);
     for row in &rows {
         let summary = row.summary();
         assert_eq!(summary.name, row.label);
         assert!(summary.unfairness >= 1.0);
         let max_wc = row.evaluations.iter().map(|e| e.worst_case_latency).max().unwrap();
         assert_eq!(summary.worst_case_latency, max_wc);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_session_sweep_matches_plan_run() {
+    // The compatibility shims must stay behaviorally identical to the
+    // plan-based path (they delegate to it with jobs = 1).
+    let mut session =
+        parbs_sim::Session::new(SimConfig { target_instructions: 800, ..SimConfig::for_cores(4) });
+    let mixes = random_mixes(4, 1, 9);
+    let kinds = paper_five_labeled();
+    let via_shim = parbs_sim::experiments::sweep(&mut session, &mixes, &kinds);
+    let via_plan = sweep_plan(&mixes, &kinds).run(&quick_harness(), 2);
+    assert_eq!(via_shim.len(), via_plan.len());
+    for (a, b) in via_shim.iter().zip(&via_plan) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.evaluations, b.evaluations);
     }
 }

@@ -9,18 +9,18 @@
 //! Run with: `cargo run --release --example qos_priorities`
 
 use parbs::ThreadPriority;
-use parbs_sim::{experiments, Session, SimConfig};
+use parbs_sim::{default_jobs, experiments, Harness, SimConfig};
 
 fn main() {
-    let mut session =
-        Session::new(SimConfig { target_instructions: 10_000, ..SimConfig::for_cores(4) });
+    let harness =
+        Harness::new(SimConfig { target_instructions: 10_000, ..SimConfig::for_cores(4) });
 
     println!("four lbm copies with decreasing importance (priorities 1-1-2-8):\n");
-    let left = experiments::priority_weighted_lbm(&mut session);
+    let left = harness.run_plan(&experiments::priority_weighted_plan(), default_jobs());
     print_rows(&left);
 
     println!("\nomnetpp important, the rest opportunistic:\n");
-    let right = experiments::priority_opportunistic(&mut session);
+    let right = harness.run_plan(&experiments::priority_opportunistic_plan(), default_jobs());
     print_rows(&right);
 
     println!(

@@ -5,7 +5,7 @@
 
 use parbs::{ParBsConfig, ParBsScheduler};
 use parbs_dram::{Controller, DramConfig, LineAddr, Request, RequestKind, ThreadId};
-use parbs_sim::{experiments, Session, SimConfig};
+use parbs_sim::{experiments, Harness, SimConfig};
 use parbs_workloads::case_study_1;
 
 fn main() {
@@ -38,14 +38,15 @@ fn main() {
 
     // ── 2. Full-system comparison on Case Study I (Fig. 5): four intensive
     //       SPEC-like workloads sharing one DDR2-800 channel.
-    let mut session =
-        Session::new(SimConfig { target_instructions: 10_000, ..SimConfig::for_cores(4) });
+    let harness =
+        Harness::new(SimConfig { target_instructions: 10_000, ..SimConfig::for_cores(4) });
     println!("Case Study I (libquantum + mcf + GemsFDTD + xalancbmk):");
     println!(
         "{:10} {:>10} {:>16} {:>14}",
         "scheduler", "unfairness", "weighted-speedup", "avg-stall/req"
     );
-    for eval in experiments::compare_schedulers(&mut session, &case_study_1()) {
+    let plan = experiments::compare_plan(&case_study_1());
+    for eval in harness.run_plan(&plan, parbs_sim::default_jobs()) {
         println!(
             "{:10} {:>10.2} {:>16.3} {:>14.1}",
             eval.scheduler,

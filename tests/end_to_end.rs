@@ -1,7 +1,7 @@
 //! Cross-crate integration: full-system runs with protocol checking,
 //! metric sanity, and determinism.
 
-use parbs_sim::{experiments, SchedulerKind, Session, SimConfig};
+use parbs_sim::{experiments, Harness, SchedulerKind, SimConfig};
 use parbs_workloads::{case_study_1, random_mixes};
 
 fn checked_cfg(cores: usize, target: u64) -> SimConfig {
@@ -12,8 +12,8 @@ fn checked_cfg(cores: usize, target: u64) -> SimConfig {
 fn all_five_schedulers_run_protocol_clean() {
     // `check_protocol` panics on any DRAM timing violation.
     for kind in SchedulerKind::paper_five() {
-        let mut session = Session::new(checked_cfg(4, 2_000));
-        let eval = session.evaluate_mix(&case_study_1(), &kind);
+        let harness = Harness::new(checked_cfg(4, 2_000));
+        let eval = harness.evaluate_mix(&case_study_1(), &kind);
         assert_eq!(eval.metrics.slowdowns.len(), 4, "{}", kind.name());
         assert!(eval.metrics.unfairness >= 1.0, "{}", kind.name());
         assert!(
@@ -28,8 +28,8 @@ fn all_five_schedulers_run_protocol_clean() {
 #[test]
 fn runs_are_deterministic() {
     let run = || {
-        let mut session = Session::new(checked_cfg(4, 2_000));
-        session.evaluate_mix(&case_study_1(), &SchedulerKind::ParBs(Default::default()))
+        let harness = Harness::new(checked_cfg(4, 2_000));
+        harness.evaluate_mix(&case_study_1(), &SchedulerKind::ParBs(Default::default()))
     };
     let a = run();
     let b = run();
@@ -41,8 +41,8 @@ fn runs_are_deterministic() {
 fn slowdowns_exceed_one_under_heavy_sharing() {
     // Four memory-intensive threads on one channel: every thread must be
     // measurably slowed relative to running alone.
-    let mut session = Session::new(checked_cfg(4, 3_000));
-    let eval = session.evaluate_mix(&case_study_1(), &SchedulerKind::FrFcfs);
+    let harness = Harness::new(checked_cfg(4, 3_000));
+    let eval = harness.evaluate_mix(&case_study_1(), &SchedulerKind::FrFcfs);
     for (name, s) in eval.thread_names.iter().zip(&eval.metrics.slowdowns) {
         assert!(*s > 1.2, "{name} slowdown {s} suspiciously low");
     }
@@ -51,9 +51,9 @@ fn slowdowns_exceed_one_under_heavy_sharing() {
 #[test]
 fn eight_and_sixteen_core_systems_run() {
     for cores in [8usize, 16] {
-        let mut session = Session::new(checked_cfg(cores, 1_000));
+        let harness = Harness::new(checked_cfg(cores, 1_000));
         let mix = &random_mixes(cores, 1, 7)[0];
-        let eval = session.evaluate_mix(mix, &SchedulerKind::ParBs(Default::default()));
+        let eval = harness.evaluate_mix(mix, &SchedulerKind::ParBs(Default::default()));
         assert_eq!(eval.metrics.slowdowns.len(), cores);
         assert!(eval.metrics.weighted_speedup > 0.0);
     }
@@ -61,10 +61,10 @@ fn eight_and_sixteen_core_systems_run() {
 
 #[test]
 fn alone_cache_consistent_across_equal_queries() {
-    let mut session = Session::new(checked_cfg(4, 2_000));
+    let harness = Harness::new(checked_cfg(4, 2_000));
     let mix = case_study_1();
-    let a = session.evaluate_mix(&mix, &SchedulerKind::Stfm);
-    let b = session.evaluate_mix(&mix, &SchedulerKind::Stfm);
+    let a = harness.evaluate_mix(&mix, &SchedulerKind::Stfm);
+    let b = harness.evaluate_mix(&mix, &SchedulerKind::Stfm);
     assert_eq!(a.metrics.slowdowns, b.metrics.slowdowns);
 }
 

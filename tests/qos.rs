@@ -2,17 +2,17 @@
 //! NFQ/STFM weights (Section 5 / Fig. 14 behaviours).
 
 use parbs::{ParBsConfig, ThreadPriority};
-use parbs_sim::{experiments, SchedulerKind, Session, SimConfig};
+use parbs_sim::{experiments, EvalOverrides, Harness, SchedulerKind, SimConfig};
 use parbs_workloads::MixSpec;
 
-fn session(target: u64) -> Session {
-    Session::new(SimConfig { target_instructions: target, ..SimConfig::for_cores(4) })
+fn harness(target: u64) -> Harness {
+    Harness::new(SimConfig { target_instructions: target, ..SimConfig::for_cores(4) })
 }
 
 #[test]
 fn opportunistic_threads_yield_to_the_important_one() {
-    let mut s = session(6_000);
-    let evals = experiments::priority_opportunistic(&mut s);
+    let h = harness(6_000);
+    let evals = h.run_plan(&experiments::priority_opportunistic_plan(), 2);
     let parbs = evals.iter().find(|e| e.scheduler == "PAR-BS").unwrap();
     // Thread 2 (omnetpp) is the important one.
     let omnetpp = parbs.metrics.slowdowns[2];
@@ -32,8 +32,8 @@ fn opportunistic_threads_yield_to_the_important_one() {
 fn parbs_priority_levels_order_service() {
     // Four identical lbm copies with priorities 1, 1, 2, 8: the level-8
     // thread must be the most slowed, the level-1 threads the least.
-    let mut s = session(6_000);
-    let evals = experiments::priority_weighted_lbm(&mut s);
+    let h = harness(6_000);
+    let evals = h.run_plan(&experiments::priority_weighted_plan(), 2);
     let parbs = evals.iter().find(|e| e.scheduler == "PAR-BS").unwrap();
     let sl = &parbs.metrics.slowdowns;
     assert!(sl[3] > sl[0], "level-8 thread ({}) vs level-1 ({})", sl[3], sl[0]);
@@ -45,9 +45,10 @@ fn parbs_priority_levels_order_service() {
 fn nfq_weights_shift_bandwidth() {
     // Same mix, one thread with 8x the share: it must be less slowed than
     // the weight-1 copies.
-    let mut s = session(6_000);
+    let h = harness(6_000);
     let mix = MixSpec::from_names("lbm4", &["lbm", "lbm", "lbm", "lbm"]);
-    let e = s.evaluate_mix_with(&mix, &SchedulerKind::Nfq, vec![8.0, 1.0, 1.0, 1.0], Vec::new());
+    let shares = EvalOverrides::weighted(vec![8.0, 1.0, 1.0, 1.0]);
+    let e = h.evaluate_mix_with(&mix, &SchedulerKind::Nfq, &shares);
     let sl = &e.metrics.slowdowns;
     assert!(
         sl[0] < sl[1] && sl[0] < sl[2] && sl[0] < sl[3],
@@ -57,9 +58,10 @@ fn nfq_weights_shift_bandwidth() {
 
 #[test]
 fn stfm_weights_shift_priority() {
-    let mut s = session(6_000);
+    let h = harness(6_000);
     let mix = MixSpec::from_names("lbm4", &["lbm", "lbm", "lbm", "lbm"]);
-    let e = s.evaluate_mix_with(&mix, &SchedulerKind::Stfm, vec![8.0, 1.0, 1.0, 1.0], Vec::new());
+    let shares = EvalOverrides::weighted(vec![8.0, 1.0, 1.0, 1.0]);
+    let e = h.evaluate_mix_with(&mix, &SchedulerKind::Stfm, &shares);
     let sl = &e.metrics.slowdowns;
     assert!(
         sl[0] < sl[1] && sl[0] < sl[2] && sl[0] < sl[3],
@@ -82,9 +84,10 @@ fn priority_levels_do_not_break_starvation_freedom() {
         ],
         ..SimConfig::for_cores(4)
     };
-    let mut s = Session::new(cfg);
+    let h = Harness::new(cfg);
     let mix = MixSpec::from_names("lbm4", &["lbm", "lbm", "lbm", "lbm"]);
-    let r = s.run_shared(&mix, &SchedulerKind::ParBs(ParBsConfig::default()));
+    let r =
+        h.run_shared(&mix, &SchedulerKind::ParBs(ParBsConfig::default()), &EvalOverrides::none());
     assert!(!r.timed_out, "every thread must finish");
     for t in &r.threads {
         assert!(t.instructions >= 3_000);
