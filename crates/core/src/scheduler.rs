@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 
 use parbs_dram::{MemoryScheduler, Request, SchedView, ThreadId};
+use parbs_obs::{Event, RankEntry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,6 +79,12 @@ pub struct ParBsScheduler {
     last_static_marking: Option<u64>,
     rng: StdRng,
     stats: ParBsStats,
+    /// Whether an event sink is attached downstream (controller-driven via
+    /// [`MemoryScheduler::set_observing`]). When false, no events are built.
+    observing: bool,
+    /// Buffered scheduler events; the controller drains these once per
+    /// decision slot with [`MemoryScheduler::drain_events`].
+    obs_events: Vec<Event>,
 }
 
 impl ParBsScheduler {
@@ -101,6 +108,8 @@ impl ParBsScheduler {
             last_static_marking: None,
             rng: StdRng::seed_from_u64(cfg.seed),
             stats: ParBsStats::default(),
+            observing: false,
+            obs_events: Vec::new(),
         }
     }
 
@@ -156,7 +165,7 @@ impl ParBsScheduler {
     /// Runs in O(k log k) over the k unmarked requests using reusable
     /// scratch — this is called once per scheduling slot in the eslot and
     /// static batching modes, where k is almost always 0.
-    fn mark(&mut self, queue: &mut [Request]) -> u64 {
+    fn mark(&mut self, queue: &mut [Request], now: u64) -> u64 {
         let cap = self.current_cap.unwrap_or(u32::MAX);
         let mut scratch = std::mem::take(&mut self.mark_scratch);
         scratch.clear();
@@ -180,6 +189,14 @@ impl ParBsScheduler {
                 *used += 1;
                 r.marked = true;
                 marked += 1;
+                if self.observing {
+                    self.obs_events.push(Event::Marked {
+                        at: now,
+                        request: r.id.0,
+                        thread: r.thread.0,
+                        bank: r.addr.bank,
+                    });
+                }
             }
         }
         scratch.clear();
@@ -216,16 +233,39 @@ impl ParBsScheduler {
         loads
     }
 
-    fn recompute_ranks(&mut self, queue: &[Request]) {
+    fn recompute_ranks(&mut self, queue: &[Request], now: u64) {
         let loads = self.loads(queue);
         let ranked =
             compute_ranks(self.cfg.ranking, &loads, self.stats.batches_formed, &mut self.rng);
         self.ranks.clear();
-        for (thread, rank) in ranked {
+        for &(thread, rank) in &ranked {
             if self.ranks.len() <= thread {
                 self.ranks.resize(thread + 1, u32::MAX);
             }
             self.ranks[thread] = rank;
+        }
+        if self.observing && !ranked.is_empty() {
+            // `loads` is sorted by thread id; join each ranked thread with
+            // its Rule 3 load figures and report in rank order.
+            let mut entries: Vec<RankEntry> = ranked
+                .iter()
+                .map(|&(thread, rank)| {
+                    let l = loads.iter().find(|l| l.thread == thread);
+                    RankEntry {
+                        thread,
+                        rank,
+                        max_bank_load: l.map_or(0, |l| l.max_bank_load),
+                        total_load: l.map_or(0, |l| l.total_load),
+                    }
+                })
+                .collect();
+            entries.sort_by_key(|e| e.rank);
+            self.obs_events.push(Event::RankComputed {
+                at: now,
+                batch: self.stats.batches_formed,
+                max_total: self.cfg.ranking == Ranking::MaxTotal,
+                entries,
+            });
         }
     }
 
@@ -250,21 +290,58 @@ impl ParBsScheduler {
             let duration = now.saturating_sub(self.batch_formed_at);
             self.stats.total_batch_cycles += duration;
             self.stats.batches_completed += 1;
+            if self.observing {
+                self.obs_events.push(Event::BatchDrained {
+                    at: now,
+                    id: self.stats.batches_formed,
+                    formed_at: self.batch_formed_at,
+                });
+            }
             self.adapt_cap(duration);
         }
         for row in &mut self.granted {
             row.fill(0);
         }
         self.refresh_eligibility(queue);
-        let marked = self.mark(queue);
+        let pre_mark_idx = self.obs_events.len();
+        let marked = self.mark(queue, now);
         // Only batches that actually open count: a formation attempt that
         // marks nothing (e.g. a queue of only opportunistic requests) must
         // not advance the priority-cadence / ranking batch index or skew
         // avg_batch_size.
         if marked > 0 {
             self.stats.batches_formed += 1;
+            if self.observing {
+                // Summarize the Marked events just pushed and slot the
+                // BatchFormed announcement in front of them, so downstream
+                // sinks see the batch before its members.
+                let mut per_thread: Vec<(usize, u32)> = Vec::new();
+                for e in &self.obs_events[pre_mark_idx..] {
+                    if let Event::Marked { thread, .. } = e {
+                        match per_thread.iter_mut().find(|(t, _)| t == thread) {
+                            Some((_, n)) => *n += 1,
+                            None => per_thread.push((*thread, 1)),
+                        }
+                    }
+                }
+                per_thread.sort_unstable();
+                self.obs_events.insert(
+                    pre_mark_idx,
+                    Event::BatchFormed {
+                        at: now,
+                        id: self.stats.batches_formed,
+                        marked: marked as u32,
+                        cap: self.current_cap,
+                        // Static batching renews marks on a timer while older
+                        // marked requests are still in flight, so batches are
+                        // not exclusive there (Section 4.4).
+                        exclusive: !matches!(self.cfg.batching, BatchingMode::Static { .. }),
+                        per_thread,
+                    },
+                );
+            }
         }
-        self.recompute_ranks(queue);
+        self.recompute_ranks(queue, now);
         self.batch_formed_at = now;
         self.batch_open = marked > 0;
     }
@@ -321,7 +398,7 @@ impl MemoryScheduler for ParBsScheduler {
                     true
                 } else if self.batch_open {
                     // Late arrivals may fill unused (thread, bank) slots.
-                    self.mark(queue) > 0
+                    self.mark(queue, view.now) > 0
                 } else {
                     false
                 }
@@ -358,6 +435,17 @@ impl MemoryScheduler for ParBsScheduler {
             self.stats.avg_batch_size(),
             self.stats.avg_batch_cycles()
         )
+    }
+
+    fn set_observing(&mut self, enabled: bool) {
+        self.observing = enabled;
+        if !enabled {
+            self.obs_events.clear();
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.obs_events);
     }
 }
 
@@ -654,6 +742,53 @@ mod tests {
         assert!(q[1].marked);
         assert_eq!(s.stats().batches_formed, 1);
         assert!((s.stats().avg_batch_size() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observing_emits_batch_formed_before_marked_then_ranks() {
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        s.set_observing(true);
+        let ch = channel();
+        let mut q = vec![req(0, 0, 0, 1), req(1, 1, 1, 1)];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        let mut events = Vec::new();
+        s.drain_events(&mut events);
+        let names: Vec<&str> = events.iter().map(Event::name).collect();
+        assert_eq!(names, ["batch_formed", "marked", "marked", "rank_computed"]);
+        let Event::BatchFormed { id, marked, exclusive, ref per_thread, .. } = events[0] else {
+            panic!("first event is the batch announcement");
+        };
+        assert_eq!((id, marked, exclusive), (1, 2, true));
+        assert_eq!(per_thread, &[(0, 1), (1, 1)]);
+        let Event::RankComputed { max_total, ref entries, .. } = events[3] else {
+            panic!("last event carries the ranking");
+        };
+        assert!(max_total);
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].rank < entries[1].rank, "entries reported in rank order");
+
+        // Drain the batch; the next formation reports the drain first.
+        for r in &mut q {
+            r.marked = false;
+        }
+        q[0] = req(2, 0, 0, 2);
+        q[1] = req(3, 1, 1, 2);
+        s.pre_schedule(&mut q, &view(&ch, 500));
+        events.clear();
+        s.drain_events(&mut events);
+        assert_eq!(events[0].name(), "batch_drained");
+        let Event::BatchDrained { at, id, formed_at } = events[0] else { unreachable!() };
+        assert_eq!((at, id, formed_at), (500, 1, 0));
+
+        // Disabling observation clears the buffer and stops emission.
+        s.set_observing(false);
+        for r in &mut q {
+            r.marked = false;
+        }
+        s.pre_schedule(&mut q, &view(&ch, 1_000));
+        events.clear();
+        s.drain_events(&mut events);
+        assert!(events.is_empty(), "no events while not observing");
     }
 
     #[test]

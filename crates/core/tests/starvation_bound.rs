@@ -2,7 +2,8 @@
 //! scheduled before requests of another thread is strictly bounded with the
 //! size of a batch" (§4.3).
 //!
-//! Using the controller's command trace, we count *overtakes* of each read:
+//! Using the controller's observability event stream, we count *overtakes*
+//! of each read:
 //! same-bank reads that arrived later but were serviced earlier. Under
 //! PAR-BS the count is bounded by the batch size (threads × Marking-Cap per
 //! bank, plus the batch being formed); under FR-FCFS a row-hit stream can
@@ -13,9 +14,9 @@ use std::collections::HashMap;
 use parbs::{ParBsConfig, ParBsScheduler};
 use parbs_baselines::FrFcfsScheduler;
 use parbs_dram::{
-    CommandKind, Controller, DramConfig, LineAddr, MemoryScheduler, Request, RequestId,
-    RequestKind, ThreadId,
+    Controller, DramConfig, LineAddr, MemoryScheduler, Request, RequestId, RequestKind, ThreadId,
 };
+use parbs_obs::{downcast_sink, CmdKind, CollectSink, Event};
 use proptest::prelude::*;
 
 /// Runs a request schedule and returns, per serviced read, the number of
@@ -25,7 +26,7 @@ fn overtakes(
     specs: &[(u8, u8, u8, u16)],
 ) -> Vec<usize> {
     let mut ctrl = Controller::with_checker(DramConfig::default(), make());
-    ctrl.set_tracing(true);
+    ctrl.set_event_sink(Box::new(CollectSink::new()));
     let mut arrivals: HashMap<RequestId, (u64, usize)> = HashMap::new(); // id → (arrival, bank)
     let mut out = Vec::new();
     let mut now = 0u64;
@@ -42,11 +43,15 @@ fn overtakes(
         }
     }
     out.extend(ctrl.run_to_drain(&mut now, 50_000_000));
-    // Service time = the read's column command issue time from the trace.
+    // Service time = the read's column command issue time from the events.
+    let sink = ctrl.take_event_sink().expect("sink attached above");
+    let Ok(events) = downcast_sink::<CollectSink>(sink) else {
+        panic!("the attached sink is a CollectSink");
+    };
     let mut service: HashMap<RequestId, u64> = HashMap::new();
-    for (t, cmd) in ctrl.take_trace() {
-        if cmd.kind == CommandKind::Read {
-            service.entry(cmd.request).or_insert(t);
+    for e in events.events() {
+        if let Event::CommandIssued { at, request, kind: CmdKind::Read, .. } = *e {
+            service.entry(RequestId(request)).or_insert(at);
         }
     }
     arrivals

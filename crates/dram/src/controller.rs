@@ -1,7 +1,10 @@
 //! The per-channel memory controller: request buffers + scheduler + command
 //! issue logic.
 
+use parbs_obs::{Event, EventSink, ServiceClass};
+
 use crate::stats::ControllerStats;
+use crate::trace_sink::{obs_cmd_kind, CommandTraceSink};
 use crate::{
     Command, CommandKind, DramConfig, MemoryScheduler, ProtocolChecker, Request, RequestId,
     RequestKind, SchedView, ThreadId, DRAM_CYCLE,
@@ -72,8 +75,17 @@ pub struct Controller {
     draining: bool,
     /// Cycle of the last issued all-bank refresh.
     last_refresh: u64,
-    /// Command trace, recorded when enabled via [`Controller::set_tracing`].
-    trace: Option<Vec<(u64, Command)>>,
+    /// Attached observability sink (`None` on the tracing-off hot path:
+    /// instrumentation then costs one branch and constructs nothing).
+    sink: Option<Box<dyn EventSink>>,
+    /// Legacy command-trace collector behind the deprecated
+    /// [`Controller::set_tracing`] shim — itself just an event sink.
+    legacy: Option<CommandTraceSink>,
+    /// Scratch buffer for collecting scheduler-emitted events each slot.
+    sched_buf: Vec<Event>,
+    /// Last emitted `(busy_banks, queued_reads)` bus sample, for
+    /// emit-on-change deduplication.
+    last_bus_sample: (u32, u32),
     /// Cached packed priority keys, parallel to `reads` while
     /// `read_keys_dirty` is false (see the key-caching contract on
     /// [`MemoryScheduler`]). Larger key = serviced first.
@@ -128,7 +140,10 @@ impl Controller {
             touched: std::collections::HashSet::new(),
             draining: false,
             last_refresh: 0,
-            trace: None,
+            sink: None,
+            legacy: None,
+            sched_buf: Vec::new(),
+            last_bus_sample: (0, 0),
             read_keys: Vec::new(),
             read_keys_dirty: true,
             comparator_path: false,
@@ -224,6 +239,16 @@ impl Controller {
                 }
                 self.scheduler.on_arrival(&req, req.arrival);
                 self.stats.reads_received += 1;
+                if self.observing() {
+                    self.emit(&Event::Enqueued {
+                        at: req.arrival,
+                        request: req.id.0,
+                        thread: req.thread.0,
+                        write: false,
+                        bank: req.addr.bank,
+                        row: req.addr.row,
+                    });
+                }
                 self.reads.push(req);
                 self.read_keys_dirty = true;
             }
@@ -232,26 +257,104 @@ impl Controller {
                     return Err(EnqueueError { kind: RequestKind::Write });
                 }
                 self.stats.writes_received += 1;
+                if self.observing() {
+                    self.emit(&Event::Enqueued {
+                        at: req.arrival,
+                        request: req.id.0,
+                        thread: req.thread.0,
+                        write: true,
+                        bank: req.addr.bank,
+                        row: req.addr.row,
+                    });
+                }
                 self.writes.push(req);
             }
         }
         Ok(())
     }
 
-    /// Enables or disables command-trace recording. While enabled, every
-    /// issued command (including refreshes) is appended with its issue
-    /// cycle; retrieve and clear with [`Controller::take_trace`].
-    pub fn set_tracing(&mut self, enabled: bool) {
-        if enabled {
-            self.trace.get_or_insert_with(Vec::new);
-        } else {
-            self.trace = None;
+    /// Attaches an observability sink: from now on every request-lifecycle
+    /// occurrence (enqueue, batch formation/marking/ranking, command issue,
+    /// completion, write-drain transitions, refresh, bus samples) is pushed
+    /// into it as a [`parbs_obs::Event`]. Returns the previously attached
+    /// sink, if any.
+    ///
+    /// With no sink attached (the default) the instrumentation costs one
+    /// `Option` branch per site — no event is built, nothing allocates.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) -> Option<Box<dyn EventSink>> {
+        let prev = self.sink.replace(sink);
+        self.scheduler.set_observing(true);
+        prev
+    }
+
+    /// Detaches and returns the observability sink, first flushing any
+    /// events still buffered inside the scheduler.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.flush_scheduler_events();
+        let sink = self.sink.take();
+        self.scheduler.set_observing(self.observing());
+        sink
+    }
+
+    /// True while any sink (external or legacy trace) is attached.
+    #[must_use]
+    fn observing(&self) -> bool {
+        self.sink.is_some() || self.legacy.is_some()
+    }
+
+    /// Pushes one event to the attached sinks. Callers guard with
+    /// [`Controller::observing`] so events are never built when disabled.
+    fn emit(&mut self, event: &Event) {
+        if let Some(legacy) = &mut self.legacy {
+            legacy.record(event);
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.record(event);
         }
     }
 
+    /// Collects events buffered by the scheduler (batch formation, marking,
+    /// ranking) and forwards them to the sinks.
+    fn flush_scheduler_events(&mut self) {
+        if !self.observing() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.sched_buf);
+        self.scheduler.drain_events(&mut buf);
+        for event in &buf {
+            if let Some(legacy) = &mut self.legacy {
+                legacy.record(event);
+            }
+            if let Some(sink) = &mut self.sink {
+                sink.record(event);
+            }
+        }
+        buf.clear();
+        self.sched_buf = buf;
+    }
+
+    /// Enables or disables command-trace recording. While enabled, every
+    /// issued command (including refreshes) is appended with its issue
+    /// cycle; retrieve and clear with [`Controller::take_trace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach a parbs_dram::CommandTraceSink via Controller::set_event_sink instead"
+    )]
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.legacy = enabled.then(CommandTraceSink::new);
+        self.scheduler.set_observing(self.observing());
+    }
+
     /// Takes the recorded command trace (empty if tracing is disabled).
+    #[deprecated(
+        since = "0.1.0",
+        note = "take the CommandTraceSink back via Controller::take_event_sink instead"
+    )]
     pub fn take_trace(&mut self) -> Vec<(u64, Command)> {
-        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+        match self.legacy.as_mut() {
+            Some(sink) => std::mem::take(sink).into_trace(),
+            None => Vec::new(),
+        }
     }
 
     /// Forwards per-thread memory-stall feedback to the scheduler (used by
@@ -282,12 +385,27 @@ impl Controller {
             return;
         }
         self.sample_blp(now);
+        if self.observing() {
+            // Bank/bus occupancy sample, deduplicated on change so idle
+            // stretches don't inflate the stream.
+            let sample = (self.channel.banks_servicing(now) as u32, self.reads.len() as u32);
+            if sample != self.last_bus_sample {
+                self.last_bus_sample = sample;
+                self.emit(&Event::BusSample {
+                    at: now,
+                    busy_banks: sample.0,
+                    queued_reads: sample.1,
+                    queued_writes: self.writes.len() as u32,
+                });
+            }
+        }
         {
             let view = SchedView { channel: &self.channel, now };
             if self.scheduler.pre_schedule(&mut self.reads, &view) {
                 self.read_keys_dirty = true;
             }
         }
+        self.flush_scheduler_events();
         // Refresh: one all-bank REF every t_refi. Once due, the controller
         // stops issuing new commands until the data bus drains and the
         // refresh can begin — bounded deferral, guaranteed progress.
@@ -300,8 +418,8 @@ impl Controller {
                         .observe(&cmd, now)
                         .unwrap_or_else(|v| panic!("DRAM protocol violation: {v}"));
                 }
-                if let Some(trace) = &mut self.trace {
-                    trace.push((now, cmd));
+                if self.observing() {
+                    self.emit(&Event::Refresh { at: now });
                 }
                 self.channel.refresh(now);
                 self.stats.refreshes += 1;
@@ -317,10 +435,18 @@ impl Controller {
         // efficient bursts instead of constantly stealing read bandwidth.
         let high = self.config.write_drain_watermark * self.config.write_buffer_cap as f64;
         let low = high * 0.33;
+        let was_draining = self.draining;
         if self.writes.len() as f64 >= high {
             self.draining = true;
         } else if (self.writes.len() as f64) <= low {
             self.draining = false;
+        }
+        if self.draining != was_draining && self.observing() {
+            self.emit(&Event::WriteDrain {
+                at: now,
+                start: self.draining,
+                queued: self.writes.len() as u32,
+            });
         }
         let drain = self.draining || (self.reads.is_empty() && !self.writes.is_empty());
         if drain {
@@ -566,10 +692,8 @@ impl Controller {
         if let Some(checker) = &mut self.checker {
             checker.observe(&cmd, now).unwrap_or_else(|v| panic!("DRAM protocol violation: {v}"));
         }
-        if let Some(trace) = &mut self.trace {
-            trace.push((now, cmd));
-        }
         let req = if is_write { self.writes[i].clone() } else { self.reads[i].clone() };
+        let mut service = None;
         if self.touched.insert(req.id) {
             match cmd.kind {
                 CommandKind::Read | CommandKind::Write => self.stats.row_hits += 1,
@@ -577,11 +701,30 @@ impl Controller {
                 CommandKind::Precharge => self.stats.row_conflicts += 1,
                 CommandKind::Refresh => unreachable!("refresh never serves a request"),
             }
+            service = Some(match cmd.kind {
+                CommandKind::Read | CommandKind::Write => ServiceClass::Hit,
+                CommandKind::Activate => ServiceClass::Closed,
+                _ => ServiceClass::Conflict,
+            });
             if !is_write {
                 self.stats.record_read_category(req.thread, cmd.kind);
             }
         }
         let data = self.channel.issue(&cmd, req.thread, now);
+        if self.observing() {
+            self.emit(&Event::CommandIssued {
+                at: now,
+                request: req.id.0,
+                thread: req.thread.0,
+                kind: obs_cmd_kind(cmd.kind).expect("refresh never reaches apply"),
+                bank: cmd.bank,
+                row: cmd.row,
+                col: cmd.col,
+                marked: req.marked,
+                service,
+                data_end: data.map(|(_, end)| end),
+            });
+        }
         self.scheduler.on_command(&cmd, &req, now);
         self.stats.commands_issued += 1;
         // Activate/precharge change a bank's open row, which feeds every
@@ -594,6 +737,16 @@ impl Controller {
         if let Some((_, end)) = data {
             let finish = end + self.config.timing.front_latency;
             self.touched.remove(&req.id);
+            if self.observing() {
+                self.emit(&Event::Completed {
+                    at: now,
+                    request: req.id.0,
+                    thread: req.thread.0,
+                    write: is_write,
+                    arrival: req.arrival,
+                    finish,
+                });
+            }
             let completion = Completion {
                 request: req.id,
                 thread: req.thread,
@@ -748,6 +901,76 @@ mod tests {
         let done = ctrl.run_to_drain(&mut now, 1_000_000);
         assert_eq!(done[0].request, RequestId(1), "hit serviced before conflict");
         assert_eq!(ctrl.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn event_sink_sees_the_full_request_lifecycle() {
+        use parbs_obs::CollectSink;
+        let mut ctrl =
+            Controller::with_checker(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.set_event_sink(Box::new(CollectSink::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        ctrl.try_enqueue(read(1, 1, 0, 2, 0, 0)).unwrap();
+        let done = drain(&mut ctrl);
+        assert_eq!(done.len(), 2);
+        let sink = ctrl.take_event_sink().expect("sink was attached");
+        let Ok(collect) = parbs_obs::downcast_sink::<CollectSink>(sink) else {
+            panic!("sink is the CollectSink we attached");
+        };
+        let events = collect.into_events();
+        let count = |name: &str| events.iter().filter(|e| e.name() == name).count();
+        assert_eq!(count("enqueued"), 2);
+        assert_eq!(count("completed"), 2);
+        // Req 0 closed-bank (ACT+RD), req 1 conflict (PRE+ACT+RD).
+        assert_eq!(count("command_issued"), 5);
+        assert!(count("bus_sample") > 0, "occupancy changes were sampled");
+        // Events are non-decreasing in time.
+        let ats: Vec<u64> = events.iter().map(parbs_obs::Event::at).collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]), "{ats:?}");
+        // Service classification rides on the first command of each request.
+        let classes: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                parbs_obs::Event::CommandIssued { service: Some(c), .. } => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(classes, [parbs_obs::ServiceClass::Closed, parbs_obs::ServiceClass::Conflict]);
+    }
+
+    #[test]
+    fn detached_controller_emits_nothing_and_shims_still_work() {
+        use crate::CommandTraceSink;
+        // New bus: CommandTraceSink over set_event_sink.
+        let mut ctrl = Controller::new(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.set_event_sink(Box::new(CommandTraceSink::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        drain(&mut ctrl);
+        let sink = ctrl.take_event_sink().expect("sink was attached");
+        let Ok(trace_sink) = parbs_obs::downcast_sink::<CommandTraceSink>(sink) else {
+            panic!("sink is the CommandTraceSink we attached");
+        };
+        let via_bus = trace_sink.into_trace();
+        assert_eq!(via_bus.len(), 2, "ACT + RD");
+
+        // Legacy shim: identical trace.
+        let mut ctrl = Controller::new(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        #[allow(deprecated)]
+        ctrl.set_tracing(true);
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        drain(&mut ctrl);
+        #[allow(deprecated)]
+        let via_shim = ctrl.take_trace();
+        assert_eq!(via_bus, via_shim);
+
+        // No sink: take_event_sink/take_trace return nothing.
+        let mut ctrl = Controller::new(DramConfig::default(), Box::new(FcfsScheduler::new()));
+        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
+        drain(&mut ctrl);
+        assert!(ctrl.take_event_sink().is_none());
+        #[allow(deprecated)]
+        let empty = ctrl.take_trace();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! DRAM timing constraint is ever violated; the property-based tests use it
 //! to validate the controller under random schedulers and request streams.
 //!
+//! For observability, attach any [`parbs_obs::EventSink`] with
+//! [`Controller::set_event_sink`]: the controller then emits the full
+//! structured event stream (enqueues, batch formation/marking/ranking,
+//! command issue with row hit/closed/conflict classification, completions,
+//! write-drain windows, refreshes, bus samples). [`CommandTraceSink`]
+//! rebuilds the legacy `(cycle, Command)` trace from that stream, and
+//! [`render_timeline`] draws the ASCII service-order diagrams from it. With
+//! no sink attached the instrumentation costs one branch per site.
+//!
 //! # Examples
 //!
 //! ```
@@ -52,6 +61,7 @@ mod scheduler;
 mod stats;
 mod timeline;
 mod timing;
+mod trace_sink;
 
 pub use address::{AddressMapper, LineAddr};
 pub use bank::{Bank, BankState};
@@ -64,4 +74,7 @@ pub use request::{Request, RequestId, RequestKind, ThreadId};
 pub use scheduler::{FcfsScheduler, MemoryScheduler, SchedView};
 pub use stats::{BlpTracker, ControllerStats};
 pub use timeline::render_timeline;
+#[allow(deprecated)]
+pub use timeline::render_timeline_commands;
 pub use timing::{TimingParams, DRAM_CYCLE};
+pub use trace_sink::{obs_cmd_kind, CommandTraceSink};

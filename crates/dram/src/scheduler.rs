@@ -141,6 +141,24 @@ pub trait MemoryScheduler {
     fn debug_summary(&self) -> String {
         String::new()
     }
+
+    /// Enables or disables observability-event buffering. The controller
+    /// calls this when an event sink is attached to or removed from it;
+    /// while enabled, policies with observable internal transitions (batch
+    /// formation, marking, ranking) buffer [`parbs_obs::Event`]s for the
+    /// controller to collect via [`MemoryScheduler::drain_events`]. The
+    /// default (for policies with nothing to report) ignores it.
+    fn set_observing(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Moves any buffered observability events into `out`, preserving
+    /// emission order. Called by the controller once per scheduling slot
+    /// (after [`MemoryScheduler::pre_schedule`]) while a sink is attached.
+    /// The default has nothing to drain.
+    fn drain_events(&mut self, out: &mut Vec<parbs_obs::Event>) {
+        let _ = out;
+    }
 }
 
 /// The FCFS baseline: requests are serviced strictly in arrival order,

@@ -1,32 +1,21 @@
-//! ASCII rendering of command traces: a per-bank timeline in the style of
+//! ASCII rendering of command streams: a per-bank timeline in the style of
 //! the paper's service-order diagrams (Figs. 1-3).
 //!
-//! Feed it the trace recorded by [`crate::Controller::set_tracing`]; each
-//! bank becomes one row, each DRAM-cycle column one character:
-//! `A` activate, `R` read, `W` write, `P` precharge, `F` refresh (spanning
-//! all banks), `.` idle.
+//! Feed it the events collected by a [`parbs_obs::CollectSink`] (or any
+//! other recorded event stream); each bank becomes one row, each DRAM-cycle
+//! column one character: `A` activate, `R` read, `W` write, `P` precharge,
+//! `F` refresh (spanning all banks), `.` idle.
 
-use crate::{Command, CommandKind, DRAM_CYCLE};
+use parbs_obs::Event;
 
-/// Renders `trace` between `from` and `to` (processor cycles) as one text
-/// row per bank. Long windows are clipped to `max_cols` DRAM cycles (an
-/// ellipsis marks the cut).
-///
-/// # Examples
-///
-/// ```
-/// use parbs_dram::{render_timeline, Command, CommandKind, RequestId};
-/// let trace = vec![
-///     (0, Command { kind: CommandKind::Activate, bank: 0, row: 1, col: 0, request: RequestId(0) }),
-///     (60, Command { kind: CommandKind::Read, bank: 0, row: 1, col: 0, request: RequestId(0) }),
-/// ];
-/// let art = parbs_dram::render_timeline(&trace, 2, 0, 100, 80);
-/// assert!(art.lines().count() >= 2);
-/// assert!(art.contains('A') && art.contains('R'));
-/// ```
-#[must_use]
-pub fn render_timeline(
-    trace: &[(u64, Command)],
+use crate::{Command, CommandKind, DramConfig, DRAM_CYCLE};
+
+/// A cell to paint: `(cycle, glyph, bank)`; refreshes use `None` for the
+/// bank and span every row.
+type Cell = (u64, u8, Option<usize>);
+
+fn render_cells(
+    cells: impl Iterator<Item = Cell>,
     banks: usize,
     from: u64,
     to: u64,
@@ -36,24 +25,19 @@ pub fn render_timeline(
     let cols = (((to - from) / DRAM_CYCLE) as usize).min(max_cols.max(1));
     let clipped = ((to - from) / DRAM_CYCLE) as usize > cols;
     let mut rows = vec![vec![b'.'; cols]; banks];
-    for &(at, cmd) in trace {
+    for (at, ch, bank) in cells {
         if at < from || at >= from + (cols as u64) * DRAM_CYCLE {
             continue;
         }
         let col = ((at - from) / DRAM_CYCLE) as usize;
-        let ch = match cmd.kind {
-            CommandKind::Activate => b'A',
-            CommandKind::Read => b'R',
-            CommandKind::Write => b'W',
-            CommandKind::Precharge => b'P',
-            CommandKind::Refresh => b'F',
-        };
-        if cmd.kind == CommandKind::Refresh {
-            for row in &mut rows {
-                row[col] = ch;
+        match bank {
+            None => {
+                for row in &mut rows {
+                    row[col] = ch;
+                }
             }
-        } else if cmd.bank < banks {
-            rows[cmd.bank][col] = ch;
+            Some(b) if b < banks => rows[b][col] = ch,
+            Some(_) => {}
         }
     }
     let mut out = String::new();
@@ -71,23 +55,103 @@ pub fn render_timeline(
     out
 }
 
+/// Renders the command events of `events` between `from` and `to`
+/// (processor cycles) as one text row per bank, deriving the bank count
+/// from `config`. Non-command events are ignored. Long windows are clipped
+/// to `max_cols` DRAM cycles (an ellipsis marks the cut).
+///
+/// # Examples
+///
+/// ```
+/// use parbs_dram::{render_timeline, DramConfig};
+/// use parbs_obs::{CmdKind, Event};
+/// let events = vec![
+///     Event::CommandIssued {
+///         at: 0, request: 0, thread: 0, kind: CmdKind::Activate,
+///         bank: 0, row: 1, col: 0, marked: false, service: None, data_end: None,
+///     },
+///     Event::CommandIssued {
+///         at: 60, request: 0, thread: 0, kind: CmdKind::Read,
+///         bank: 0, row: 1, col: 0, marked: false, service: None, data_end: Some(100),
+///     },
+/// ];
+/// let art = render_timeline(&events, &DramConfig::default(), 0, 100, 80);
+/// assert_eq!(art.lines().count(), 9, "header + Table 2's 8 banks");
+/// assert!(art.contains('A') && art.contains('R'));
+/// ```
+#[must_use]
+pub fn render_timeline(
+    events: &[Event],
+    config: &DramConfig,
+    from: u64,
+    to: u64,
+    max_cols: usize,
+) -> String {
+    let cells = events.iter().filter_map(|e| match *e {
+        Event::CommandIssued { at, kind, bank, .. } => Some((at, kind.glyph(), Some(bank))),
+        Event::Refresh { at } => Some((at, b'F', None)),
+        _ => None,
+    });
+    render_cells(cells, config.banks_per_channel, from, to, max_cols)
+}
+
+/// Renders a legacy `(cycle, Command)` trace (as collected by
+/// [`crate::CommandTraceSink`] or the deprecated `Controller::take_trace`)
+/// with an explicit bank count.
+#[deprecated(
+    since = "0.1.0",
+    note = "collect parbs_obs events (e.g. with CollectSink) and use render_timeline"
+)]
+#[must_use]
+pub fn render_timeline_commands(
+    trace: &[(u64, Command)],
+    banks: usize,
+    from: u64,
+    to: u64,
+    max_cols: usize,
+) -> String {
+    let cells = trace.iter().map(|&(at, cmd)| match cmd.kind {
+        CommandKind::Activate => (at, b'A', Some(cmd.bank)),
+        CommandKind::Read => (at, b'R', Some(cmd.bank)),
+        CommandKind::Write => (at, b'W', Some(cmd.bank)),
+        CommandKind::Precharge => (at, b'P', Some(cmd.bank)),
+        CommandKind::Refresh => (at, b'F', None),
+    });
+    render_cells(cells, banks, from, to, max_cols)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RequestId;
+    use parbs_obs::CmdKind;
 
-    fn cmd(kind: CommandKind, bank: usize, at: u64) -> (u64, Command) {
-        (at, Command { kind, bank, row: 0, col: 0, request: RequestId(0) })
+    fn cmd(kind: CmdKind, bank: usize, at: u64) -> Event {
+        Event::CommandIssued {
+            at,
+            request: 0,
+            thread: 0,
+            kind,
+            bank,
+            row: 0,
+            col: 0,
+            marked: false,
+            service: None,
+            data_end: None,
+        }
+    }
+
+    fn two_bank_config() -> DramConfig {
+        DramConfig { banks_per_channel: 2, ..DramConfig::default() }
     }
 
     #[test]
     fn renders_commands_in_the_right_cells() {
-        let trace = vec![
-            cmd(CommandKind::Activate, 0, 0),
-            cmd(CommandKind::Read, 0, 60),
-            cmd(CommandKind::Precharge, 1, 30),
+        let events = vec![
+            cmd(CmdKind::Activate, 0, 0),
+            cmd(CmdKind::Read, 0, 60),
+            cmd(CmdKind::Precharge, 1, 30),
         ];
-        let art = render_timeline(&trace, 2, 0, 100, 80);
+        let art = render_timeline(&events, &two_bank_config(), 0, 100, 80);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 3);
         let bank0 = lines[1].split('|').nth(1).unwrap();
@@ -99,8 +163,9 @@ mod tests {
 
     #[test]
     fn refresh_spans_all_banks() {
-        let trace = vec![cmd(CommandKind::Refresh, 0, 20)];
-        let art = render_timeline(&trace, 3, 0, 50, 80);
+        let events = vec![Event::Refresh { at: 20 }];
+        let cfg = DramConfig { banks_per_channel: 3, ..DramConfig::default() };
+        let art = render_timeline(&events, &cfg, 0, 50, 80);
         for line in art.lines().skip(1) {
             assert!(line.contains('F'), "{line}");
         }
@@ -108,16 +173,62 @@ mod tests {
 
     #[test]
     fn window_clipping_is_reported() {
-        let trace = vec![cmd(CommandKind::Activate, 0, 0)];
-        let art = render_timeline(&trace, 1, 0, 100_000, 16);
+        let events = vec![cmd(CmdKind::Activate, 0, 0)];
+        let cfg = DramConfig { banks_per_channel: 1, ..DramConfig::default() };
+        let art = render_timeline(&events, &cfg, 0, 100_000, 16);
         assert!(art.contains("clipped"));
         assert!(art.lines().nth(1).unwrap().len() <= 16 + 10);
     }
 
     #[test]
-    fn out_of_window_commands_are_ignored() {
-        let trace = vec![cmd(CommandKind::Read, 0, 500)];
-        let art = render_timeline(&trace, 1, 0, 100, 80);
+    fn out_of_window_and_non_command_events_are_ignored() {
+        let events = vec![
+            cmd(CmdKind::Read, 0, 500),
+            Event::Enqueued { at: 10, request: 0, thread: 0, write: false, bank: 0, row: 0 },
+            Event::Marked { at: 20, request: 0, thread: 0, bank: 0 },
+        ];
+        let cfg = DramConfig { banks_per_channel: 1, ..DramConfig::default() };
+        let art = render_timeline(&events, &cfg, 0, 100, 80);
         assert!(!art.contains('R'));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_command_renderer_matches_event_renderer() {
+        use crate::RequestId;
+        let trace = vec![
+            (
+                0,
+                Command {
+                    kind: CommandKind::Activate,
+                    bank: 0,
+                    row: 1,
+                    col: 0,
+                    request: RequestId(0),
+                },
+            ),
+            (
+                60,
+                Command { kind: CommandKind::Read, bank: 0, row: 1, col: 0, request: RequestId(0) },
+            ),
+            (
+                30,
+                Command {
+                    kind: CommandKind::Refresh,
+                    bank: 0,
+                    row: 0,
+                    col: 0,
+                    request: RequestId(u64::MAX),
+                },
+            ),
+        ];
+        let events = vec![
+            cmd(CmdKind::Activate, 0, 0),
+            cmd(CmdKind::Read, 0, 60),
+            Event::Refresh { at: 30 },
+        ];
+        let legacy = render_timeline_commands(&trace, 2, 0, 100, 80);
+        let modern = render_timeline(&events, &two_bank_config(), 0, 100, 80);
+        assert_eq!(legacy, modern);
     }
 }

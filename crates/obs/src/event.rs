@@ -1,0 +1,424 @@
+//! The structured event vocabulary of the observability bus.
+//!
+//! Events are plain scalar data — request ids, thread indices, bank numbers,
+//! cycles — so this crate stays a leaf: the DRAM substrate, the schedulers
+//! and the sim runner all *emit* events without this crate depending on any
+//! of their types. Every event carries the processor cycle it happened at.
+
+/// The DRAM command class an issued command belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmdKind {
+    /// Row activation (open a row into the row buffer).
+    Activate,
+    /// Column read from the open row.
+    Read,
+    /// Column write into the open row.
+    Write,
+    /// Precharge (close the open row).
+    Precharge,
+}
+
+impl CmdKind {
+    /// Short name used in JSON output ("ACT", "RD", "WR", "PRE").
+    #[must_use]
+    pub fn short(self) -> &'static str {
+        match self {
+            CmdKind::Activate => "ACT",
+            CmdKind::Read => "RD",
+            CmdKind::Write => "WR",
+            CmdKind::Precharge => "PRE",
+        }
+    }
+
+    /// One-character glyph used by ASCII timelines (`A`/`R`/`W`/`P`).
+    #[must_use]
+    pub fn glyph(self) -> u8 {
+        match self {
+            CmdKind::Activate => b'A',
+            CmdKind::Read => b'R',
+            CmdKind::Write => b'W',
+            CmdKind::Precharge => b'P',
+        }
+    }
+}
+
+/// How a request found its bank's row buffer when its *first* command
+/// issued: the paper's row-hit / row-closed / row-conflict classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// The needed row was already open (column command issued directly).
+    Hit,
+    /// The bank was precharged (activate first).
+    Closed,
+    /// Another row was open (precharge, then activate).
+    Conflict,
+}
+
+impl ServiceClass {
+    /// Lower-case name used in JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceClass::Hit => "hit",
+            ServiceClass::Closed => "closed",
+            ServiceClass::Conflict => "conflict",
+        }
+    }
+}
+
+/// One thread's position in a computed batch ranking, with the Rule 3 load
+/// figures it was ranked by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RankEntry {
+    /// Thread index.
+    pub thread: usize,
+    /// Assigned rank (0 = highest priority).
+    pub rank: u32,
+    /// The thread's maximum marked-request count over any single bank.
+    pub max_bank_load: u32,
+    /// The thread's total marked-request count.
+    pub total_load: u32,
+}
+
+/// One observable occurrence in the memory system.
+///
+/// The stream emitted by an instrumented controller is totally ordered by
+/// emission (and non-decreasing in `at`); sinks may rely on seeing a
+/// request's `Enqueued` before its commands and its commands before its
+/// `Completed`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A request entered the controller's read or write buffer.
+    Enqueued {
+        /// Arrival cycle.
+        at: u64,
+        /// Request id.
+        request: u64,
+        /// Issuing thread.
+        thread: usize,
+        /// True for writes.
+        write: bool,
+        /// Target bank.
+        bank: usize,
+        /// Target row.
+        row: u64,
+    },
+    /// A queued read was marked into the current batch (PAR-BS Rule 1).
+    Marked {
+        /// Marking cycle.
+        at: u64,
+        /// Request id.
+        request: u64,
+        /// Issuing thread.
+        thread: usize,
+        /// Target bank.
+        bank: usize,
+    },
+    /// A new batch formed. Emitted *before* the batch's `Marked` events.
+    BatchFormed {
+        /// Formation cycle.
+        at: u64,
+        /// Batch sequence number (1-based; matches `ParBsStats::batches_formed`).
+        id: u64,
+        /// Number of requests marked at formation.
+        marked: u32,
+        /// Marking-Cap in force (`None` = uncapped).
+        cap: Option<u32>,
+        /// True when batches are exclusive (full/empty-slot batching): batch
+        /// N+1 may only form after batch N drains. Static time-based
+        /// batching renews marks on a period instead and sets this false.
+        exclusive: bool,
+        /// Requests marked at formation per thread, sorted by thread index.
+        per_thread: Vec<(usize, u32)>,
+    },
+    /// The previous batch's last marked request finished (batch drained).
+    BatchDrained {
+        /// Drain observation cycle.
+        at: u64,
+        /// Batch sequence number.
+        id: u64,
+        /// Cycle the batch formed at (span start).
+        formed_at: u64,
+    },
+    /// A thread ranking was computed over the marked requests (Rule 3).
+    RankComputed {
+        /// Computation cycle.
+        at: u64,
+        /// Batch sequence number the ranking belongs to.
+        batch: u64,
+        /// True when the Max-Total (shortest-job-first) scheme produced it,
+        /// i.e. the `InvariantSink` may check the ordering.
+        max_total: bool,
+        /// Ranking entries, sorted by ascending rank.
+        entries: Vec<RankEntry>,
+    },
+    /// A DRAM command was placed on the command bus for a request.
+    CommandIssued {
+        /// Issue cycle.
+        at: u64,
+        /// Request id the command belongs to.
+        request: u64,
+        /// Issuing thread.
+        thread: usize,
+        /// Command class.
+        kind: CmdKind,
+        /// Target bank.
+        bank: usize,
+        /// Target row (for precharge: the row being closed).
+        row: u64,
+        /// Target column.
+        col: u64,
+        /// Whether the request was marked (in the current batch).
+        marked: bool,
+        /// Row-buffer classification, present on the request's first command.
+        service: Option<ServiceClass>,
+        /// For column commands: the cycle the data transfer ends.
+        data_end: Option<u64>,
+    },
+    /// A request's data transfer (plus front-end latency) completed.
+    Completed {
+        /// Cycle the completion was scheduled (column-command issue time).
+        at: u64,
+        /// Request id.
+        request: u64,
+        /// Issuing thread.
+        thread: usize,
+        /// True for writes.
+        write: bool,
+        /// Arrival cycle (span start).
+        arrival: u64,
+        /// Cycle the requesting core observes the data (span end).
+        finish: u64,
+    },
+    /// The controller entered (`start = true`) or left write-drain mode.
+    WriteDrain {
+        /// Transition cycle.
+        at: u64,
+        /// True when draining begins, false when it ends.
+        start: bool,
+        /// Write-buffer occupancy at the transition.
+        queued: u32,
+    },
+    /// An all-bank refresh was issued.
+    Refresh {
+        /// Issue cycle.
+        at: u64,
+    },
+    /// Periodic bank/bus occupancy sample (emitted on change only).
+    BusSample {
+        /// Sample cycle.
+        at: u64,
+        /// Banks currently servicing a request.
+        busy_banks: u32,
+        /// Queued read requests.
+        queued_reads: u32,
+        /// Queued write requests.
+        queued_writes: u32,
+    },
+}
+
+impl Event {
+    /// The processor cycle the event occurred at.
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        match *self {
+            Event::Enqueued { at, .. }
+            | Event::Marked { at, .. }
+            | Event::BatchFormed { at, .. }
+            | Event::BatchDrained { at, .. }
+            | Event::RankComputed { at, .. }
+            | Event::CommandIssued { at, .. }
+            | Event::Completed { at, .. }
+            | Event::WriteDrain { at, .. }
+            | Event::Refresh { at }
+            | Event::BusSample { at, .. } => at,
+        }
+    }
+
+    /// The event's variant name, as used in JSON output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Enqueued { .. } => "enqueued",
+            Event::Marked { .. } => "marked",
+            Event::BatchFormed { .. } => "batch_formed",
+            Event::BatchDrained { .. } => "batch_drained",
+            Event::RankComputed { .. } => "rank_computed",
+            Event::CommandIssued { .. } => "command_issued",
+            Event::Completed { .. } => "completed",
+            Event::WriteDrain { .. } => "write_drain",
+            Event::Refresh { .. } => "refresh",
+            Event::BusSample { .. } => "bus_sample",
+        }
+    }
+
+    /// Renders the event as a single-line JSON object (the JSONL record
+    /// format; all JSON in this crate is hand-rolled — no serializer
+    /// dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"type\":\"{}\",\"at\":{}", self.name(), self.at());
+        match self {
+            Event::Enqueued { request, thread, write, bank, row, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"req\":{request},\"thread\":{thread},\"write\":{write},\"bank\":{bank},\"row\":{row}"
+                );
+            }
+            Event::Marked { request, thread, bank, .. } => {
+                let _ = write!(s, ",\"req\":{request},\"thread\":{thread},\"bank\":{bank}");
+            }
+            Event::BatchFormed { id, marked, cap, exclusive, per_thread, .. } => {
+                let _ = write!(s, ",\"id\":{id},\"marked\":{marked},\"cap\":");
+                match cap {
+                    Some(c) => {
+                        let _ = write!(s, "{c}");
+                    }
+                    None => s.push_str("null"),
+                }
+                let _ = write!(s, ",\"exclusive\":{exclusive},\"per_thread\":[");
+                for (i, (t, n)) in per_thread.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "[{t},{n}]");
+                }
+                s.push(']');
+            }
+            Event::BatchDrained { id, formed_at, .. } => {
+                let _ = write!(s, ",\"id\":{id},\"formed_at\":{formed_at}");
+            }
+            Event::RankComputed { batch, max_total, entries, .. } => {
+                let _ = write!(s, ",\"batch\":{batch},\"max_total\":{max_total},\"ranking\":[");
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"thread\":{},\"rank\":{},\"max\":{},\"total\":{}}}",
+                        e.thread, e.rank, e.max_bank_load, e.total_load
+                    );
+                }
+                s.push(']');
+            }
+            Event::CommandIssued {
+                request,
+                thread,
+                kind,
+                bank,
+                row,
+                col,
+                marked,
+                service,
+                data_end,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"req\":{request},\"thread\":{thread},\"cmd\":\"{}\",\"bank\":{bank},\"row\":{row},\"col\":{col},\"marked\":{marked}",
+                    kind.short()
+                );
+                if let Some(class) = service {
+                    let _ = write!(s, ",\"class\":\"{}\"", class.name());
+                }
+                if let Some(end) = data_end {
+                    let _ = write!(s, ",\"data_end\":{end}");
+                }
+            }
+            Event::Completed { request, thread, write, arrival, finish, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"req\":{request},\"thread\":{thread},\"write\":{write},\"arrival\":{arrival},\"finish\":{finish},\"latency\":{}",
+                    finish.saturating_sub(*arrival)
+                );
+            }
+            Event::WriteDrain { start, queued, .. } => {
+                let _ = write!(s, ",\"start\":{start},\"queued\":{queued}");
+            }
+            Event::Refresh { .. } => {}
+            Event::BusSample { busy_banks, queued_reads, queued_writes, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"busy_banks\":{busy_banks},\"queued_reads\":{queued_reads},\"queued_writes\":{queued_writes}"
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_and_name_cover_every_variant() {
+        let events = vec![
+            Event::Enqueued { at: 1, request: 0, thread: 0, write: false, bank: 0, row: 0 },
+            Event::Marked { at: 2, request: 0, thread: 0, bank: 0 },
+            Event::BatchFormed {
+                at: 3,
+                id: 1,
+                marked: 1,
+                cap: Some(5),
+                exclusive: true,
+                per_thread: vec![(0, 1)],
+            },
+            Event::BatchDrained { at: 4, id: 1, formed_at: 3 },
+            Event::RankComputed {
+                at: 5,
+                batch: 1,
+                max_total: true,
+                entries: vec![RankEntry { thread: 0, rank: 0, max_bank_load: 1, total_load: 1 }],
+            },
+            Event::CommandIssued {
+                at: 6,
+                request: 0,
+                thread: 0,
+                kind: CmdKind::Read,
+                bank: 0,
+                row: 0,
+                col: 0,
+                marked: true,
+                service: Some(ServiceClass::Hit),
+                data_end: Some(40),
+            },
+            Event::Completed { at: 7, request: 0, thread: 0, write: false, arrival: 1, finish: 50 },
+            Event::WriteDrain { at: 8, start: true, queued: 20 },
+            Event::Refresh { at: 9 },
+            Event::BusSample { at: 10, busy_banks: 2, queued_reads: 3, queued_writes: 0 },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.at(), (i + 1) as u64);
+            assert!(!e.name().is_empty());
+            let json = e.to_json();
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert!(json.contains(&format!("\"type\":\"{}\"", e.name())));
+            assert!(!json.contains('\n'), "JSONL records are single-line");
+        }
+    }
+
+    #[test]
+    fn uncapped_batch_serializes_null_cap() {
+        let e = Event::BatchFormed {
+            at: 0,
+            id: 1,
+            marked: 2,
+            cap: None,
+            exclusive: true,
+            per_thread: vec![],
+        };
+        assert!(e.to_json().contains("\"cap\":null"));
+    }
+
+    #[test]
+    fn cmd_kind_names_and_glyphs() {
+        assert_eq!(CmdKind::Activate.short(), "ACT");
+        assert_eq!(CmdKind::Precharge.glyph(), b'P');
+        assert_eq!(ServiceClass::Conflict.name(), "conflict");
+    }
+}

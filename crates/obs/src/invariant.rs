@@ -1,0 +1,480 @@
+//! [`InvariantSink`]: online checking of the PAR-BS batching invariants
+//! over the event stream, with violation reports that carry the offending
+//! event window.
+//!
+//! The checks are *event-derivable* restatements of the paper's rules — they
+//! use only information present in the stream, so the checker is sound for
+//! any scheduler wired to the bus (policies that never mark requests, like
+//! FR-FCFS, trivially satisfy every batching invariant):
+//!
+//! 1. **MarkedFirst** (Rule 2, batched-first): a column `RD` must not issue
+//!    for an *unmarked* read while a *marked* read to the **same bank and
+//!    row** is queued. Such a pair has identical readiness (same bank
+//!    timing, same open row), so servicing the unmarked one means the
+//!    scheduler ranked it above a schedulable marked request.
+//! 2. **MarkingCap** (Rule 1): at most Marking-Cap requests marked per
+//!    (thread, bank) within one batch, using the cap announced by the
+//!    batch's `BatchFormed` event (empty-slot latecomers count toward the
+//!    same budget).
+//! 3. **BatchExclusive** (Rule 1): a new exclusive batch may form only
+//!    after every marked request of the previous batch completed. Static
+//!    time-based batching announces `exclusive: false` and is exempt.
+//! 4. **RankOrder** (Rule 3, Max-Total): a `RankComputed` event claiming
+//!    the Max-Total scheme must list threads in non-decreasing
+//!    (max-bank-load, total-load) order, and ranks must be `0..n`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::{CmdKind, Event, EventSink};
+
+/// How many preceding events a violation report carries.
+const WINDOW: usize = 24;
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantRule {
+    /// An unmarked read was serviced while a marked one was schedulable at
+    /// the same bank (same open row).
+    MarkedFirst,
+    /// More requests than Marking-Cap were marked for one (thread, bank).
+    MarkingCap,
+    /// A new exclusive batch formed before the previous batch drained.
+    BatchExclusive,
+    /// A Max-Total ranking was not in shortest-job-first order.
+    RankOrder,
+}
+
+impl InvariantRule {
+    /// Short rule name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantRule::MarkedFirst => "marked-first",
+            InvariantRule::MarkingCap => "marking-cap",
+            InvariantRule::BatchExclusive => "batch-exclusive",
+            InvariantRule::RankOrder => "rank-order",
+        }
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The broken rule.
+    pub rule: InvariantRule,
+    /// Cycle of the offending event.
+    pub at: u64,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// The offending event plus up to `WINDOW` (24) preceding events,
+    /// oldest first (the last entry is the offender).
+    pub window: Vec<Event>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] cycle {}: {}", self.rule.name(), self.at, self.message)
+    }
+}
+
+/// Per-request state the checker tracks between `Enqueued` and `Completed`.
+#[derive(Debug, Clone, Copy)]
+struct Tracked {
+    thread: usize,
+    bank: usize,
+    row: u64,
+    write: bool,
+    marked: bool,
+}
+
+/// The online PAR-BS invariant checker.
+#[derive(Debug, Default)]
+pub struct InvariantSink {
+    /// Outstanding requests by id.
+    tracked: HashMap<u64, Tracked>,
+    /// Marking-Cap of the current batch (`None` = uncapped), from the most
+    /// recent `BatchFormed`.
+    cap: Option<u32>,
+    /// Marks charged per (thread, bank) in the current batch.
+    marks: HashMap<(usize, usize), u32>,
+    /// Ring of recent events for violation context.
+    window: VecDeque<Event>,
+    violations: Vec<Violation>,
+    /// Total events observed.
+    pub events: u64,
+}
+
+impl InvariantSink {
+    /// Creates a checker with no observations.
+    #[must_use]
+    pub fn new() -> Self {
+        InvariantSink::default()
+    }
+
+    /// The violations detected so far, in detection order.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no invariant has been violated.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line verdict for CLI output.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.ok() {
+            format!("{} events checked, 0 violations", self.events)
+        } else {
+            format!("{} events checked, {} VIOLATION(S)", self.events, self.violations.len())
+        }
+    }
+
+    fn report(&mut self, rule: InvariantRule, at: u64, message: String) {
+        let window: Vec<Event> = self.window.iter().cloned().collect();
+        self.violations.push(Violation { rule, at, message, window });
+    }
+
+    fn check_command(&mut self, event: &Event) {
+        let Event::CommandIssued { at, request, thread, kind, bank, row, marked, .. } = event
+        else {
+            return;
+        };
+        if *kind != CmdKind::Read || *marked {
+            return;
+        }
+        // An unmarked read's column command issued: no marked read to the
+        // same (bank, row) may be waiting, because it would have identical
+        // readiness and strictly higher (marked-first) priority.
+        // `min_by_key` (not `find`) so the named blocker is deterministic
+        // despite HashMap iteration order.
+        let blocker = self
+            .tracked
+            .iter()
+            .filter(|(id, t)| {
+                **id != *request && !t.write && t.marked && t.bank == *bank && t.row == *row
+            })
+            .min_by_key(|(id, _)| **id);
+        if let Some((&blocked_id, t)) = blocker {
+            let (b_thread, b_bank) = (t.thread, t.bank);
+            self.report(
+                InvariantRule::MarkedFirst,
+                *at,
+                format!(
+                    "unmarked read req {request} (thread {thread}) serviced at bank {bank} row {row} \
+                     while marked read req {blocked_id} (thread {b_thread}) to bank {b_bank} row {row} was queued"
+                ),
+            );
+        }
+    }
+}
+
+impl EventSink for InvariantSink {
+    fn record(&mut self, event: &Event) {
+        self.events += 1;
+        if self.window.len() == WINDOW {
+            self.window.pop_front();
+        }
+        self.window.push_back(event.clone());
+        match event {
+            Event::Enqueued { request, thread, write, bank, row, .. } => {
+                self.tracked.insert(
+                    *request,
+                    Tracked {
+                        thread: *thread,
+                        bank: *bank,
+                        row: *row,
+                        write: *write,
+                        marked: false,
+                    },
+                );
+            }
+            Event::BatchFormed { at, id, cap, exclusive, .. } => {
+                if *exclusive {
+                    let outstanding =
+                        self.tracked.values().filter(|t| t.marked && !t.write).count();
+                    if outstanding > 0 {
+                        self.report(
+                            InvariantRule::BatchExclusive,
+                            *at,
+                            format!(
+                                "batch {id} formed while {outstanding} marked request(s) of the \
+                                 previous batch were still outstanding"
+                            ),
+                        );
+                    }
+                }
+                self.cap = *cap;
+                self.marks.clear();
+            }
+            Event::Marked { at, request, thread, bank } => {
+                if let Some(t) = self.tracked.get_mut(request) {
+                    t.marked = true;
+                }
+                let used = self.marks.entry((*thread, *bank)).or_insert(0);
+                *used += 1;
+                if let Some(cap) = self.cap {
+                    if *used > cap {
+                        let used = *used;
+                        self.report(
+                            InvariantRule::MarkingCap,
+                            *at,
+                            format!(
+                                "thread {thread} has {used} marked requests at bank {bank}, \
+                                 exceeding Marking-Cap {cap}"
+                            ),
+                        );
+                    }
+                }
+            }
+            Event::RankComputed { at, batch, max_total, entries } => {
+                let mut ranks: Vec<u32> = entries.iter().map(|e| e.rank).collect();
+                ranks.sort_unstable();
+                let is_permutation = ranks.iter().enumerate().all(|(i, &r)| r == i as u32);
+                if !is_permutation {
+                    self.report(
+                        InvariantRule::RankOrder,
+                        *at,
+                        format!(
+                            "batch {batch} ranking is not a permutation of 0..{}",
+                            entries.len()
+                        ),
+                    );
+                } else if *max_total {
+                    let mut by_rank = entries.clone();
+                    by_rank.sort_by_key(|e| e.rank);
+                    for pair in by_rank.windows(2) {
+                        let (a, b) = (&pair[0], &pair[1]);
+                        if (a.max_bank_load, a.total_load) > (b.max_bank_load, b.total_load) {
+                            self.report(
+                                InvariantRule::RankOrder,
+                                *at,
+                                format!(
+                                    "batch {batch}: thread {} (max {}, total {}) ranked above \
+                                     thread {} (max {}, total {}) — not shortest-job-first",
+                                    a.thread,
+                                    a.max_bank_load,
+                                    a.total_load,
+                                    b.thread,
+                                    b.max_bank_load,
+                                    b.total_load
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+            Event::CommandIssued { .. } => self.check_command(event),
+            Event::Completed { request, .. } => {
+                self.tracked.remove(request);
+            }
+            Event::BatchDrained { .. }
+            | Event::WriteDrain { .. }
+            | Event::Refresh { .. }
+            | Event::BusSample { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enq(request: u64, thread: usize, bank: usize, row: u64) -> Event {
+        Event::Enqueued { at: 0, request, thread, write: false, bank, row }
+    }
+
+    fn mark(request: u64, thread: usize, bank: usize) -> Event {
+        Event::Marked { at: 1, request, thread, bank }
+    }
+
+    fn formed(id: u64, cap: Option<u32>, exclusive: bool) -> Event {
+        Event::BatchFormed { at: 1, id, marked: 0, cap, exclusive, per_thread: vec![] }
+    }
+
+    fn read_cmd(request: u64, thread: usize, bank: usize, row: u64, marked: bool) -> Event {
+        Event::CommandIssued {
+            at: 2,
+            request,
+            thread,
+            kind: CmdKind::Read,
+            bank,
+            row,
+            col: 0,
+            marked,
+            service: None,
+            data_end: Some(50),
+        }
+    }
+
+    fn done(request: u64) -> Event {
+        Event::Completed { at: 3, request, thread: 0, write: false, arrival: 0, finish: 60 }
+    }
+
+    fn feed(events: &[Event]) -> InvariantSink {
+        let mut sink = InvariantSink::new();
+        for e in events {
+            sink.record(e);
+        }
+        sink
+    }
+
+    #[test]
+    fn clean_batched_stream_passes() {
+        let sink = feed(&[
+            enq(1, 0, 0, 5),
+            enq(2, 1, 0, 5),
+            formed(1, Some(5), true),
+            mark(1, 0, 0),
+            mark(2, 1, 0),
+            read_cmd(1, 0, 0, 5, true),
+            done(1),
+            read_cmd(2, 1, 0, 5, true),
+            done(2),
+            formed(2, Some(5), true),
+        ]);
+        assert!(sink.ok(), "{:?}", sink.violations());
+        assert_eq!(sink.events, 10);
+        assert!(sink.summary().contains("0 violations"));
+    }
+
+    #[test]
+    fn unmarked_read_over_schedulable_marked_one_fires() {
+        let sink = feed(&[
+            enq(1, 0, 0, 5),
+            enq(2, 1, 0, 5),
+            mark(1, 0, 0),
+            // Request 2 (unmarked) reads bank 0 row 5 while marked request 1
+            // to the same bank+row is still queued.
+            read_cmd(2, 1, 0, 5, false),
+        ]);
+        assert_eq!(sink.violations().len(), 1);
+        let v = &sink.violations()[0];
+        assert_eq!(v.rule, InvariantRule::MarkedFirst);
+        assert!(v.message.contains("req 2"));
+        assert!(!v.window.is_empty(), "violation carries its event window");
+        assert_eq!(v.window.last(), Some(&read_cmd(2, 1, 0, 5, false)));
+    }
+
+    #[test]
+    fn unmarked_read_to_a_different_row_is_fine() {
+        let sink = feed(&[
+            enq(1, 0, 0, 5),
+            mark(1, 0, 0),
+            // Different row: the marked request was NOT schedulable there
+            // (its row is closed by serving row 7), so no violation.
+            enq(2, 1, 0, 7),
+            read_cmd(2, 1, 0, 7, false),
+        ]);
+        assert!(sink.ok(), "{:?}", sink.violations());
+    }
+
+    #[test]
+    fn marking_cap_overrun_fires() {
+        let sink = feed(&[
+            enq(1, 0, 3, 1),
+            enq(2, 0, 3, 2),
+            enq(3, 0, 3, 3),
+            formed(1, Some(2), true),
+            mark(1, 0, 3),
+            mark(2, 0, 3),
+            mark(3, 0, 3),
+        ]);
+        assert_eq!(sink.violations().len(), 1);
+        assert_eq!(sink.violations()[0].rule, InvariantRule::MarkingCap);
+    }
+
+    #[test]
+    fn uncapped_batches_never_trip_the_cap_check() {
+        let events: Vec<Event> =
+            std::iter::once(formed(1, None, true)).chain((0..40).map(|i| mark(i, 0, 0))).collect();
+        assert!(feed(&events).ok());
+    }
+
+    #[test]
+    fn premature_exclusive_batch_fires() {
+        let sink = feed(&[
+            enq(1, 0, 0, 5),
+            formed(1, Some(5), true),
+            mark(1, 0, 0),
+            // Request 1 never completed, yet batch 2 claims to form.
+            formed(2, Some(5), true),
+        ]);
+        assert_eq!(sink.violations().len(), 1);
+        assert_eq!(sink.violations()[0].rule, InvariantRule::BatchExclusive);
+    }
+
+    #[test]
+    fn static_batches_may_renew_without_drain() {
+        let sink = feed(&[
+            enq(1, 0, 0, 5),
+            formed(1, Some(5), false),
+            mark(1, 0, 0),
+            formed(2, Some(5), false),
+        ]);
+        assert!(sink.ok(), "static (non-exclusive) batches are exempt");
+    }
+
+    #[test]
+    fn bad_max_total_order_fires() {
+        let entry = |thread, rank, max, total| crate::RankEntry {
+            thread,
+            rank,
+            max_bank_load: max,
+            total_load: total,
+        };
+        let sink = feed(&[Event::RankComputed {
+            at: 9,
+            batch: 1,
+            max_total: true,
+            entries: vec![entry(0, 0, 4, 4), entry(1, 1, 1, 1)],
+        }]);
+        assert_eq!(sink.violations().len(), 1);
+        assert_eq!(sink.violations()[0].rule, InvariantRule::RankOrder);
+
+        let ok = feed(&[Event::RankComputed {
+            at: 9,
+            batch: 1,
+            max_total: true,
+            entries: vec![entry(1, 0, 1, 1), entry(0, 1, 4, 4)],
+        }]);
+        assert!(ok.ok());
+    }
+
+    #[test]
+    fn non_permutation_ranking_fires() {
+        let entry =
+            |thread, rank| crate::RankEntry { thread, rank, max_bank_load: 1, total_load: 1 };
+        let sink = feed(&[Event::RankComputed {
+            at: 9,
+            batch: 1,
+            max_total: false,
+            entries: vec![entry(0, 0), entry(1, 0)],
+        }]);
+        assert_eq!(sink.violations().len(), 1);
+        assert_eq!(sink.violations()[0].rule, InvariantRule::RankOrder);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut sink = InvariantSink::new();
+        for at in 0..200 {
+            sink.record(&Event::Refresh { at });
+        }
+        sink.record(&Event::RankComputed {
+            at: 200,
+            batch: 1,
+            max_total: false,
+            entries: vec![crate::RankEntry { thread: 0, rank: 5, max_bank_load: 0, total_load: 0 }],
+        });
+        assert_eq!(sink.violations().len(), 1);
+        assert!(sink.violations()[0].window.len() <= WINDOW);
+        let display = format!("{}", sink.violations()[0]);
+        assert!(display.contains("rank-order"));
+    }
+}

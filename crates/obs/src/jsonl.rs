@@ -1,0 +1,126 @@
+//! [`JsonlSink`]: streams each event as one JSON object per line (JSONL),
+//! suitable for `grep`/`jq` pipelines and for appending to long-run logs.
+
+use std::io::Write;
+
+use crate::{Event, EventSink};
+
+/// Writes each event as a single JSON line into any [`std::io::Write`]
+/// target (a `Vec<u8>` for in-memory capture, a `BufWriter<File>` for
+/// streaming to disk).
+///
+/// Write errors are not surfaced mid-run (the sink API is infallible by
+/// design); the first error is remembered and can be inspected after the
+/// run via [`JsonlSink::error`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + 'static> {
+    writer: W,
+    lines: u64,
+    error: Option<std::io::ErrorKind>,
+}
+
+impl<W: Write + 'static> JsonlSink<W> {
+    /// Creates a sink writing into `writer`.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, lines: 0, error: None }
+    }
+
+    /// Number of lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first write error encountered, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<std::io::ErrorKind> {
+        self.error
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl JsonlSink<Vec<u8>> {
+    /// Convenience constructor for in-memory capture.
+    #[must_use]
+    pub fn to_vec() -> Self {
+        JsonlSink::new(Vec::new())
+    }
+
+    /// Consumes the sink, returning the captured text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the captured bytes are not UTF-8, which cannot happen for
+    /// output produced by this sink.
+    #[must_use]
+    pub fn into_string(self) -> String {
+        String::from_utf8(self.into_inner()).expect("JSONL output is ASCII")
+    }
+}
+
+impl<W: Write + 'static> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        if let Err(e) =
+            self.writer.write_all(line.as_bytes()).and_then(|()| self.writer.write_all(b"\n"))
+        {
+            self.error = Some(e.kind());
+            return;
+        }
+        self.lines += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_line_per_event() {
+        let mut sink = JsonlSink::to_vec();
+        sink.record(&Event::Refresh { at: 5 });
+        sink.record(&Event::Enqueued {
+            at: 6,
+            request: 1,
+            thread: 0,
+            write: false,
+            bank: 2,
+            row: 3,
+        });
+        assert_eq!(sink.lines(), 2);
+        assert!(sink.error().is_none());
+        let text = sink.into_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"refresh\""));
+        assert!(lines[1].contains("\"type\":\"enqueued\""));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn write_errors_stop_the_sink_without_panicking() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("boom"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record(&Event::Refresh { at: 0 });
+        sink.record(&Event::Refresh { at: 1 });
+        assert_eq!(sink.lines(), 0);
+        assert!(sink.error().is_some());
+    }
+}

@@ -12,6 +12,15 @@
 //! options: --target <instructions>   per-thread run length (default 30000)
 //!          --seed <seed>             workload seed (default 42)
 //!          --jobs <n>                worker threads (default: all cores)
+//!
+//! observability (case-study / mix only; runs the mix once, observed):
+//!          --trace-out <path>        write the event trace to <path>
+//!          --trace-format <fmt>      chrome (Perfetto-loadable) | jsonl
+//!          --check-invariants        verify PAR-BS batching invariants;
+//!                                    exit 1 on any violation
+//!          --trace-sched <name>      scheduler for the observed run
+//!                                    (FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS,
+//!                                    default PAR-BS)
 //! ```
 //!
 //! Every evaluation command fans its plan across `--jobs` worker threads
@@ -20,13 +29,99 @@
 
 use std::time::Instant;
 
-use parbs_sim::{experiments, Harness, SchedulerKind, SimConfig};
+use parbs_sim::{experiments, Harness, ObserveOptions, SchedulerKind, SimConfig, TraceFormat};
 use parbs_workloads::{
     all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, MixSpec,
 };
 
 fn value_of(args: &[String], flag: &str) -> Option<u64> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn str_value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn sched_by_name(name: &str) -> Option<SchedulerKind> {
+    match name.to_ascii_uppercase().as_str() {
+        "FCFS" => Some(SchedulerKind::Fcfs),
+        "FR-FCFS" | "FRFCFS" => Some(SchedulerKind::FrFcfs),
+        "NFQ" => Some(SchedulerKind::Nfq),
+        "STFQ" => Some(SchedulerKind::Stfq),
+        "STFM" => Some(SchedulerKind::Stfm),
+        "PAR-BS" | "PARBS" => Some(SchedulerKind::ParBs(Default::default())),
+        _ => None,
+    }
+}
+
+/// The observability flags, when any is present.
+struct ObserveArgs {
+    out: Option<String>,
+    format: TraceFormat,
+    check: bool,
+    sched: SchedulerKind,
+}
+
+fn observe_args(args: &[String]) -> Option<ObserveArgs> {
+    let out = str_value_of(args, "--trace-out").map(str::to_owned);
+    let check = args.iter().any(|a| a == "--check-invariants");
+    if out.is_none() && !check {
+        return None;
+    }
+    let format = match str_value_of(args, "--trace-format") {
+        None => TraceFormat::default(),
+        Some(f) => TraceFormat::parse(f).unwrap_or_else(|| {
+            eprintln!("unknown trace format '{f}'; expected chrome or jsonl");
+            std::process::exit(2);
+        }),
+    };
+    let sched = match str_value_of(args, "--trace-sched") {
+        None => SchedulerKind::ParBs(Default::default()),
+        Some(s) => sched_by_name(s).unwrap_or_else(|| {
+            eprintln!("unknown scheduler '{s}'; expected FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS");
+            std::process::exit(2);
+        }),
+    };
+    Some(ObserveArgs { out, format, check, sched })
+}
+
+/// Runs `mix` once with sinks attached, writes the trace, prints the
+/// invariant reports, and exits non-zero if a batching invariant broke.
+fn run_observed_cli(mix: &parbs_workloads::MixSpec, target: u64, seed: u64, oa: &ObserveArgs) {
+    let cfg = SimConfig { target_instructions: target, seed, ..SimConfig::for_cores(mix.cores()) };
+    let opts =
+        ObserveOptions { check_invariants: oa.check, trace: oa.out.as_ref().map(|_| oa.format) };
+    let start = Instant::now();
+    let obs = parbs_sim::run_observed(cfg, mix, &oa.sched, &opts);
+    println!(
+        "observed run: {} on '{}', {} cycles{}",
+        oa.sched.name(),
+        mix.name,
+        obs.result.cycles,
+        if obs.result.timed_out { " (timed out)" } else { "" }
+    );
+    println!("channel 0: {}", obs.counters);
+    if let (Some(path), Some(trace)) = (&oa.out, &obs.trace) {
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {} bytes of {} trace to {path}", trace.len(), oa.format.name());
+    }
+    if oa.check {
+        for rep in &obs.invariants {
+            println!("channel {}: {}", rep.channel, rep.summary);
+            for v in &rep.violations {
+                println!("{v}");
+            }
+        }
+        if obs.violation_count > 0 {
+            eprintln!("{} invariant violation(s)", obs.violation_count);
+            std::process::exit(1);
+        }
+        println!("invariants: OK ({} channel(s) checked)", obs.invariants.len());
+    }
+    println!("observed in {:.2}s", start.elapsed().as_secs_f64());
 }
 
 fn print_evals(evals: &[parbs_sim::MixEvaluation]) {
@@ -84,6 +179,10 @@ fn print_available() {
     println!("  (more sweeps — marking-cap, batching, ranking, priorities — are");
     println!("   regenerated by the parbs-bench binaries: fig11..fig14, table3, table4)");
     println!("\noptions: --target N   --seed N   --jobs N (default: all cores)");
+    println!(
+        "observe: --trace-out F   --trace-format chrome|jsonl   --check-invariants   \
+         --trace-sched FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS"
+    );
 }
 
 fn main() {
@@ -107,6 +206,10 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+            if let Some(oa) = observe_args(&args) {
+                run_observed_cli(&mix, target, seed, &oa);
+                return;
+            }
             let harness = harness_for(mix.cores(), target);
             let plan = experiments::compare_plan(&mix);
             println!("case study {} ({} cores):", mix.name, mix.cores());
@@ -127,6 +230,10 @@ fn main() {
                 }
             }
             let mix = MixSpec::from_names("custom", &names);
+            if let Some(oa) = observe_args(&args) {
+                run_observed_cli(&mix, target, seed, &oa);
+                return;
+            }
             let harness = harness_for(mix.cores(), target);
             let plan = experiments::compare_plan(&mix);
             let start = Instant::now();
@@ -236,7 +343,9 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n]> \
-                 [--target N] [--seed N] [--jobs N]  (or --list to enumerate mixes/sweeps)"
+                 [--target N] [--seed N] [--jobs N] \
+                 [--trace-out F] [--trace-format chrome|jsonl] [--check-invariants] \
+                 [--trace-sched S]  (or --list to enumerate mixes/sweeps)"
             );
             std::process::exit(2);
         }

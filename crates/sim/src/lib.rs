@@ -45,6 +45,7 @@ mod config;
 mod executor;
 pub mod experiments;
 mod harness;
+mod observe;
 mod plan;
 mod runner;
 mod sched_kind;
@@ -53,6 +54,7 @@ mod system;
 pub use config::SimConfig;
 pub use executor::default_jobs;
 pub use harness::{AloneKey, CacheStats, Harness, MixEvaluation};
+pub use observe::{run_observed, ChannelReport, ObserveOptions, ObservedRun, TraceFormat};
 pub use plan::{EvalJob, EvalOverrides, EvalPlan};
 pub use runner::Session;
 pub use sched_kind::SchedulerKind;

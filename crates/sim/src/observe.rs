@@ -1,0 +1,234 @@
+//! Observed single runs: attach [`parbs_obs`] sinks to every DRAM channel,
+//! run a mix once, and collect the trace payload, counter summary and
+//! invariant reports — the engine behind `parbs-sim --trace-out` and
+//! `--check-invariants`.
+//!
+//! Channel 0 (where most requests of a 1-channel Table 2 system land)
+//! carries the trace and counter sinks; every channel gets an
+//! [`InvariantSink`] when invariant checking is on, since the PAR-BS
+//! batching rules hold per controller.
+
+use parbs_cpu::InstructionStream;
+use parbs_obs::{
+    downcast_sink, ChromeTraceSink, CounterSink, FanoutSink, InvariantSink, JsonlSink,
+};
+use parbs_workloads::{MixSpec, SyntheticStream};
+
+use crate::{RunResult, SchedulerKind, SimConfig, System};
+
+/// Serialization format for `--trace-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    #[default]
+    Chrome,
+    /// One JSON object per line, every event verbatim.
+    Jsonl,
+}
+
+impl TraceFormat {
+    /// Parses a `--trace-format` argument.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TraceFormat> {
+        match s {
+            "chrome" => Some(TraceFormat::Chrome),
+            "jsonl" => Some(TraceFormat::Jsonl),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of the format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Chrome => "chrome",
+            TraceFormat::Jsonl => "jsonl",
+        }
+    }
+}
+
+/// What to observe during a [`run_observed`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObserveOptions {
+    /// Attach an [`InvariantSink`] to every channel.
+    pub check_invariants: bool,
+    /// Serialize channel 0's event stream in this format.
+    pub trace: Option<TraceFormat>,
+}
+
+/// Invariant-check outcome of one channel.
+#[derive(Debug, Clone)]
+pub struct ChannelReport {
+    /// Channel index.
+    pub channel: usize,
+    /// One-line sink summary (events seen, violations).
+    pub summary: String,
+    /// Formatted violation reports (rule, cycle, message, event window).
+    pub violations: Vec<String>,
+}
+
+/// Everything collected from one observed run.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The ordinary simulation result.
+    pub result: RunResult,
+    /// Serialized channel-0 trace, when a format was requested.
+    pub trace: Option<String>,
+    /// Channel-0 counter summary (always collected).
+    pub counters: String,
+    /// Per-channel invariant reports (empty unless `check_invariants`).
+    pub invariants: Vec<ChannelReport>,
+    /// Total violations over all channels.
+    pub violation_count: usize,
+}
+
+/// Builds the per-channel sink stack. Push order is the detach contract of
+/// [`detach`]: invariants first, then counters, then the trace serializer.
+fn attach(sys: &mut System, opts: &ObserveOptions) {
+    for c in 0..sys.channels() {
+        let mut fan = FanoutSink::new();
+        if opts.check_invariants {
+            fan.push(Box::new(InvariantSink::new()));
+        }
+        if c == 0 {
+            fan.push(Box::new(CounterSink::new()));
+            match opts.trace {
+                Some(TraceFormat::Chrome) => fan.push(Box::new(ChromeTraceSink::new())),
+                Some(TraceFormat::Jsonl) => fan.push(Box::new(JsonlSink::new(Vec::new()))),
+                None => {}
+            }
+        }
+        if !fan.is_empty() {
+            sys.set_event_sink(c, Box::new(fan));
+        }
+    }
+}
+
+/// Detaches every sink and folds their contents into an [`ObservedRun`].
+fn detach(sys: &mut System, result: RunResult) -> ObservedRun {
+    let mut out = ObservedRun {
+        result,
+        trace: None,
+        counters: String::new(),
+        invariants: Vec::new(),
+        violation_count: 0,
+    };
+    for c in 0..sys.channels() {
+        let Some(sink) = sys.take_event_sink(c) else { continue };
+        let Ok(fan) = downcast_sink::<FanoutSink>(sink) else { continue };
+        for child in fan.into_sinks() {
+            let child = match downcast_sink::<InvariantSink>(child) {
+                Ok(inv) => {
+                    out.violation_count += inv.violations().len();
+                    out.invariants.push(ChannelReport {
+                        channel: c,
+                        summary: inv.summary(),
+                        violations: inv.violations().iter().map(ToString::to_string).collect(),
+                    });
+                    continue;
+                }
+                Err(child) => child,
+            };
+            let child = match downcast_sink::<CounterSink>(child) {
+                Ok(counters) => {
+                    out.counters = counters.summary();
+                    continue;
+                }
+                Err(child) => child,
+            };
+            let child = match downcast_sink::<ChromeTraceSink>(child) {
+                Ok(chrome) => {
+                    out.trace = Some(chrome.finish());
+                    continue;
+                }
+                Err(child) => child,
+            };
+            if let Ok(jsonl) = downcast_sink::<JsonlSink<Vec<u8>>>(child) {
+                out.trace = Some(jsonl.into_string());
+            }
+        }
+    }
+    out
+}
+
+/// Runs `mix` once under `scheduler` with sinks attached per `opts`.
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from `cfg.cores`.
+#[must_use]
+pub fn run_observed(
+    cfg: SimConfig,
+    mix: &MixSpec,
+    scheduler: &SchedulerKind,
+    opts: &ObserveOptions,
+) -> ObservedRun {
+    assert_eq!(mix.cores(), cfg.cores, "mix '{}' needs {} cores", mix.name, mix.cores());
+    let geometry = cfg.geometry();
+    let seed = cfg.seed;
+    let streams: Vec<Box<dyn InstructionStream>> = mix
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            Box::new(SyntheticStream::new(b, geometry, seed, i as u64))
+                as Box<dyn InstructionStream>
+        })
+        .collect();
+    let mut sys = System::new(cfg, streams, scheduler);
+    attach(&mut sys, opts);
+    let result = sys.run();
+    detach(&mut sys, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbs_workloads::case_study_1;
+
+    fn quick_cfg(cores: usize) -> SimConfig {
+        SimConfig { target_instructions: 1_500, ..SimConfig::for_cores(cores) }
+    }
+
+    #[test]
+    fn observed_parbs_run_is_clean_and_produces_a_trace() {
+        let mix = case_study_1();
+        let opts = ObserveOptions { check_invariants: true, trace: Some(TraceFormat::Chrome) };
+        let obs = run_observed(
+            quick_cfg(mix.cores()),
+            &mix,
+            &SchedulerKind::ParBs(Default::default()),
+            &opts,
+        );
+        assert!(!obs.result.timed_out);
+        assert_eq!(obs.violation_count, 0, "{:?}", obs.invariants);
+        assert!(!obs.invariants.is_empty(), "every channel reports");
+        let trace = obs.trace.expect("chrome trace requested");
+        assert!(trace.starts_with('{') && trace.contains("\"traceEvents\""));
+        assert!(trace.contains("batch "), "batch spans present");
+        assert!(obs.counters.contains("thread"), "counter summary: {}", obs.counters);
+    }
+
+    #[test]
+    fn jsonl_format_emits_one_object_per_line() {
+        let mix = case_study_1();
+        let opts = ObserveOptions { check_invariants: false, trace: Some(TraceFormat::Jsonl) };
+        let obs = run_observed(quick_cfg(mix.cores()), &mix, &SchedulerKind::FrFcfs, &opts);
+        let trace = obs.trace.expect("jsonl trace requested");
+        let mut lines = 0usize;
+        for line in trace.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            lines += 1;
+        }
+        assert!(lines > 100, "a real run produces many events, got {lines}");
+        assert!(obs.invariants.is_empty(), "no invariant sinks attached");
+    }
+
+    #[test]
+    fn trace_format_parses_cli_names() {
+        assert_eq!(TraceFormat::parse("chrome"), Some(TraceFormat::Chrome));
+        assert_eq!(TraceFormat::parse("jsonl"), Some(TraceFormat::Jsonl));
+        assert_eq!(TraceFormat::parse("xml"), None);
+        assert_eq!(TraceFormat::default().name(), "chrome");
+    }
+}

@@ -178,6 +178,35 @@ impl System {
         self.controllers.iter_mut().map(|c| c.scheduler_mut().debug_summary()).collect()
     }
 
+    /// The number of DRAM channels (= controllers) in the system.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Attaches an observability sink to `channel`'s controller, returning
+    /// the sink it replaces (see [`Controller::set_event_sink`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn set_event_sink(
+        &mut self,
+        channel: usize,
+        sink: Box<dyn parbs_obs::EventSink>,
+    ) -> Option<Box<dyn parbs_obs::EventSink>> {
+        self.controllers[channel].set_event_sink(sink)
+    }
+
+    /// Detaches and returns `channel`'s observability sink, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn take_event_sink(&mut self, channel: usize) -> Option<Box<dyn parbs_obs::EventSink>> {
+        self.controllers[channel].take_event_sink()
+    }
+
     /// Runs until every thread has committed `target_instructions` (or
     /// `max_cycles` elapse) and returns the per-thread snapshots.
     pub fn run(&mut self) -> RunResult {

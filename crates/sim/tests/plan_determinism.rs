@@ -3,6 +3,9 @@
 //! simulation is deterministic, alone baselines are keyed (not
 //! order-dependent), and results are collated in plan order.
 
+use parbs::{ParBsConfig, ParBsScheduler};
+use parbs_dram::{Controller, DramConfig, LineAddr, Request, RequestKind, ThreadId};
+use parbs_obs::{downcast_sink, ChromeTraceSink};
 use parbs_sim::experiments::{paper_five_labeled, priority_weighted_plan, sweep_plan};
 use parbs_sim::{EvalJob, EvalPlan, Harness, SchedulerKind, SimConfig};
 use parbs_workloads::{case_study_1, random_mixes};
@@ -40,6 +43,73 @@ fn override_jobs_are_deterministic_across_jobs_levels() {
     let serial = Harness::new(quick_cfg()).run_plan(&plan, 1);
     let parallel = Harness::new(quick_cfg()).run_plan(&plan, 4);
     assert_eq!(serial, parallel);
+}
+
+/// The Figure 3 micro-example on the cycle-level controller, traced: a
+/// light thread with one request on each of banks 0-2 and a heavy thread
+/// with five requests on bank 3, drained under default PAR-BS.
+fn fig3_chrome_trace() -> String {
+    let mut ctrl = Controller::new(
+        DramConfig::default(),
+        Box::new(ParBsScheduler::new(ParBsConfig::default())),
+    );
+    ctrl.set_event_sink(Box::new(ChromeTraceSink::new()));
+    let reqs = [
+        (1usize, 3usize, 10u64),
+        (0, 0, 1),
+        (1, 3, 11),
+        (0, 1, 1),
+        (1, 3, 12),
+        (0, 2, 1),
+        (1, 3, 13),
+        (1, 3, 14),
+    ];
+    for (i, (thread, bank, row)) in reqs.iter().enumerate() {
+        let addr = LineAddr { channel: 0, bank: *bank, row: *row, col: 0 };
+        ctrl.try_enqueue(Request::new(i as u64, ThreadId(*thread), addr, RequestKind::Read, 0))
+            .unwrap();
+    }
+    let mut now = 0;
+    let done = ctrl.run_to_drain(&mut now, 1_000_000);
+    assert_eq!(done.len(), reqs.len());
+    // A straggler after the drain opens batch 2, which closes batch 1 and
+    // gets its formation→drain span into the trace.
+    let addr = LineAddr { channel: 0, bank: 0, row: 2, col: 0 };
+    ctrl.try_enqueue(Request::new(99, ThreadId(0), addr, RequestKind::Read, now)).unwrap();
+    let done = ctrl.run_to_drain(&mut now, 1_000_000);
+    assert_eq!(done.len(), 1);
+    let sink = ctrl.take_event_sink().expect("sink attached above");
+    let Ok(sink) = downcast_sink::<ChromeTraceSink>(sink) else {
+        panic!("the attached sink is a ChromeTraceSink");
+    };
+    sink.finish()
+}
+
+#[test]
+fn chrome_trace_of_fig3_micro_example_is_byte_identical_across_jobs_levels() {
+    // Generate the golden trace next to a jobs=1 plan run and the candidate
+    // next to a jobs=4 run of the same plan: neither parallel plan
+    // execution nor harness state may perturb a traced run's bytes.
+    let mixes = random_mixes(4, 1, 7);
+    let sweep = sweep_plan(&mixes, &paper_five_labeled());
+    let golden = {
+        let _rows = Harness::new(quick_cfg()).run_plan(sweep.plan(), 1);
+        fig3_chrome_trace()
+    };
+    let candidate = {
+        let _rows = Harness::new(quick_cfg()).run_plan(sweep.plan(), 4);
+        fig3_chrome_trace()
+    };
+    assert_eq!(golden, candidate, "trace bytes diverged between jobs=1 and jobs=4 contexts");
+    // Golden-shape assertions: Perfetto-loadable JSON with per-bank and
+    // per-thread tracks, the batch span, and the ranking instant.
+    assert!(golden.starts_with("{\"displayTimeUnit\""));
+    assert!(golden.ends_with("]}\n"));
+    for needle in
+        ["\"bank 3\"", "\"thread 0\"", "\"thread 1\"", "\"batch 1\"", "\"rank\"", "process_name"]
+    {
+        assert!(golden.contains(needle), "golden trace lacks {needle}");
+    }
 }
 
 #[test]

@@ -6,6 +6,7 @@
 
 use parbs::{AbstractBatch, AbstractPolicy, ParBsConfig, ParBsScheduler};
 use parbs_dram::{Controller, DramConfig, LineAddr, Request, RequestKind, ThreadId};
+use parbs_obs::{downcast_sink, CollectSink};
 
 fn main() {
     // ── 1. The Figure 3 abstraction: latency 1.0 per row conflict, 0.5 per
@@ -28,11 +29,12 @@ fn main() {
     //       (one request per bank) and a heavy thread (five requests to one
     //       bank) arrive interleaved; the scheduler ranks the light thread
     //       first, so its requests are serviced in parallel.
+    let config = DramConfig::default();
     let mut ctrl = Controller::with_checker(
-        DramConfig::default(),
+        config.clone(),
         Box::new(ParBsScheduler::new(ParBsConfig::default())),
     );
-    ctrl.set_tracing(true);
+    ctrl.set_event_sink(Box::new(CollectSink::new()));
     let reqs = [
         (1usize, 3usize, 10u64), // heavy thread starts piling on bank 3
         (0, 0, 1),
@@ -65,7 +67,11 @@ fn main() {
     // ── 3. The command timeline (A=activate, R=read, P=precharge, .=idle):
     //       thread 0's three activates fire back-to-back on banks 0-2 while
     //       bank 3 serializes thread 1's five requests.
-    let trace = ctrl.take_trace();
-    let end = trace.last().map(|&(t, _)| t + 10).unwrap_or(100);
-    println!("\n{}", parbs_dram::render_timeline(&trace, 4, 0, end, 120));
+    let sink = ctrl.take_event_sink().expect("sink attached above");
+    let Ok(events) = downcast_sink::<CollectSink>(sink) else {
+        panic!("the attached sink is a CollectSink");
+    };
+    let events = events.into_events();
+    let end = events.last().map_or(100, |e| e.at() + 10);
+    println!("\n{}", parbs_dram::render_timeline(&events, &config, 0, end, 120));
 }

@@ -12,9 +12,10 @@
 use parbs::{BatchingMode, ParBsConfig, ParBsScheduler, ThreadPriority};
 use parbs_baselines::{FrFcfsScheduler, NfqScheduler, StfmScheduler};
 use parbs_dram::{
-    Command, Completion, Controller, DramConfig, FcfsScheduler, LineAddr, MemoryScheduler, Request,
-    RequestKind, ThreadId,
+    Command, CommandTraceSink, Completion, Controller, DramConfig, FcfsScheduler, LineAddr,
+    MemoryScheduler, Request, RequestKind, ThreadId,
 };
+use parbs_obs::downcast_sink;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,7 +76,7 @@ fn mix(seed: u64, count: u64) -> Vec<Arrival> {
 /// stall cycles are reported every 1000 cycles to exercise STFM's
 /// fairness-mode switching.
 fn run(mut ctrl: Controller, arrivals: &[Arrival]) -> (Vec<(u64, Command)>, usize) {
-    ctrl.set_tracing(true);
+    ctrl.set_event_sink(Box::new(CommandTraceSink::new()));
     let mut out: Vec<Completion> = Vec::new();
     let mut completed = 0usize;
     let mut now = 0u64;
@@ -106,7 +107,11 @@ fn run(mut ctrl: Controller, arrivals: &[Arrival]) -> (Vec<(u64, Command)>, usiz
     }
     let done = ctrl.run_to_drain(&mut now, 10_000_000);
     completed += done.len();
-    (ctrl.take_trace(), completed)
+    let sink = ctrl.take_event_sink().expect("sink attached above");
+    let Ok(sink) = downcast_sink::<CommandTraceSink>(sink) else {
+        panic!("the attached sink is a CommandTraceSink");
+    };
+    (sink.into_trace(), completed)
 }
 
 /// Runs the same mix through the keyed and comparator paths and asserts the
