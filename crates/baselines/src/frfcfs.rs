@@ -73,6 +73,7 @@ mod tests {
         ch.issue(
             &Command {
                 kind: CommandKind::Activate,
+                rank: 0,
                 bank: 0,
                 row: 5,
                 col: 0,

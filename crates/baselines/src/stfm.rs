@@ -315,7 +315,7 @@ mod tests {
         let mut q = vec![req(0, 0, 3, 1), req(1, 1, 3, 2)];
         s.pre_schedule(&mut q, &view(&ch));
         let cmd =
-            Command { kind: CommandKind::Activate, bank: 3, row: 1, col: 0, request: q[0].id };
+            Command { kind: CommandKind::Activate, rank: 0, bank: 3, row: 1, col: 0, request: q[0].id };
         s.on_command(&cmd, &q[0], 0);
         assert!(s.threads[1].t_interference > 0.0, "thread 1 waits on bank 3");
         assert_eq!(s.threads[0].t_interference, 0.0, "no self-interference");
@@ -336,7 +336,7 @@ mod tests {
         ];
         s.pre_schedule(&mut q, &view(&ch));
         let cmd =
-            Command { kind: CommandKind::Activate, bank: 0, row: 1, col: 0, request: q[0].id };
+            Command { kind: CommandKind::Activate, rank: 0, bank: 0, row: 1, col: 0, request: q[0].id };
         s.on_command(&cmd, &q[0], 0);
         assert!(
             s.threads[1].t_interference < s.threads[2].t_interference,

@@ -114,7 +114,7 @@ fn abstract_fig3(c: &mut Criterion) {
 }
 
 fn address_mapping(c: &mut Criterion) {
-    let mapper = AddressMapper::new(4, 8, 32);
+    let mapper = AddressMapper::canonical(4, 8, 32).unwrap();
     c.bench_function("address_decode_encode", |b| {
         b.iter(|| {
             let mut acc = 0u64;

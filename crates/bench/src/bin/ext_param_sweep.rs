@@ -35,19 +35,19 @@ fn main() {
     println!("banks per channel:");
     for banks in [4usize, 8, 16] {
         let mut cfg = base();
-        cfg.dram.banks_per_channel = banks;
+        cfg.dram.geometry.banks_per_rank = banks;
         run_point(&format!("  {banks} banks"), cfg, n, scale.seed, scale.jobs);
     }
     println!("\nchannels (4 cores):");
     for channels in [1usize, 2, 4] {
         let mut cfg = base();
-        cfg.dram.channels = channels;
+        cfg.dram.geometry.channels = channels;
         run_point(&format!("  {channels} channel(s)"), cfg, n, scale.seed, scale.jobs);
     }
     println!("\nrow-buffer size (lines per row):");
     for cols in [16u64, 32, 64] {
         let mut cfg = base();
-        cfg.dram.cols_per_row = cols;
+        cfg.dram.geometry.cols_per_row = cols;
         run_point(&format!("  {} B rows", cols * 64), cfg, n, scale.seed, scale.jobs);
     }
     println!("\nopen-row grace ablation (controller policy of this model):");

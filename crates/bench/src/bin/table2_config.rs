@@ -13,7 +13,7 @@ fn main() {
         let t = d.timing;
         println!(
             "{cores:>2} cores: {} channel(s) x {} banks, {} KB rows, {}-entry request buffer, {}-entry write buffer",
-            d.channels, d.banks_per_channel, d.cols_per_row * 64 / 1024,
+            d.channels(), d.banks_per_channel(), d.cols_per_row() * 64 / 1024,
             d.request_buffer_cap, d.write_buffer_cap
         );
         if cores == 4 {

@@ -82,6 +82,10 @@ pub struct ParBsScheduler {
     /// Whether an event sink is attached downstream (controller-driven via
     /// [`MemoryScheduler::set_observing`]). When false, no events are built.
     observing: bool,
+    /// Banks per rank of the channel being scheduled, learned from the
+    /// [`SchedView`] each `pre_schedule` so emitted `Marked` events can
+    /// carry the rank coordinate.
+    banks_per_rank: usize,
     /// Buffered scheduler events; the controller drains these once per
     /// decision slot with [`MemoryScheduler::drain_events`].
     obs_events: Vec<Event>,
@@ -109,6 +113,7 @@ impl ParBsScheduler {
             rng: StdRng::seed_from_u64(cfg.seed),
             stats: ParBsStats::default(),
             observing: false,
+            banks_per_rank: 1,
             obs_events: Vec::new(),
         }
     }
@@ -194,6 +199,7 @@ impl ParBsScheduler {
                         at: now,
                         request: r.id.0,
                         thread: r.thread.0,
+                        rank: r.addr.bank / self.banks_per_rank.max(1),
                         bank: r.addr.bank,
                     });
                 }
@@ -382,6 +388,7 @@ impl MemoryScheduler for ParBsScheduler {
     }
 
     fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) -> bool {
+        self.banks_per_rank = view.channel.banks_per_rank();
         match self.cfg.batching {
             BatchingMode::Full => {
                 if !queue.is_empty() && !queue.iter().any(|r| r.marked) {
@@ -525,6 +532,7 @@ mod tests {
         ch.issue(
             &parbs_dram::Command {
                 kind: parbs_dram::CommandKind::Activate,
+                rank: 0,
                 bank: 0,
                 row: 5,
                 col: 0,
@@ -650,6 +658,7 @@ mod tests {
         ch.issue(
             &parbs_dram::Command {
                 kind: parbs_dram::CommandKind::Activate,
+                rank: 0,
                 bank: 0,
                 row: 9,
                 col: 0,

@@ -1,5 +1,7 @@
-//! One DRAM channel: banks plus shared command/address/data buses and
-//! rank-level timing constraints (`t_ccd`, `t_rrd`, `t_wtr`).
+//! One DRAM channel: ranks of banks plus the shared command/address/data
+//! buses. Rank-level constraints (`t_rrd`, `t_faw`, `t_rfc`) are tracked
+//! per rank; channel-level constraints (`t_ccd`, `t_wtr`, the data bus and
+//! its `t_rtrs` rank-switch penalty) are shared.
 
 use crate::{Bank, Command, CommandKind, ThreadId, TimingParams};
 
@@ -7,46 +9,83 @@ use crate::{Bank, Command, CommandKind, ThreadId, TimingParams};
 /// issues at most one command per DRAM cycle on the channel's command bus;
 /// the channel tracks everything needed to decide whether a command is
 /// *ready* (issuable without violating a timing or bus constraint).
+///
+/// Banks are indexed **channel-globally** and rank-major: rank `r` owns
+/// banks `r * banks_per_rank .. (r + 1) * banks_per_rank`.
 #[derive(Debug, Clone)]
 pub struct Channel {
     banks: Vec<Bank>,
     timing: TimingParams,
+    banks_per_rank: usize,
     /// Data bus is busy until this cycle (transfers are fully serialized;
     /// with `t_ccd ≤ t_burst` the bus is the binding constraint).
     data_bus_free_at: u64,
+    /// Rank that drove the last data transfer (a following transfer from a
+    /// different rank pays `t_rtrs` on top of `data_bus_free_at`).
+    last_data_rank: Option<usize>,
     /// Earliest next column command (tCCD after the previous one, tWTR after
-    /// write data).
+    /// write data) — channel-wide, the command/data buses are shared.
     earliest_column: u64,
-    /// Earliest next activate anywhere on the channel (tRRD).
-    earliest_activate: u64,
-    /// Issue times of recent activates (tFAW sliding window).
-    recent_activates: Vec<u64>,
-    /// All banks are blocked until this cycle (refresh in progress).
-    refresh_until: u64,
+    /// Earliest next activate per rank (tRRD is a rank constraint).
+    earliest_activate: Vec<u64>,
+    /// Issue times of recent activates per rank (tFAW sliding window).
+    recent_activates: Vec<Vec<u64>>,
+    /// Per-rank refresh blackout: the rank's banks are blocked until this
+    /// cycle, other ranks keep operating.
+    refresh_until: Vec<u64>,
 }
 
 impl Channel {
-    /// Creates a channel with `banks` idle banks.
+    /// Creates a single-rank channel with `banks` idle banks — the paper's
+    /// Table 2 shape and the convenience constructor used throughout unit
+    /// tests. Multi-rank channels use [`Channel::with_ranks`].
     #[must_use]
     pub fn new(banks: usize, timing: TimingParams) -> Self {
+        Channel::with_ranks(1, banks, timing)
+    }
+
+    /// Creates a channel of `ranks` ranks × `banks_per_rank` idle banks.
+    #[must_use]
+    pub fn with_ranks(ranks: usize, banks_per_rank: usize, timing: TimingParams) -> Self {
+        assert!(ranks > 0 && banks_per_rank > 0, "a channel needs at least one bank");
         Channel {
-            banks: vec![Bank::new(); banks],
+            banks: vec![Bank::new(); ranks * banks_per_rank],
             timing,
+            banks_per_rank,
             data_bus_free_at: 0,
+            last_data_rank: None,
             earliest_column: 0,
-            earliest_activate: 0,
-            recent_activates: Vec::new(),
-            refresh_until: 0,
+            earliest_activate: vec![0; ranks],
+            recent_activates: vec![Vec::new(); ranks],
+            refresh_until: vec![0; ranks],
         }
     }
 
-    /// Number of banks.
+    /// Number of banks (channel-global, over all ranks).
     #[must_use]
     pub fn bank_count(&self) -> usize {
         self.banks.len()
     }
 
-    /// Immutable access to a bank.
+    /// Number of ranks.
+    #[must_use]
+    pub fn rank_count(&self) -> usize {
+        self.refresh_until.len()
+    }
+
+    /// Banks per rank.
+    #[must_use]
+    pub fn banks_per_rank(&self) -> usize {
+        self.banks_per_rank
+    }
+
+    /// The rank owning channel-global bank index `bank`.
+    #[must_use]
+    pub fn rank_of(&self, bank: usize) -> usize {
+        bank / self.banks_per_rank
+    }
+
+    /// Immutable access to a bank (channel-global index).
     ///
     /// # Panics
     ///
@@ -62,13 +101,28 @@ impl Channel {
         &self.timing
     }
 
-    /// True if `cmd` can legally issue at cycle `now` (all per-bank and
-    /// channel-level constraints satisfied, data bus available for column
-    /// commands).
+    /// The rank a command addresses: explicit for refresh, derived from the
+    /// global bank index otherwise.
+    fn cmd_rank(&self, cmd: &Command) -> usize {
+        if cmd.kind == CommandKind::Refresh {
+            cmd.rank
+        } else {
+            self.rank_of(cmd.bank)
+        }
+    }
+
+    /// True if `cmd` can legally issue at cycle `now` (all per-bank,
+    /// per-rank and channel-level constraints satisfied, data bus available
+    /// for column commands).
     #[must_use]
     pub fn can_issue(&self, cmd: &Command, now: u64) -> bool {
-        if now < self.refresh_until {
+        let rank = self.cmd_rank(cmd);
+        if now < self.refresh_until[rank] {
             return false;
+        }
+        if cmd.kind == CommandKind::Refresh {
+            // Refresh needs a quiet data bus; it force-precharges the rank.
+            return now >= self.data_bus_free_at;
         }
         let bank = &self.banks[cmd.bank];
         if now < bank.earliest_issue(cmd.kind) {
@@ -76,7 +130,9 @@ impl Channel {
         }
         match cmd.kind {
             CommandKind::Activate => {
-                now >= self.earliest_activate && bank.open_row().is_none() && self.faw_allows(now)
+                now >= self.earliest_activate[rank]
+                    && bank.open_row().is_none()
+                    && self.faw_allows(rank, now)
             }
             CommandKind::Read | CommandKind::Write => {
                 if now < self.earliest_column || !bank.is_row_hit(cmd.row) {
@@ -88,11 +144,19 @@ impl Channel {
                     } else {
                         self.timing.t_cl
                     };
-                start >= self.data_bus_free_at
+                start >= self.data_bus_free_at + self.rank_switch_penalty(rank)
             }
             CommandKind::Precharge => bank.open_row().is_some(),
-            // Refresh needs a quiet data bus; it force-precharges all banks.
-            CommandKind::Refresh => now >= self.data_bus_free_at,
+            CommandKind::Refresh => unreachable!("handled above"),
+        }
+    }
+
+    /// Extra data-bus gap before `rank` may drive data: `t_rtrs` when the
+    /// previous transfer came from a different rank, 0 otherwise.
+    fn rank_switch_penalty(&self, rank: usize) -> u64 {
+        match self.last_data_rank {
+            Some(last) if last != rank => self.timing.t_rtrs,
+            _ => 0,
         }
     }
 
@@ -107,14 +171,16 @@ impl Channel {
     pub fn issue(&mut self, cmd: &Command, thread: ThreadId, now: u64) -> Option<(u64, u64)> {
         debug_assert!(self.can_issue(cmd, now), "command {cmd:?} not ready at {now}");
         let timing = self.timing;
+        let rank = self.cmd_rank(cmd);
         match cmd.kind {
             CommandKind::Activate => {
                 self.banks[cmd.bank].activate(cmd.row, thread, now, &timing);
-                self.earliest_activate = self.earliest_activate.max(now + timing.t_rrd);
+                self.earliest_activate[rank] =
+                    self.earliest_activate[rank].max(now + timing.t_rrd);
                 if timing.t_faw > 0 {
-                    self.recent_activates.push(now);
+                    self.recent_activates[rank].push(now);
                     let faw = timing.t_faw;
-                    self.recent_activates.retain(|&t| t + faw > now);
+                    self.recent_activates[rank].retain(|&t| t + faw > now);
                 }
                 None
             }
@@ -122,6 +188,7 @@ impl Channel {
                 let is_write = cmd.kind == CommandKind::Write;
                 let (start, end) = self.banks[cmd.bank].column(is_write, thread, now, &timing);
                 self.data_bus_free_at = self.data_bus_free_at.max(end);
+                self.last_data_rank = Some(rank);
                 self.earliest_column = self.earliest_column.max(now + timing.t_ccd);
                 if is_write {
                     // Write-to-read turnaround applies channel-wide.
@@ -134,38 +201,62 @@ impl Channel {
                 None
             }
             CommandKind::Refresh => {
-                self.refresh(now);
+                self.refresh_rank(rank, now);
                 None
             }
         }
     }
 
-    /// True if another activate fits into the four-activate window at `now`:
-    /// an activate at `t` occupies the window until `t + t_faw`.
-    fn faw_allows(&self, now: u64) -> bool {
+    /// True if another activate fits into `rank`'s four-activate window at
+    /// `now`: an activate at `t` occupies the window until `t + t_faw`.
+    fn faw_allows(&self, rank: usize, now: u64) -> bool {
         if self.timing.t_faw == 0 {
             return true;
         }
         let faw = self.timing.t_faw;
-        self.recent_activates.iter().filter(|&&t| t + faw > now).count() < 4
+        self.recent_activates[rank].iter().filter(|&&t| t + faw > now).count() < 4
     }
 
-    /// Begins an all-bank refresh at `now`: every bank must be precharged
-    /// (open rows are force-closed, as a controller would precharge-all
-    /// first) and the rank is unavailable for `t_rfc`.
-    pub fn refresh(&mut self, now: u64) {
+    /// Begins an all-bank refresh of `rank` at `now`: every bank of the rank
+    /// must be precharged (open rows are force-closed, as a controller would
+    /// precharge-all first) and the rank is unavailable for `t_rfc`. Other
+    /// ranks are unaffected — tRFC is a rank-level constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn refresh_rank(&mut self, rank: usize, now: u64) {
         let t = self.timing;
-        for b in &mut self.banks {
+        let lo = rank * self.banks_per_rank;
+        for b in &mut self.banks[lo..lo + self.banks_per_rank] {
             b.force_precharge_for_refresh(now, &t);
         }
-        self.refresh_until = self.refresh_until.max(now + t.t_rfc);
-        self.earliest_activate = self.earliest_activate.max(now + t.t_rfc);
+        self.refresh_until[rank] = self.refresh_until[rank].max(now + t.t_rfc);
+        self.earliest_activate[rank] = self.earliest_activate[rank].max(now + t.t_rfc);
     }
 
-    /// Cycle until which the channel is blocked by an in-progress refresh.
+    /// Refreshes every rank at `now` (identical to [`Channel::refresh_rank`]
+    /// on single-rank channels — the legacy all-channel refresh).
+    pub fn refresh(&mut self, now: u64) {
+        for rank in 0..self.rank_count() {
+            self.refresh_rank(rank, now);
+        }
+    }
+
+    /// Cycle until which `rank` is blocked by an in-progress refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn refresh_until_rank(&self, rank: usize) -> u64 {
+        self.refresh_until[rank]
+    }
+
+    /// Latest refresh blackout over all ranks (the channel-wide view).
     #[must_use]
     pub fn refresh_until(&self) -> u64 {
-        self.refresh_until
+        self.refresh_until.iter().copied().max().unwrap_or(0)
     }
 
     /// Number of banks with an in-flight data transfer at `now` — the
@@ -188,7 +279,13 @@ mod tests {
     use crate::RequestId;
 
     fn cmd(kind: CommandKind, bank: usize, row: u64) -> Command {
-        Command { kind, bank, row, col: 0, request: RequestId(0) }
+        Command { kind, rank: 0, bank, row, col: 0, request: RequestId(0) }
+    }
+
+    /// Command targeting a 2-rank × 8-bank channel (rank derived from the
+    /// global bank index).
+    fn cmd2(kind: CommandKind, bank: usize, row: u64) -> Command {
+        Command { kind, rank: bank / 8, bank, row, col: 0, request: RequestId(0) }
     }
 
     #[test]
@@ -214,6 +311,34 @@ mod tests {
     }
 
     #[test]
+    fn trrd_is_per_rank() {
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::with_ranks(2, 8, t);
+        ch.issue(&cmd2(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        // Same rank: tRRD applies. Other rank: no activate-to-activate gap.
+        assert!(!ch.can_issue(&cmd2(CommandKind::Activate, 1, 1), 10));
+        assert!(ch.can_issue(&cmd2(CommandKind::Activate, 8, 1), 10), "rank 1 has its own tRRD");
+    }
+
+    #[test]
+    fn tfaw_is_per_rank() {
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::with_ranks(2, 8, t);
+        for (i, now) in (0..4).map(|i| (i, i as u64 * t.t_rrd)) {
+            ch.issue(&cmd2(CommandKind::Activate, i, 1), ThreadId(0), now);
+        }
+        let after = 4 * t.t_rrd;
+        assert!(
+            !ch.can_issue(&cmd2(CommandKind::Activate, 4, 1), after),
+            "fifth activate in rank 0's tFAW window must be blocked"
+        );
+        assert!(
+            ch.can_issue(&cmd2(CommandKind::Activate, 8, 1), after),
+            "rank 1's window is empty — its activate must be legal"
+        );
+    }
+
+    #[test]
     fn data_bus_serializes_reads_across_banks() {
         let t = TimingParams::ddr2_800();
         let mut ch = Channel::new(8, t);
@@ -227,6 +352,29 @@ mod tests {
         assert!(ch.can_issue(&r1, 100), "data start 160 == bus free");
         let (start, _) = ch.issue(&r1, ThreadId(0), 100).unwrap();
         assert_eq!(start, 160);
+    }
+
+    #[test]
+    fn rank_switch_pays_trtrs_on_the_data_bus() {
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::with_ranks(2, 8, t);
+        ch.issue(&cmd2(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        ch.issue(&cmd2(CommandKind::Activate, 8, 1), ThreadId(0), 0);
+        ch.issue(&cmd2(CommandKind::Read, 0, 1), ThreadId(0), 60);
+        // Bank 0 (rank 0) data: [120, 160). A rank-1 read's data must start
+        // at ≥ 160 + tRTRS; a same-rank read would clear the bus at 160.
+        let same_rank = cmd2(CommandKind::Read, 1, 1);
+        let cross_rank = cmd2(CommandKind::Read, 8, 1);
+        ch.issue(&cmd2(CommandKind::Activate, 1, 1), ThreadId(0), 30);
+        assert!(ch.can_issue(&same_rank, 100), "same-rank data start 160 == bus free");
+        assert!(
+            !ch.can_issue(&cross_rank, 100),
+            "cross-rank data start 160 < 160 + tRTRS ({})",
+            t.t_rtrs
+        );
+        assert!(ch.can_issue(&cross_rank, 100 + t.t_rtrs), "after the switch gap it is legal");
+        let (start, _) = ch.issue(&cross_rank, ThreadId(0), 100 + t.t_rtrs).unwrap();
+        assert_eq!(start, 160 + t.t_rtrs);
     }
 
     #[test]
@@ -253,6 +401,40 @@ mod tests {
         let r = cmd(CommandKind::Read, 1, 1);
         assert!(!ch.can_issue(&r, wend));
         assert!(ch.can_issue(&r, wend + t.t_wtr));
+    }
+
+    #[test]
+    fn refresh_in_rank0_does_not_stall_rank1() {
+        // The satellite fix: tRFC is a rank-level constraint, so a refresh
+        // of rank 0 must leave rank 1 free to activate immediately.
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::with_ranks(2, 8, t);
+        ch.issue(&Command::refresh(0, RequestId(u64::MAX)), ThreadId(0), 0);
+        let in_blackout = t.t_rfc / 2;
+        assert!(
+            !ch.can_issue(&cmd2(CommandKind::Activate, 0, 1), in_blackout),
+            "rank 0 is in its tRFC blackout"
+        );
+        assert!(
+            ch.can_issue(&cmd2(CommandKind::Activate, 8, 1), in_blackout),
+            "rank 1 must not be stalled by rank 0's refresh"
+        );
+        assert_eq!(ch.refresh_until_rank(0), t.t_rfc);
+        assert_eq!(ch.refresh_until_rank(1), 0);
+    }
+
+    #[test]
+    fn refresh_closes_open_rows() {
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::new(8, t);
+        ch.issue(&cmd(CommandKind::Activate, 0, 5), ThreadId(0), 0);
+        assert_eq!(ch.bank(0).open_row(), Some(5));
+        ch.refresh(1_000);
+        assert_eq!(ch.bank(0).open_row(), None);
+        assert!(ch.refresh_until() >= 1_000 + t.t_rfc);
+        // Nothing can issue during the refresh.
+        assert!(!ch.can_issue(&cmd(CommandKind::Activate, 0, 5), 1_000 + t.t_rfc - 10));
+        assert!(ch.can_issue(&cmd(CommandKind::Activate, 0, 5), 1_000 + t.t_rfc));
     }
 
     #[test]

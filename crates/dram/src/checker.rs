@@ -4,6 +4,10 @@
 //! (without trusting the controller's bookkeeping) and reports the first
 //! violated timing or state constraint. The property-based tests run it
 //! against the controller under random request streams and schedulers.
+//!
+//! Rank-level constraints (tRRD, tFAW, tRFC) are tracked per rank;
+//! channel-level constraints (tCCD, tWTR, the data bus and its tRTRS
+//! rank-switch penalty) are shared, mirroring [`crate::Channel`].
 
 use crate::{Command, CommandKind, TimingParams, DRAM_CYCLE};
 
@@ -34,39 +38,54 @@ struct BankRecord {
     last_read: Option<u64>,
     /// End of the last write's data transfer (for tWR).
     last_write_data_end: Option<u64>,
-    /// Bank blocked until this cycle by an all-bank refresh.
+    /// Bank blocked until this cycle by its rank's refresh.
     refresh_block: u64,
 }
 
 /// Observes a channel's command stream and validates every constraint the
-/// model enforces: bank state legality, tRCD, tRP, tRAS, tRC, tRRD, tFAW,
-/// tCCD, tRTP, tWR, tWTR, tRFC, data-bus exclusivity, and one command per
-/// DRAM cycle.
+/// model enforces: bank state legality, tRCD, tRP, tRAS, tRC, per-rank tRRD
+/// and tFAW, tCCD, tRTP, tWR, tWTR, per-rank tRFC, tRTRS on cross-rank data
+/// transfers, rank/bank index consistency, data-bus exclusivity, and one
+/// command per DRAM cycle.
 #[derive(Debug, Clone)]
 pub struct ProtocolChecker {
     timing: TimingParams,
     banks: Vec<BankRecord>,
+    banks_per_rank: usize,
     last_cmd_at: Option<u64>,
-    last_act_any: Option<u64>,
+    /// Last activate per rank (tRRD is a rank constraint).
+    last_act_rank: Vec<Option<u64>>,
     last_col_any: Option<u64>,
     data_busy_until: u64,
+    /// Rank that drove the last data transfer (for tRTRS).
+    last_data_rank: Option<usize>,
     wtr_block_until: u64,
-    recent_activates: Vec<u64>,
+    /// Recent activates per rank (tFAW sliding window).
+    recent_activates: Vec<Vec<u64>>,
 }
 
 impl ProtocolChecker {
-    /// Creates a checker for a channel with `banks` banks.
+    /// Creates a checker for a single-rank channel with `banks` banks.
     #[must_use]
     pub fn new(banks: usize, timing: TimingParams) -> Self {
+        ProtocolChecker::with_ranks(1, banks, timing)
+    }
+
+    /// Creates a checker for a channel of `ranks` ranks × `banks_per_rank`
+    /// banks (bank indices are channel-global and rank-major).
+    #[must_use]
+    pub fn with_ranks(ranks: usize, banks_per_rank: usize, timing: TimingParams) -> Self {
         ProtocolChecker {
             timing,
-            banks: vec![BankRecord::default(); banks],
+            banks: vec![BankRecord::default(); ranks * banks_per_rank],
+            banks_per_rank,
             last_cmd_at: None,
-            last_act_any: None,
+            last_act_rank: vec![None; ranks],
             last_col_any: None,
             data_busy_until: 0,
+            last_data_rank: None,
             wtr_block_until: 0,
-            recent_activates: Vec::new(),
+            recent_activates: vec![Vec::new(); ranks],
         }
     }
 
@@ -82,6 +101,7 @@ impl ProtocolChecker {
     /// unspecified and the checker should be discarded.
     pub fn observe(&mut self, cmd: &Command, at: u64) -> Result<(), ProtocolViolation> {
         let t = self.timing;
+        let ranks = self.last_act_rank.len();
         if !at.is_multiple_of(DRAM_CYCLE) {
             return Err(self.violation("command-clock alignment", cmd, at));
         }
@@ -90,23 +110,35 @@ impl ProtocolChecker {
                 return Err(self.violation("one command per DRAM cycle", cmd, at));
             }
         }
+        if cmd.rank >= ranks {
+            return Err(self.violation("rank index range", cmd, at));
+        }
+        if cmd.kind == CommandKind::Refresh {
+            // Per-rank refresh: quiet data bus, then blank out this rank only.
+            if at < self.data_busy_until {
+                return Err(self.violation("refresh during data transfer", cmd, at));
+            }
+            let lo = cmd.rank * self.banks_per_rank;
+            for b in &mut self.banks[lo..lo + self.banks_per_rank] {
+                b.open_row = None;
+                b.refresh_block = at + t.t_rfc;
+            }
+            self.last_cmd_at = Some(at);
+            return Ok(());
+        }
         if cmd.bank >= self.banks.len() {
             return Err(self.violation("bank index range", cmd, at));
         }
+        if cmd.rank != cmd.bank / self.banks_per_rank {
+            return Err(self.violation("rank/bank consistency", cmd, at));
+        }
+        let rank = cmd.rank;
         let bank = self.banks[cmd.bank];
-        if cmd.kind != CommandKind::Refresh && at < bank.refresh_block {
+        if at < bank.refresh_block {
             return Err(self.violation("tRFC", cmd, at));
         }
         match cmd.kind {
-            CommandKind::Refresh => {
-                if at < self.data_busy_until {
-                    return Err(self.violation("refresh during data transfer", cmd, at));
-                }
-                for b in &mut self.banks {
-                    b.open_row = None;
-                    b.refresh_block = at + self.timing.t_rfc;
-                }
-            }
+            CommandKind::Refresh => unreachable!("handled above"),
             CommandKind::Activate => {
                 if bank.open_row.is_some() {
                     return Err(self.violation("bank state (ACT on open bank)", cmd, at));
@@ -121,21 +153,21 @@ impl ProtocolChecker {
                         return Err(self.violation("tRC", cmd, at));
                     }
                 }
-                if let Some(any) = self.last_act_any {
+                if let Some(any) = self.last_act_rank[rank] {
                     if at < any + t.t_rrd {
                         return Err(self.violation("tRRD", cmd, at));
                     }
                 }
                 if t.t_faw > 0 {
-                    self.recent_activates.retain(|&x| x + t.t_faw > at);
-                    if self.recent_activates.len() >= 4 {
+                    self.recent_activates[rank].retain(|&x| x + t.t_faw > at);
+                    if self.recent_activates[rank].len() >= 4 {
                         return Err(self.violation("tFAW", cmd, at));
                     }
-                    self.recent_activates.push(at);
+                    self.recent_activates[rank].push(at);
                 }
                 self.banks[cmd.bank].open_row = Some(cmd.row);
                 self.banks[cmd.bank].last_act = Some(at);
-                self.last_act_any = Some(at);
+                self.last_act_rank[rank] = Some(at);
             }
             CommandKind::Read | CommandKind::Write => {
                 let is_write = cmd.kind == CommandKind::Write;
@@ -163,7 +195,13 @@ impl ProtocolChecker {
                 if start < self.data_busy_until {
                     return Err(self.violation("data bus conflict", cmd, at));
                 }
+                if let Some(last) = self.last_data_rank {
+                    if last != rank && start < self.data_busy_until + t.t_rtrs {
+                        return Err(self.violation("tRTRS", cmd, at));
+                    }
+                }
                 self.data_busy_until = end;
+                self.last_data_rank = Some(rank);
                 self.last_col_any = Some(at);
                 if is_write {
                     self.banks[cmd.bank].last_write_data_end = Some(end);
@@ -204,12 +242,18 @@ mod tests {
     use super::*;
     use crate::RequestId;
 
+    /// Command for an 8-banks-per-rank layout (rank = bank / 8): correct for
+    /// both the single-rank `checker()` and the 2-rank `checker2()`.
     fn cmd(kind: CommandKind, bank: usize, row: u64) -> Command {
-        Command { kind, bank, row, col: 0, request: RequestId(0) }
+        Command { kind, rank: bank / 8, bank, row, col: 0, request: RequestId(0) }
     }
 
     fn checker() -> ProtocolChecker {
         ProtocolChecker::new(8, TimingParams::ddr2_800())
+    }
+
+    fn checker2() -> ProtocolChecker {
+        ProtocolChecker::with_ranks(2, 8, TimingParams::ddr2_800())
     }
 
     #[test]
@@ -271,6 +315,78 @@ mod tests {
         c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
         let err = c.observe(&cmd(CommandKind::Activate, 1, 1), 20).unwrap_err();
         assert_eq!(err.rule, "tRRD");
+    }
+
+    #[test]
+    fn trrd_is_per_rank() {
+        // Activates to different ranks are not tRRD-constrained; a second
+        // activate in the *same* rank inside the window still is.
+        let mut c = checker2();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        c.observe(&cmd(CommandKind::Activate, 8, 1), 10).unwrap();
+        let err = c.observe(&cmd(CommandKind::Activate, 1, 1), 20).unwrap_err();
+        assert_eq!(err.rule, "tRRD", "rank 0's window still applies within rank 0");
+    }
+
+    #[test]
+    fn tfaw_is_per_rank() {
+        let t = TimingParams::ddr2_800();
+        let mut c = checker2();
+        for i in 0..4u64 {
+            c.observe(&cmd(CommandKind::Activate, i as usize, 1), i * t.t_rrd).unwrap();
+        }
+        // Rank 1 is free even though rank 0's window is full...
+        c.observe(&cmd(CommandKind::Activate, 8, 1), 4 * t.t_rrd).unwrap();
+        // ...but a fifth rank-0 activate inside the window is a violation.
+        let err = c.observe(&cmd(CommandKind::Activate, 4, 1), 4 * t.t_rrd + 10).unwrap_err();
+        assert_eq!(err.rule, "tFAW");
+    }
+
+    #[test]
+    fn detects_trtrs_violation_on_cross_rank_columns() {
+        let t = TimingParams::ddr2_800();
+        let mut c = checker2();
+        c.observe(&cmd(CommandKind::Activate, 0, 1), 0).unwrap();
+        c.observe(&cmd(CommandKind::Activate, 8, 1), 10).unwrap();
+        c.observe(&cmd(CommandKind::Read, 0, 1), 60).unwrap();
+        // Rank 0 data: [120, 160). A rank-1 read at 100 starts its data at
+        // 160 — clear of the bus, but inside the tRTRS switch gap.
+        let mut gap = c.clone();
+        let err = gap.observe(&cmd(CommandKind::Read, 8, 1), 100).unwrap_err();
+        assert_eq!(err.rule, "tRTRS");
+        // Same timing to the *same* rank is legal (no switch)...
+        let mut same = c.clone();
+        same.observe(&cmd(CommandKind::Activate, 1, 1), 70).unwrap();
+        same.observe(&cmd(CommandKind::Read, 1, 1), 130).unwrap();
+        // ...and the cross-rank read is legal once the gap has passed.
+        c.observe(&cmd(CommandKind::Read, 8, 1), 100 + t.t_rtrs).unwrap();
+    }
+
+    #[test]
+    fn detects_rank_bank_inconsistency() {
+        let mut c = checker2();
+        let bad = Command {
+            kind: CommandKind::Activate,
+            rank: 1,
+            bank: 0,
+            row: 1,
+            col: 0,
+            request: RequestId(0),
+        };
+        let err = c.observe(&bad, 0).unwrap_err();
+        assert_eq!(err.rule, "rank/bank consistency");
+    }
+
+    #[test]
+    fn refresh_blocks_only_its_own_rank() {
+        let t = TimingParams::ddr2_800();
+        let mut c = checker2();
+        c.observe(&Command::refresh(0, RequestId(u64::MAX)), 0).unwrap();
+        // Rank 1 activates freely during rank 0's tRFC blackout.
+        c.observe(&cmd(CommandKind::Activate, 8, 1), 10).unwrap();
+        // Rank 0 does not.
+        let err = c.observe(&cmd(CommandKind::Activate, 0, 1), t.t_rfc - 10).unwrap_err();
+        assert_eq!(err.rule, "tRFC");
     }
 
     #[test]

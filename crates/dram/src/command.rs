@@ -13,8 +13,9 @@ pub enum CommandKind {
     Write,
     /// Close (`PRE`) the bank's open row.
     Precharge,
-    /// All-bank refresh (`REF`); implies a precharge-all. Issued
-    /// autonomously by the controller every `t_refi`, not by schedulers.
+    /// All-bank refresh (`REF`) of one rank; implies a precharge-all on
+    /// that rank. Issued autonomously by the controller every `t_refi`
+    /// per rank, not by schedulers.
     Refresh,
 }
 
@@ -27,22 +28,37 @@ impl CommandKind {
 }
 
 impl Command {
-    /// The all-bank refresh command (no target request).
+    /// The all-bank refresh command for one rank (no target request).
+    /// `bank` records the rank's first global bank index purely for
+    /// self-description; refresh applies to every bank of the rank.
     #[must_use]
-    pub fn refresh(request_sentinel: crate::RequestId) -> Self {
-        Command { kind: CommandKind::Refresh, bank: 0, row: 0, col: 0, request: request_sentinel }
+    pub fn refresh(rank: usize, request_sentinel: crate::RequestId) -> Self {
+        Command {
+            kind: CommandKind::Refresh,
+            rank,
+            bank: 0,
+            row: 0,
+            col: 0,
+            request: request_sentinel,
+        }
     }
 }
 
 /// A DRAM command together with its target coordinates, as placed on the
 /// command bus. `row` is meaningful for every kind (for `PRE` it records the
 /// row being closed, for column commands the open row being accessed) so that
-/// protocol checkers and traces are self-describing.
+/// protocol checkers and traces are self-describing. `bank` is the
+/// channel-global index and `rank` the owning rank — for non-refresh
+/// commands the two are redundant (`rank == bank / banks_per_rank`, a
+/// consistency the protocol checker enforces); for refresh, `rank` alone
+/// selects the target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Command {
     /// Which command.
     pub kind: CommandKind,
-    /// Target bank within the channel.
+    /// Target rank within the channel.
+    pub rank: usize,
+    /// Target bank within the channel (channel-global index).
     pub bank: usize,
     /// Target row (see type-level docs).
     pub row: u64,

@@ -1,19 +1,19 @@
 //! DRAM system configuration (the memory half of the paper's Table 2).
 
-use crate::{AddressMapper, TimingParams};
+use crate::{AddressMapper, Geometry, MappingPolicy, TimingParams};
 
-/// Geometry and capacity parameters of the simulated DRAM system.
+/// Capacity, geometry and timing parameters of the simulated DRAM system.
+///
+/// Structural parameters live in [`Geometry`] and the address-to-coordinate
+/// layout in [`MappingPolicy`]; both flow from here into the
+/// [`Controller`](crate::Controller), [`Channel`](crate::Channel), protocol
+/// checker and address mapper so every layer agrees on the same shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
-    /// Independent, lock-step channels. The paper scales channels with core
-    /// count: 1 / 2 / 4 for 4 / 8 / 16 cores.
-    pub channels: usize,
-    /// Banks per channel (8 in Table 2).
-    pub banks_per_channel: usize,
-    /// Row-buffer size in cache lines: 2 KB rows / 64 B lines = 32.
-    pub cols_per_row: u64,
-    /// Rows per bank. Only affects address decoding range, not timing.
-    pub rows_per_bank: u64,
+    /// Channel / rank / bank / row / column shape of the DRAM system.
+    pub geometry: Geometry,
+    /// How line addresses map onto geometry coordinates.
+    pub mapping: MappingPolicy,
     /// Read request buffer capacity per channel (128 in Table 2).
     pub request_buffer_cap: usize,
     /// Write buffer capacity per channel (64 in Table 2).
@@ -26,15 +26,15 @@ pub struct DramConfig {
 }
 
 impl DramConfig {
-    /// Table 2 baseline for a 4-core system: one DDR2-800 channel, 8 banks,
-    /// 2 KB row buffers, 128-entry request buffer, 64-entry write buffer.
+    /// Table 2 baseline for a 4-core system: one DDR2-800 channel with a
+    /// single rank of 8 banks, 2 KB row buffers, row-interleaved mapping
+    /// with XOR bank permutation, 128-entry request buffer, 64-entry write
+    /// buffer.
     #[must_use]
     pub fn baseline_4core() -> Self {
         DramConfig {
-            channels: 1,
-            banks_per_channel: 8,
-            cols_per_row: 32,
-            rows_per_bank: 16_384,
+            geometry: Geometry::table2(),
+            mapping: MappingPolicy::baseline(),
             request_buffer_cap: 128,
             write_buffer_cap: 64,
             write_drain_watermark: 0.75,
@@ -47,14 +47,56 @@ impl DramConfig {
     #[must_use]
     pub fn for_cores(cores: usize) -> Self {
         let mut cfg = Self::baseline_4core();
-        cfg.channels = (cores / 4).max(1).next_power_of_two();
+        cfg.geometry.channels = (cores / 4).max(1).next_power_of_two();
         cfg
     }
 
-    /// The address mapper induced by this geometry.
+    /// Independent, lock-step channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.geometry.channels
+    }
+
+    /// Ranks sharing each channel's command/data bus.
+    #[must_use]
+    pub fn ranks_per_channel(&self) -> usize {
+        self.geometry.ranks_per_channel
+    }
+
+    /// Banks in each rank.
+    #[must_use]
+    pub fn banks_per_rank(&self) -> usize {
+        self.geometry.banks_per_rank
+    }
+
+    /// Total banks per channel (`ranks_per_channel * banks_per_rank`).
+    #[must_use]
+    pub fn banks_per_channel(&self) -> usize {
+        self.geometry.banks_per_channel()
+    }
+
+    /// Row-buffer size in cache lines.
+    #[must_use]
+    pub fn cols_per_row(&self) -> u64 {
+        self.geometry.cols_per_row
+    }
+
+    /// Rows per bank.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> u64 {
+        self.geometry.rows_per_bank
+    }
+
+    /// The address mapper induced by this geometry and mapping policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid; call [`DramConfig::validate`]
+    /// first when the configuration comes from untrusted input.
     #[must_use]
     pub fn mapper(&self) -> AddressMapper {
-        AddressMapper::new(self.channels, self.banks_per_channel, self.cols_per_row)
+        AddressMapper::new(self.geometry, self.mapping)
+            .expect("DramConfig::mapper: invalid geometry (run validate() first)")
     }
 
     /// Checks configuration consistency.
@@ -64,15 +106,7 @@ impl DramConfig {
     /// Returns a message describing the first invalid field (zero sizes,
     /// non-power-of-two geometry, out-of-range watermark, timing violations).
     pub fn validate(&self) -> Result<(), String> {
-        if self.channels == 0 || !self.channels.is_power_of_two() {
-            return Err("channels must be a nonzero power of two".into());
-        }
-        if self.banks_per_channel == 0 || !self.banks_per_channel.is_power_of_two() {
-            return Err("banks_per_channel must be a nonzero power of two".into());
-        }
-        if !self.cols_per_row.is_power_of_two() {
-            return Err("cols_per_row must be a power of two".into());
-        }
+        self.geometry.validate().map_err(|e| e.to_string())?;
         if self.request_buffer_cap == 0 {
             return Err("request_buffer_cap must be positive".into());
         }
@@ -96,25 +130,27 @@ mod tests {
     #[test]
     fn baseline_matches_table2() {
         let c = DramConfig::baseline_4core();
-        assert_eq!(c.channels, 1);
-        assert_eq!(c.banks_per_channel, 8);
-        assert_eq!(c.cols_per_row * 64, 2048, "2 KB row buffer");
+        assert_eq!(c.channels(), 1);
+        assert_eq!(c.ranks_per_channel(), 1);
+        assert_eq!(c.banks_per_channel(), 8);
+        assert_eq!(c.cols_per_row() * 64, 2048, "2 KB row buffer");
         assert_eq!(c.request_buffer_cap, 128);
         assert_eq!(c.write_buffer_cap, 64);
+        assert_eq!(c.mapping, MappingPolicy::RowInterleaved { xor_permute: true });
         c.validate().unwrap();
     }
 
     #[test]
     fn channels_scale_with_cores() {
-        assert_eq!(DramConfig::for_cores(4).channels, 1);
-        assert_eq!(DramConfig::for_cores(8).channels, 2);
-        assert_eq!(DramConfig::for_cores(16).channels, 4);
+        assert_eq!(DramConfig::for_cores(4).channels(), 1);
+        assert_eq!(DramConfig::for_cores(8).channels(), 2);
+        assert_eq!(DramConfig::for_cores(16).channels(), 4);
     }
 
     #[test]
     fn validate_rejects_bad_geometry() {
         let mut c = DramConfig::baseline_4core();
-        c.banks_per_channel = 6;
+        c.geometry.banks_per_rank = 6;
         assert!(c.validate().is_err());
     }
 
@@ -123,5 +159,15 @@ mod tests {
         let mut c = DramConfig::baseline_4core();
         c.write_drain_watermark = 1.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mapper_follows_the_configured_policy() {
+        let mut c = DramConfig::baseline_4core();
+        c.geometry.ranks_per_channel = 2;
+        c.mapping = MappingPolicy::LineInterleaved { xor_permute: false };
+        let m = c.mapper();
+        assert_eq!(m.geometry(), c.geometry);
+        assert_eq!(m.policy(), c.mapping);
     }
 }

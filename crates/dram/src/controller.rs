@@ -4,7 +4,7 @@
 use parbs_obs::{Event, EventSink, ServiceClass};
 
 use crate::stats::ControllerStats;
-use crate::trace_sink::{obs_cmd_kind, CommandTraceSink};
+use crate::trace_sink::obs_cmd_kind;
 use crate::{
     Command, CommandKind, DramConfig, MemoryScheduler, ProtocolChecker, Request, RequestId,
     RequestKind, SchedView, ThreadId, DRAM_CYCLE,
@@ -73,14 +73,11 @@ pub struct Controller {
     /// Write-drain hysteresis: set when the write buffer crosses the high
     /// watermark, cleared when it drains to the low watermark.
     draining: bool,
-    /// Cycle of the last issued all-bank refresh.
-    last_refresh: u64,
+    /// Cycle of the last issued all-bank refresh, per rank.
+    last_refresh: Vec<u64>,
     /// Attached observability sink (`None` on the tracing-off hot path:
     /// instrumentation then costs one branch and constructs nothing).
     sink: Option<Box<dyn EventSink>>,
-    /// Legacy command-trace collector behind the deprecated
-    /// [`Controller::set_tracing`] shim — itself just an event sink.
-    legacy: Option<CommandTraceSink>,
     /// Scratch buffer for collecting scheduler-emitted events each slot.
     sched_buf: Vec<Event>,
     /// Last emitted `(busy_banks, queued_reads)` bus sample, for
@@ -128,7 +125,11 @@ impl Controller {
     #[must_use]
     pub fn new(config: DramConfig, scheduler: Box<dyn MemoryScheduler>) -> Self {
         config.validate().expect("invalid DRAM configuration");
-        let channel = crate::Channel::new(config.banks_per_channel, config.timing);
+        let channel = crate::Channel::with_ranks(
+            config.ranks_per_channel(),
+            config.banks_per_rank(),
+            config.timing,
+        );
         Controller {
             channel,
             scheduler,
@@ -139,9 +140,8 @@ impl Controller {
             checker: None,
             touched: std::collections::HashSet::new(),
             draining: false,
-            last_refresh: 0,
+            last_refresh: vec![0; config.ranks_per_channel()],
             sink: None,
-            legacy: None,
             sched_buf: Vec::new(),
             last_bus_sample: (0, 0),
             read_keys: Vec::new(),
@@ -160,7 +160,11 @@ impl Controller {
     #[must_use]
     pub fn with_checker(config: DramConfig, scheduler: Box<dyn MemoryScheduler>) -> Self {
         let mut c = Self::new(config, scheduler);
-        c.checker = Some(ProtocolChecker::new(c.config.banks_per_channel, c.config.timing));
+        c.checker = Some(ProtocolChecker::with_ranks(
+            c.config.ranks_per_channel(),
+            c.config.banks_per_rank(),
+            c.config.timing,
+        ));
         c
     }
 
@@ -245,6 +249,7 @@ impl Controller {
                         request: req.id.0,
                         thread: req.thread.0,
                         write: false,
+                        rank: self.channel.rank_of(req.addr.bank),
                         bank: req.addr.bank,
                         row: req.addr.row,
                     });
@@ -263,6 +268,7 @@ impl Controller {
                         request: req.id.0,
                         thread: req.thread.0,
                         write: true,
+                        rank: self.channel.rank_of(req.addr.bank),
                         bank: req.addr.bank,
                         row: req.addr.row,
                     });
@@ -296,65 +302,35 @@ impl Controller {
         sink
     }
 
-    /// True while any sink (external or legacy trace) is attached.
+    /// True while a sink is attached.
     #[must_use]
     fn observing(&self) -> bool {
-        self.sink.is_some() || self.legacy.is_some()
+        self.sink.is_some()
     }
 
-    /// Pushes one event to the attached sinks. Callers guard with
+    /// Pushes one event to the attached sink. Callers guard with
     /// [`Controller::observing`] so events are never built when disabled.
     fn emit(&mut self, event: &Event) {
-        if let Some(legacy) = &mut self.legacy {
-            legacy.record(event);
-        }
         if let Some(sink) = &mut self.sink {
             sink.record(event);
         }
     }
 
     /// Collects events buffered by the scheduler (batch formation, marking,
-    /// ranking) and forwards them to the sinks.
+    /// ranking) and forwards them to the sink.
     fn flush_scheduler_events(&mut self) {
         if !self.observing() {
             return;
         }
         let mut buf = std::mem::take(&mut self.sched_buf);
         self.scheduler.drain_events(&mut buf);
-        for event in &buf {
-            if let Some(legacy) = &mut self.legacy {
-                legacy.record(event);
-            }
-            if let Some(sink) = &mut self.sink {
+        if let Some(sink) = &mut self.sink {
+            for event in &buf {
                 sink.record(event);
             }
         }
         buf.clear();
         self.sched_buf = buf;
-    }
-
-    /// Enables or disables command-trace recording. While enabled, every
-    /// issued command (including refreshes) is appended with its issue
-    /// cycle; retrieve and clear with [`Controller::take_trace`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach a parbs_dram::CommandTraceSink via Controller::set_event_sink instead"
-    )]
-    pub fn set_tracing(&mut self, enabled: bool) {
-        self.legacy = enabled.then(CommandTraceSink::new);
-        self.scheduler.set_observing(self.observing());
-    }
-
-    /// Takes the recorded command trace (empty if tracing is disabled).
-    #[deprecated(
-        since = "0.1.0",
-        note = "take the CommandTraceSink back via Controller::take_event_sink instead"
-    )]
-    pub fn take_trace(&mut self) -> Vec<(u64, Command)> {
-        match self.legacy.as_mut() {
-            Some(sink) => std::mem::take(sink).into_trace(),
-            None => Vec::new(),
-        }
     }
 
     /// Forwards per-thread memory-stall feedback to the scheduler (used by
@@ -406,29 +382,36 @@ impl Controller {
             }
         }
         self.flush_scheduler_events();
-        // Refresh: one all-bank REF every t_refi. Once due, the controller
-        // stops issuing new commands until the data bus drains and the
-        // refresh can begin — bounded deferral, guaranteed progress.
+        // Refresh: one all-bank REF per rank every t_refi. Once any rank is
+        // due, the controller stops issuing new commands until the data bus
+        // drains and the most-overdue rank's refresh can begin — bounded
+        // deferral, guaranteed progress. Other ranks keep their open rows:
+        // only the refreshed rank's banks are closed and blacked out.
         let t_refi = self.config.timing.t_refi;
-        if t_refi > 0 && now >= self.last_refresh + t_refi {
-            let cmd = Command::refresh(RequestId(u64::MAX));
-            if self.channel.can_issue(&cmd, now) {
-                if let Some(checker) = &mut self.checker {
-                    checker
-                        .observe(&cmd, now)
-                        .unwrap_or_else(|v| panic!("DRAM protocol violation: {v}"));
+        if t_refi > 0 {
+            let due = (0..self.channel.rank_count())
+                .filter(|&r| now >= self.last_refresh[r] + t_refi)
+                .min_by_key(|&r| (self.last_refresh[r], r));
+            if let Some(rank) = due {
+                let cmd = Command::refresh(rank, RequestId(u64::MAX));
+                if self.channel.can_issue(&cmd, now) {
+                    if let Some(checker) = &mut self.checker {
+                        checker
+                            .observe(&cmd, now)
+                            .unwrap_or_else(|v| panic!("DRAM protocol violation: {v}"));
+                    }
+                    if self.observing() {
+                        self.emit(&Event::Refresh { at: now, rank });
+                    }
+                    self.channel.refresh_rank(rank, now);
+                    self.stats.refreshes += 1;
+                    self.stats.commands_issued += 1;
+                    self.last_refresh[rank] = now;
+                    // Refresh closes the rank's rows: row-hit bits changed.
+                    self.read_keys_dirty = true;
                 }
-                if self.observing() {
-                    self.emit(&Event::Refresh { at: now });
-                }
-                self.channel.refresh(now);
-                self.stats.refreshes += 1;
-                self.stats.commands_issued += 1;
-                self.last_refresh = now;
-                // Refresh closes every row: all row-hit bits changed.
-                self.read_keys_dirty = true;
+                return;
             }
-            return;
         }
         // Write-drain hysteresis: start draining at the high watermark and
         // keep going until the buffer is largely empty, so writes batch into
@@ -612,7 +595,14 @@ impl Controller {
             CommandKind::Precharge => self.channel.bank(bank).open_row().unwrap_or(0),
             _ => req.addr.row,
         };
-        let cmd = Command { kind: needed, bank, row, col: req.addr.col, request: req.id };
+        let cmd = Command {
+            kind: needed,
+            rank: self.channel.rank_of(bank),
+            bank,
+            row,
+            col: req.addr.col,
+            request: req.id,
+        };
         self.channel.can_issue(&cmd, now).then_some(cmd)
     }
 
@@ -717,6 +707,7 @@ impl Controller {
                 request: req.id.0,
                 thread: req.thread.0,
                 kind: obs_cmd_kind(cmd.kind).expect("refresh never reaches apply"),
+                rank: cmd.rank,
                 bank: cmd.bank,
                 row: cmd.row,
                 col: cmd.col,
@@ -939,9 +930,8 @@ mod tests {
     }
 
     #[test]
-    fn detached_controller_emits_nothing_and_shims_still_work() {
+    fn command_traces_ride_the_event_bus() {
         use crate::CommandTraceSink;
-        // New bus: CommandTraceSink over set_event_sink.
         let mut ctrl = Controller::new(DramConfig::default(), Box::new(FcfsScheduler::new()));
         ctrl.set_event_sink(Box::new(CommandTraceSink::new()));
         ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
@@ -953,24 +943,27 @@ mod tests {
         let via_bus = trace_sink.into_trace();
         assert_eq!(via_bus.len(), 2, "ACT + RD");
 
-        // Legacy shim: identical trace.
-        let mut ctrl = Controller::new(DramConfig::default(), Box::new(FcfsScheduler::new()));
-        #[allow(deprecated)]
-        ctrl.set_tracing(true);
-        ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
-        drain(&mut ctrl);
-        #[allow(deprecated)]
-        let via_shim = ctrl.take_trace();
-        assert_eq!(via_bus, via_shim);
-
-        // No sink: take_event_sink/take_trace return nothing.
+        // No sink: take_event_sink returns nothing, nothing was recorded.
         let mut ctrl = Controller::new(DramConfig::default(), Box::new(FcfsScheduler::new()));
         ctrl.try_enqueue(read(0, 0, 0, 1, 0, 0)).unwrap();
         drain(&mut ctrl);
         assert!(ctrl.take_event_sink().is_none());
-        #[allow(deprecated)]
-        let empty = ctrl.take_trace();
-        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn two_rank_controller_services_both_ranks_under_the_checker() {
+        let mut cfg = DramConfig::default();
+        cfg.geometry.ranks_per_channel = 2;
+        let banks = cfg.banks_per_channel();
+        let mut ctrl = Controller::with_checker(cfg, Box::new(FcfsScheduler::new()));
+        for id in 0..32 {
+            let bank = (id as usize) % banks;
+            ctrl.try_enqueue(read(id, (id % 4) as usize, bank, id / 4, id % 32, 0)).unwrap();
+        }
+        let done = drain(&mut ctrl);
+        assert_eq!(done.len(), 32);
+        assert_eq!(ctrl.channel().rank_count(), 2);
+        assert_eq!(ctrl.stats().reads_completed, 32);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! First-class DRAM geometry: the channel / rank / bank / row / column
+//! shape of the memory system, as one explicit value.
+//!
+//! Historically the substrate hard-coded a single-rank geometry in three
+//! scattered places (the config's scalar fields, the channel's flat bank
+//! vector and the address mapper's field widths). [`Geometry`] makes the
+//! shape a value that flows through `DramConfig` → `Channel` → protocol
+//! checker → controller → address mapping, so ranks and mapping policies
+//! can be swept like any other experimental parameter.
+
+/// Why a geometry (or a mapper built from it) was rejected.
+///
+/// Hardware address slicing requires power-of-two field widths, and the
+/// controller's bank-level-parallelism masks pack one bit per bank into a
+/// `u64`, bounding banks per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A dimension was zero.
+    Zero {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A dimension was not a power of two.
+    NotPowerOfTwo {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// `ranks_per_channel * banks_per_rank` exceeds the 64-bank-per-channel
+    /// limit imposed by the controller's `u64` bank bitmasks.
+    TooManyBanks {
+        /// The rejected total bank count per channel.
+        banks_per_channel: usize,
+    },
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::Zero { field } => write!(f, "{field} must be nonzero"),
+            GeometryError::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a power of two, got {value}")
+            }
+            GeometryError::TooManyBanks { banks_per_channel } => write!(
+                f,
+                "ranks_per_channel * banks_per_rank = {banks_per_channel} exceeds the \
+                 64-banks-per-channel limit of the controller's bank bitmasks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// The shape of the DRAM system: channels × ranks × banks × rows × columns.
+///
+/// `bank` indices elsewhere in this crate (requests, commands, the
+/// channel's bank vector, scheduler load tables) are **channel-global**:
+/// rank `r` owns banks `r * banks_per_rank .. (r + 1) * banks_per_rank`.
+/// [`Geometry::rank_of`] and [`Geometry::bank_in_rank`] convert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Independent DRAM channels (one controller each).
+    pub channels: usize,
+    /// Ranks sharing each channel's command/data bus.
+    pub ranks_per_channel: usize,
+    /// Banks within one rank.
+    pub banks_per_rank: usize,
+    /// Rows per bank.
+    pub rows_per_bank: u64,
+    /// Cache-line columns per row.
+    pub cols_per_row: u64,
+}
+
+impl Geometry {
+    /// The paper's Table 2 shape: one channel, one rank, 8 banks,
+    /// 16 K rows, 32 cache lines (2 KB rows of 64 B lines) per row.
+    #[must_use]
+    pub fn table2() -> Geometry {
+        Geometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 16 * 1024,
+            cols_per_row: 32,
+        }
+    }
+
+    /// Total banks per channel (`ranks_per_channel * banks_per_rank`).
+    #[must_use]
+    pub fn banks_per_channel(&self) -> usize {
+        self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// The rank owning channel-global bank index `bank`.
+    #[must_use]
+    pub fn rank_of(&self, bank: usize) -> usize {
+        bank / self.banks_per_rank
+    }
+
+    /// The within-rank index of channel-global bank index `bank`.
+    #[must_use]
+    pub fn bank_in_rank(&self, bank: usize) -> usize {
+        bank % self.banks_per_rank
+    }
+
+    /// Checks every dimension is a nonzero power of two and the per-channel
+    /// bank count fits the controller's `u64` bank bitmasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GeometryError`] found, field by field.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        fn check(field: &'static str, value: u64) -> Result<(), GeometryError> {
+            if value == 0 {
+                Err(GeometryError::Zero { field })
+            } else if !value.is_power_of_two() {
+                Err(GeometryError::NotPowerOfTwo { field, value })
+            } else {
+                Ok(())
+            }
+        }
+        check("channels", self.channels as u64)?;
+        check("ranks_per_channel", self.ranks_per_channel as u64)?;
+        check("banks_per_rank", self.banks_per_rank as u64)?;
+        check("rows_per_bank", self.rows_per_bank)?;
+        check("cols_per_row", self.cols_per_row)?;
+        if self.banks_per_channel() > 64 {
+            return Err(GeometryError::TooManyBanks {
+                banks_per_channel: self.banks_per_channel(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_valid_single_rank() {
+        let g = Geometry::table2();
+        g.validate().unwrap();
+        assert_eq!(g.banks_per_channel(), 8);
+        assert_eq!(g.rank_of(7), 0);
+    }
+
+    #[test]
+    fn rank_bank_split_is_rank_major() {
+        let g = Geometry { ranks_per_channel: 4, banks_per_rank: 8, ..Geometry::table2() };
+        g.validate().unwrap();
+        assert_eq!(g.banks_per_channel(), 32);
+        assert_eq!(g.rank_of(0), 0);
+        assert_eq!(g.rank_of(8), 1);
+        assert_eq!(g.rank_of(31), 3);
+        assert_eq!(g.bank_in_rank(8), 0);
+        assert_eq!(g.bank_in_rank(13), 5);
+    }
+
+    #[test]
+    fn validation_reports_typed_errors() {
+        let zero = Geometry { channels: 0, ..Geometry::table2() };
+        assert_eq!(zero.validate(), Err(GeometryError::Zero { field: "channels" }));
+        let npot = Geometry { banks_per_rank: 3, ..Geometry::table2() };
+        assert_eq!(
+            npot.validate(),
+            Err(GeometryError::NotPowerOfTwo { field: "banks_per_rank", value: 3 })
+        );
+        let wide = Geometry { ranks_per_channel: 16, banks_per_rank: 8, ..Geometry::table2() };
+        assert_eq!(
+            wide.validate(),
+            Err(GeometryError::TooManyBanks { banks_per_channel: 128 })
+        );
+        assert!(wide.validate().unwrap_err().to_string().contains("128"));
+    }
+}

@@ -8,6 +8,14 @@
 //! one DRAM cycle is [`DRAM_CYCLE`] = 10 processor cycles and the
 //! controller makes at most one command decision per DRAM cycle per channel.
 //!
+//! The shape of the DRAM system — channels, ranks per channel, banks per
+//! rank, rows, columns — is an explicit [`Geometry`] value that flows from
+//! [`DramConfig`] through the [`Channel`], [`Controller`], protocol checker
+//! and [`AddressMapper`]; the address-bit layout is selected by a
+//! [`MappingPolicy`]. Multi-rank channels model per-rank activate windows
+//! (tRRD/tFAW), per-rank refresh (tRFC) and the rank-to-rank data-bus
+//! switch penalty (tRTRS).
+//!
 //! The scheduling policy is pluggable through the [`MemoryScheduler`] trait:
 //! per decision slot the controller sorts the queued read requests with the
 //! scheduler's comparison function and issues the next required DRAM command
@@ -56,6 +64,7 @@ mod checker;
 mod command;
 mod config;
 mod controller;
+mod geometry;
 mod request;
 mod scheduler;
 mod stats;
@@ -63,18 +72,17 @@ mod timeline;
 mod timing;
 mod trace_sink;
 
-pub use address::{AddressMapper, LineAddr};
+pub use address::{AddressMapper, LineAddr, MappingPolicy};
 pub use bank::{Bank, BankState};
 pub use channel::Channel;
 pub use checker::{ProtocolChecker, ProtocolViolation};
 pub use command::{Command, CommandKind};
 pub use config::DramConfig;
 pub use controller::{Completion, Controller, EnqueueError};
+pub use geometry::{Geometry, GeometryError};
 pub use request::{Request, RequestId, RequestKind, ThreadId};
 pub use scheduler::{FcfsScheduler, MemoryScheduler, SchedView};
 pub use stats::{BlpTracker, ControllerStats};
 pub use timeline::render_timeline;
-#[allow(deprecated)]
-pub use timeline::render_timeline_commands;
 pub use timing::{TimingParams, DRAM_CYCLE};
 pub use trace_sink::{obs_cmd_kind, CommandTraceSink};

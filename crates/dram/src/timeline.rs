@@ -4,15 +4,16 @@
 //! Feed it the events collected by a [`parbs_obs::CollectSink`] (or any
 //! other recorded event stream); each bank becomes one row, each DRAM-cycle
 //! column one character: `A` activate, `R` read, `W` write, `P` precharge,
-//! `F` refresh (spanning all banks), `.` idle.
+//! `F` refresh (spanning the refreshed rank's banks), `.` idle.
 
 use parbs_obs::Event;
 
-use crate::{Command, CommandKind, DramConfig, DRAM_CYCLE};
+use crate::{DramConfig, DRAM_CYCLE};
 
-/// A cell to paint: `(cycle, glyph, bank)`; refreshes use `None` for the
-/// bank and span every row.
-type Cell = (u64, u8, Option<usize>);
+/// A cell to paint: `(cycle, glyph, bank span)`; refreshes span a
+/// half-open range of banks (the refreshed rank), other commands a single
+/// bank.
+type Cell = (u64, u8, std::ops::Range<usize>);
 
 fn render_cells(
     cells: impl Iterator<Item = Cell>,
@@ -25,19 +26,15 @@ fn render_cells(
     let cols = (((to - from) / DRAM_CYCLE) as usize).min(max_cols.max(1));
     let clipped = ((to - from) / DRAM_CYCLE) as usize > cols;
     let mut rows = vec![vec![b'.'; cols]; banks];
-    for (at, ch, bank) in cells {
+    for (at, ch, span) in cells {
         if at < from || at >= from + (cols as u64) * DRAM_CYCLE {
             continue;
         }
         let col = ((at - from) / DRAM_CYCLE) as usize;
-        match bank {
-            None => {
-                for row in &mut rows {
-                    row[col] = ch;
-                }
+        for b in span {
+            if b < banks {
+                rows[b][col] = ch;
             }
-            Some(b) if b < banks => rows[b][col] = ch,
-            Some(_) => {}
         }
     }
     let mut out = String::new();
@@ -57,8 +54,9 @@ fn render_cells(
 
 /// Renders the command events of `events` between `from` and `to`
 /// (processor cycles) as one text row per bank, deriving the bank count
-/// from `config`. Non-command events are ignored. Long windows are clipped
-/// to `max_cols` DRAM cycles (an ellipsis marks the cut).
+/// from `config`. Refresh events span the banks of their target rank.
+/// Non-command events are ignored. Long windows are clipped to `max_cols`
+/// DRAM cycles (an ellipsis marks the cut).
 ///
 /// # Examples
 ///
@@ -68,11 +66,11 @@ fn render_cells(
 /// let events = vec![
 ///     Event::CommandIssued {
 ///         at: 0, request: 0, thread: 0, kind: CmdKind::Activate,
-///         bank: 0, row: 1, col: 0, marked: false, service: None, data_end: None,
+///         rank: 0, bank: 0, row: 1, col: 0, marked: false, service: None, data_end: None,
 ///     },
 ///     Event::CommandIssued {
 ///         at: 60, request: 0, thread: 0, kind: CmdKind::Read,
-///         bank: 0, row: 1, col: 0, marked: false, service: None, data_end: Some(100),
+///         rank: 0, bank: 0, row: 1, col: 0, marked: false, service: None, data_end: Some(100),
 ///     },
 /// ];
 /// let art = render_timeline(&events, &DramConfig::default(), 0, 100, 80);
@@ -87,37 +85,13 @@ pub fn render_timeline(
     to: u64,
     max_cols: usize,
 ) -> String {
+    let bpr = config.banks_per_rank();
     let cells = events.iter().filter_map(|e| match *e {
-        Event::CommandIssued { at, kind, bank, .. } => Some((at, kind.glyph(), Some(bank))),
-        Event::Refresh { at } => Some((at, b'F', None)),
+        Event::CommandIssued { at, kind, bank, .. } => Some((at, kind.glyph(), bank..bank + 1)),
+        Event::Refresh { at, rank } => Some((at, b'F', rank * bpr..(rank + 1) * bpr)),
         _ => None,
     });
-    render_cells(cells, config.banks_per_channel, from, to, max_cols)
-}
-
-/// Renders a legacy `(cycle, Command)` trace (as collected by
-/// [`crate::CommandTraceSink`] or the deprecated `Controller::take_trace`)
-/// with an explicit bank count.
-#[deprecated(
-    since = "0.1.0",
-    note = "collect parbs_obs events (e.g. with CollectSink) and use render_timeline"
-)]
-#[must_use]
-pub fn render_timeline_commands(
-    trace: &[(u64, Command)],
-    banks: usize,
-    from: u64,
-    to: u64,
-    max_cols: usize,
-) -> String {
-    let cells = trace.iter().map(|&(at, cmd)| match cmd.kind {
-        CommandKind::Activate => (at, b'A', Some(cmd.bank)),
-        CommandKind::Read => (at, b'R', Some(cmd.bank)),
-        CommandKind::Write => (at, b'W', Some(cmd.bank)),
-        CommandKind::Precharge => (at, b'P', Some(cmd.bank)),
-        CommandKind::Refresh => (at, b'F', None),
-    });
-    render_cells(cells, banks, from, to, max_cols)
+    render_cells(cells, config.banks_per_channel(), from, to, max_cols)
 }
 
 #[cfg(test)]
@@ -131,6 +105,7 @@ mod tests {
             request: 0,
             thread: 0,
             kind,
+            rank: 0,
             bank,
             row: 0,
             col: 0,
@@ -140,8 +115,10 @@ mod tests {
         }
     }
 
-    fn two_bank_config() -> DramConfig {
-        DramConfig { banks_per_channel: 2, ..DramConfig::default() }
+    fn banks_config(banks: usize) -> DramConfig {
+        let mut cfg = DramConfig::default();
+        cfg.geometry.banks_per_rank = banks;
+        cfg
     }
 
     #[test]
@@ -151,7 +128,7 @@ mod tests {
             cmd(CmdKind::Read, 0, 60),
             cmd(CmdKind::Precharge, 1, 30),
         ];
-        let art = render_timeline(&events, &two_bank_config(), 0, 100, 80);
+        let art = render_timeline(&events, &banks_config(2), 0, 100, 80);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 3);
         let bank0 = lines[1].split('|').nth(1).unwrap();
@@ -162,20 +139,29 @@ mod tests {
     }
 
     #[test]
-    fn refresh_spans_all_banks() {
-        let events = vec![Event::Refresh { at: 20 }];
-        let cfg = DramConfig { banks_per_channel: 3, ..DramConfig::default() };
-        let art = render_timeline(&events, &cfg, 0, 50, 80);
+    fn refresh_spans_all_banks_of_its_rank() {
+        let events = vec![Event::Refresh { at: 20, rank: 0 }];
+        let art = render_timeline(&events, &banks_config(3), 0, 50, 80);
         for line in art.lines().skip(1) {
             assert!(line.contains('F'), "{line}");
         }
     }
 
     #[test]
+    fn refresh_leaves_other_ranks_idle() {
+        let events = vec![Event::Refresh { at: 20, rank: 1 }];
+        let mut cfg = banks_config(2);
+        cfg.geometry.ranks_per_channel = 2;
+        let art = render_timeline(&events, &cfg, 0, 50, 80);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(!lines[1].contains('F') && !lines[2].contains('F'), "rank 0 stays idle");
+        assert!(lines[3].contains('F') && lines[4].contains('F'), "rank 1 refreshes");
+    }
+
+    #[test]
     fn window_clipping_is_reported() {
         let events = vec![cmd(CmdKind::Activate, 0, 0)];
-        let cfg = DramConfig { banks_per_channel: 1, ..DramConfig::default() };
-        let art = render_timeline(&events, &cfg, 0, 100_000, 16);
+        let art = render_timeline(&events, &banks_config(1), 0, 100_000, 16);
         assert!(art.contains("clipped"));
         assert!(art.lines().nth(1).unwrap().len() <= 16 + 10);
     }
@@ -184,51 +170,10 @@ mod tests {
     fn out_of_window_and_non_command_events_are_ignored() {
         let events = vec![
             cmd(CmdKind::Read, 0, 500),
-            Event::Enqueued { at: 10, request: 0, thread: 0, write: false, bank: 0, row: 0 },
-            Event::Marked { at: 20, request: 0, thread: 0, bank: 0 },
+            Event::Enqueued { at: 10, request: 0, thread: 0, write: false, rank: 0, bank: 0, row: 0 },
+            Event::Marked { at: 20, request: 0, thread: 0, rank: 0, bank: 0 },
         ];
-        let cfg = DramConfig { banks_per_channel: 1, ..DramConfig::default() };
-        let art = render_timeline(&events, &cfg, 0, 100, 80);
+        let art = render_timeline(&events, &banks_config(1), 0, 100, 80);
         assert!(!art.contains('R'));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_command_renderer_matches_event_renderer() {
-        use crate::RequestId;
-        let trace = vec![
-            (
-                0,
-                Command {
-                    kind: CommandKind::Activate,
-                    bank: 0,
-                    row: 1,
-                    col: 0,
-                    request: RequestId(0),
-                },
-            ),
-            (
-                60,
-                Command { kind: CommandKind::Read, bank: 0, row: 1, col: 0, request: RequestId(0) },
-            ),
-            (
-                30,
-                Command {
-                    kind: CommandKind::Refresh,
-                    bank: 0,
-                    row: 0,
-                    col: 0,
-                    request: RequestId(u64::MAX),
-                },
-            ),
-        ];
-        let events = vec![
-            cmd(CmdKind::Activate, 0, 0),
-            cmd(CmdKind::Read, 0, 60),
-            Event::Refresh { at: 30 },
-        ];
-        let legacy = render_timeline_commands(&trace, 2, 0, 100, 80);
-        let modern = render_timeline(&events, &two_bank_config(), 0, 100, 80);
-        assert_eq!(legacy, modern);
     }
 }

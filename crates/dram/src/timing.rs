@@ -56,6 +56,11 @@ pub struct TimingParams {
     /// Refresh cycle time: the rank is unavailable for this long after a
     /// refresh begins.
     pub t_rfc: u64,
+    /// Rank-to-rank switch time: extra gap on the shared data bus when
+    /// consecutive data transfers come from *different* ranks of the same
+    /// channel (bus turnaround / ODT settling). Irrelevant on single-rank
+    /// channels.
+    pub t_rtrs: u64,
 }
 
 impl TimingParams {
@@ -83,6 +88,9 @@ impl TimingParams {
             t_faw: 150,
             t_refi: 31_200,
             t_rfc: 510,
+            // One DDR2 command clock (5 ns at DDR2-800 ≈ 2 beats) of bus
+            // turnaround between ranks, in 4 GHz cycles.
+            t_rtrs: 20,
         }
     }
 

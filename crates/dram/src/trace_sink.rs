@@ -1,6 +1,6 @@
-//! The legacy-trace bridge: a [`parbs_obs::EventSink`] that rebuilds the
-//! pre-observability `Vec<(cycle, Command)>` command trace from the event
-//! stream. `Controller::set_tracing` / `take_trace` are thin shims over it.
+//! A [`parbs_obs::EventSink`] that rebuilds a `Vec<(cycle, Command)>`
+//! command trace from the event stream — handy for trace-equality tests
+//! and offline analysis of issued command sequences.
 
 use parbs_obs::{CmdKind, Event, EventSink};
 
@@ -20,9 +20,8 @@ pub fn obs_cmd_kind(kind: CommandKind) -> Option<CmdKind> {
 }
 
 /// Collects `(issue cycle, Command)` pairs from [`Event::CommandIssued`] and
-/// [`Event::Refresh`] events — byte-for-byte the trace the retired
-/// `Controller` recorder produced, including the `RequestId(u64::MAX)`
-/// refresh sentinel.
+/// [`Event::Refresh`] events, including the `RequestId(u64::MAX)` refresh
+/// sentinel.
 #[derive(Debug, Default)]
 pub struct CommandTraceSink {
     trace: Vec<(u64, Command)>,
@@ -51,7 +50,7 @@ impl CommandTraceSink {
 impl EventSink for CommandTraceSink {
     fn record(&mut self, event: &Event) {
         match *event {
-            Event::CommandIssued { at, request, kind, bank, row, col, .. } => {
+            Event::CommandIssued { at, request, kind, rank, bank, row, col, .. } => {
                 let kind = match kind {
                     CmdKind::Activate => CommandKind::Activate,
                     CmdKind::Read => CommandKind::Read,
@@ -59,10 +58,10 @@ impl EventSink for CommandTraceSink {
                     CmdKind::Precharge => CommandKind::Precharge,
                 };
                 self.trace
-                    .push((at, Command { kind, bank, row, col, request: RequestId(request) }));
+                    .push((at, Command { kind, rank, bank, row, col, request: RequestId(request) }));
             }
-            Event::Refresh { at } => {
-                self.trace.push((at, Command::refresh(RequestId(u64::MAX))));
+            Event::Refresh { at, rank } => {
+                self.trace.push((at, Command::refresh(rank, RequestId(u64::MAX))));
             }
             _ => {}
         }
@@ -81,6 +80,7 @@ mod tests {
             request: 7,
             thread: 0,
             kind: CmdKind::Activate,
+            rank: 1,
             bank: 3,
             row: 42,
             col: 5,
@@ -88,12 +88,13 @@ mod tests {
             service: Some(parbs_obs::ServiceClass::Closed),
             data_end: None,
         });
-        sink.record(&Event::Refresh { at: 20 });
+        sink.record(&Event::Refresh { at: 20, rank: 1 });
         sink.record(&Event::Enqueued {
             at: 21,
             request: 8,
             thread: 0,
             write: false,
+            rank: 0,
             bank: 0,
             row: 0,
         });
@@ -105,6 +106,7 @@ mod tests {
                 10,
                 Command {
                     kind: CommandKind::Activate,
+                    rank: 1,
                     bank: 3,
                     row: 42,
                     col: 5,
@@ -113,6 +115,7 @@ mod tests {
             )
         );
         assert_eq!(trace[1].1.kind, CommandKind::Refresh);
+        assert_eq!(trace[1].1.rank, 1);
         assert_eq!(trace[1].1.request, RequestId(u64::MAX));
     }
 

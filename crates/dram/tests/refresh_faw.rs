@@ -6,7 +6,7 @@ use parbs_dram::{
 };
 
 fn act(bank: usize, row: u64) -> Command {
-    Command { kind: CommandKind::Activate, bank, row, col: 0, request: RequestId(0) }
+    Command { kind: CommandKind::Activate, rank: 0, bank, row, col: 0, request: RequestId(0) }
 }
 
 #[test]
@@ -31,11 +31,11 @@ fn tfaw_blocks_fifth_activate() {
 fn checker_accepts_refresh_and_blocks_act_during_trfc() {
     let t = TimingParams::ddr2_800();
     let mut c = ProtocolChecker::new(8, t);
-    c.observe(&Command::refresh(RequestId(u64::MAX)), 0).unwrap();
+    c.observe(&Command::refresh(0, RequestId(u64::MAX)), 0).unwrap();
     let err = c.observe(&act(0, 1), t.t_rfc - 10).unwrap_err();
     assert_eq!(err.rule, "tRFC");
     let mut c = ProtocolChecker::new(8, t);
-    c.observe(&Command::refresh(RequestId(u64::MAX)), 0).unwrap();
+    c.observe(&Command::refresh(0, RequestId(u64::MAX)), 0).unwrap();
     c.observe(&act(0, 1), t.t_rfc).unwrap();
 }
 

@@ -234,9 +234,10 @@ impl EventSink for ChromeTraceSink {
                     );
                 }
             }
-            Event::Refresh { at } => {
+            Event::Refresh { at, rank } => {
                 self.ensure_sched();
-                self.instant("refresh", SCHED_PID, BATCH_TID, *at, "{}");
+                let args = format!("{{\"rank\":{rank}}}");
+                self.instant("refresh", SCHED_PID, BATCH_TID, *at, &args);
             }
             Event::BusSample { at, busy_banks, queued_reads, .. } => {
                 self.ensure_sched();
@@ -258,7 +259,7 @@ mod tests {
 
     fn stream() -> Vec<Event> {
         vec![
-            Event::Enqueued { at: 0, request: 1, thread: 0, write: false, bank: 0, row: 4 },
+            Event::Enqueued { at: 0, request: 1, thread: 0, write: false, rank: 0, bank: 0, row: 4 },
             Event::BatchFormed {
                 at: 0,
                 id: 1,
@@ -267,7 +268,7 @@ mod tests {
                 exclusive: true,
                 per_thread: vec![(0, 1)],
             },
-            Event::Marked { at: 0, request: 1, thread: 0, bank: 0 },
+            Event::Marked { at: 0, request: 1, thread: 0, rank: 0, bank: 0 },
             Event::RankComputed {
                 at: 0,
                 batch: 1,
@@ -284,6 +285,7 @@ mod tests {
                 request: 1,
                 thread: 0,
                 kind: CmdKind::Activate,
+                rank: 0,
                 bank: 0,
                 row: 4,
                 col: 0,
@@ -296,6 +298,7 @@ mod tests {
                 request: 1,
                 thread: 0,
                 kind: CmdKind::Read,
+                rank: 0,
                 bank: 0,
                 row: 4,
                 col: 0,
@@ -314,7 +317,7 @@ mod tests {
             Event::BatchDrained { at: 130, id: 1, formed_at: 0 },
             Event::WriteDrain { at: 200, start: true, queued: 24 },
             Event::WriteDrain { at: 400, start: false, queued: 8 },
-            Event::Refresh { at: 500 },
+            Event::Refresh { at: 500, rank: 0 },
             Event::BusSample { at: 510, busy_banks: 1, queued_reads: 2, queued_writes: 0 },
         ]
     }

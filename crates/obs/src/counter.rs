@@ -225,8 +225,8 @@ mod tests {
     fn counters_fold_a_small_stream() {
         let mut sink = CounterSink::new();
         let events = [
-            Event::Enqueued { at: 0, request: 1, thread: 0, write: false, bank: 2, row: 5 },
-            Event::Enqueued { at: 0, request: 2, thread: 1, write: true, bank: 3, row: 6 },
+            Event::Enqueued { at: 0, request: 1, thread: 0, write: false, rank: 0, bank: 2, row: 5 },
+            Event::Enqueued { at: 0, request: 2, thread: 1, write: true, rank: 0, bank: 3, row: 6 },
             Event::BatchFormed {
                 at: 10,
                 id: 1,
@@ -235,12 +235,13 @@ mod tests {
                 exclusive: true,
                 per_thread: vec![(0, 1)],
             },
-            Event::Marked { at: 10, request: 1, thread: 0, bank: 2 },
+            Event::Marked { at: 10, request: 1, thread: 0, rank: 0, bank: 2 },
             Event::CommandIssued {
                 at: 10,
                 request: 1,
                 thread: 0,
                 kind: CmdKind::Activate,
+                rank: 0,
                 bank: 2,
                 row: 5,
                 col: 0,
@@ -253,6 +254,7 @@ mod tests {
                 request: 1,
                 thread: 0,
                 kind: CmdKind::Read,
+                rank: 0,
                 bank: 2,
                 row: 5,
                 col: 0,
@@ -269,7 +271,7 @@ mod tests {
                 finish: 120,
             },
             Event::BatchDrained { at: 120, id: 1, formed_at: 10 },
-            Event::Refresh { at: 200 },
+            Event::Refresh { at: 200, rank: 0 },
         ];
         for e in &events {
             sink.record(e);

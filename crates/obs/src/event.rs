@@ -98,7 +98,9 @@ pub enum Event {
         thread: usize,
         /// True for writes.
         write: bool,
-        /// Target bank.
+        /// Target rank within the channel.
+        rank: usize,
+        /// Target bank (channel-global index).
         bank: usize,
         /// Target row.
         row: u64,
@@ -111,7 +113,9 @@ pub enum Event {
         request: u64,
         /// Issuing thread.
         thread: usize,
-        /// Target bank.
+        /// Target rank within the channel.
+        rank: usize,
+        /// Target bank (channel-global index).
         bank: usize,
     },
     /// A new batch formed. Emitted *before* the batch's `Marked` events.
@@ -162,7 +166,9 @@ pub enum Event {
         thread: usize,
         /// Command class.
         kind: CmdKind,
-        /// Target bank.
+        /// Target rank within the channel.
+        rank: usize,
+        /// Target bank (channel-global index).
         bank: usize,
         /// Target row (for precharge: the row being closed).
         row: u64,
@@ -199,10 +205,12 @@ pub enum Event {
         /// Write-buffer occupancy at the transition.
         queued: u32,
     },
-    /// An all-bank refresh was issued.
+    /// An all-bank refresh was issued to one rank.
     Refresh {
         /// Issue cycle.
         at: u64,
+        /// Refreshed rank.
+        rank: usize,
     },
     /// Periodic bank/bus occupancy sample (emitted on change only).
     BusSample {
@@ -230,7 +238,7 @@ impl Event {
             | Event::CommandIssued { at, .. }
             | Event::Completed { at, .. }
             | Event::WriteDrain { at, .. }
-            | Event::Refresh { at }
+            | Event::Refresh { at, .. }
             | Event::BusSample { at, .. } => at,
         }
     }
@@ -261,14 +269,17 @@ impl Event {
         let mut s = String::with_capacity(96);
         let _ = write!(s, "{{\"type\":\"{}\",\"at\":{}", self.name(), self.at());
         match self {
-            Event::Enqueued { request, thread, write, bank, row, .. } => {
+            Event::Enqueued { request, thread, write, rank, bank, row, .. } => {
                 let _ = write!(
                     s,
-                    ",\"req\":{request},\"thread\":{thread},\"write\":{write},\"bank\":{bank},\"row\":{row}"
+                    ",\"req\":{request},\"thread\":{thread},\"write\":{write},\"rank\":{rank},\"bank\":{bank},\"row\":{row}"
                 );
             }
-            Event::Marked { request, thread, bank, .. } => {
-                let _ = write!(s, ",\"req\":{request},\"thread\":{thread},\"bank\":{bank}");
+            Event::Marked { request, thread, rank, bank, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"req\":{request},\"thread\":{thread},\"rank\":{rank},\"bank\":{bank}"
+                );
             }
             Event::BatchFormed { id, marked, cap, exclusive, per_thread, .. } => {
                 let _ = write!(s, ",\"id\":{id},\"marked\":{marked},\"cap\":");
@@ -308,6 +319,7 @@ impl Event {
                 request,
                 thread,
                 kind,
+                rank,
                 bank,
                 row,
                 col,
@@ -318,7 +330,7 @@ impl Event {
             } => {
                 let _ = write!(
                     s,
-                    ",\"req\":{request},\"thread\":{thread},\"cmd\":\"{}\",\"bank\":{bank},\"row\":{row},\"col\":{col},\"marked\":{marked}",
+                    ",\"req\":{request},\"thread\":{thread},\"cmd\":\"{}\",\"rank\":{rank},\"bank\":{bank},\"row\":{row},\"col\":{col},\"marked\":{marked}",
                     kind.short()
                 );
                 if let Some(class) = service {
@@ -338,7 +350,9 @@ impl Event {
             Event::WriteDrain { start, queued, .. } => {
                 let _ = write!(s, ",\"start\":{start},\"queued\":{queued}");
             }
-            Event::Refresh { .. } => {}
+            Event::Refresh { rank, .. } => {
+                let _ = write!(s, ",\"rank\":{rank}");
+            }
             Event::BusSample { busy_banks, queued_reads, queued_writes, .. } => {
                 let _ = write!(
                     s,
@@ -358,8 +372,8 @@ mod tests {
     #[test]
     fn at_and_name_cover_every_variant() {
         let events = vec![
-            Event::Enqueued { at: 1, request: 0, thread: 0, write: false, bank: 0, row: 0 },
-            Event::Marked { at: 2, request: 0, thread: 0, bank: 0 },
+            Event::Enqueued { at: 1, request: 0, thread: 0, write: false, rank: 0, bank: 0, row: 0 },
+            Event::Marked { at: 2, request: 0, thread: 0, rank: 0, bank: 0 },
             Event::BatchFormed {
                 at: 3,
                 id: 1,
@@ -380,6 +394,7 @@ mod tests {
                 request: 0,
                 thread: 0,
                 kind: CmdKind::Read,
+                rank: 0,
                 bank: 0,
                 row: 0,
                 col: 0,
@@ -389,7 +404,7 @@ mod tests {
             },
             Event::Completed { at: 7, request: 0, thread: 0, write: false, arrival: 1, finish: 50 },
             Event::WriteDrain { at: 8, start: true, queued: 20 },
-            Event::Refresh { at: 9 },
+            Event::Refresh { at: 9, rank: 1 },
             Event::BusSample { at: 10, busy_banks: 2, queued_reads: 3, queued_writes: 0 },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -211,7 +211,7 @@ impl EventSink for InvariantSink {
                 self.cap = *cap;
                 self.marks.clear();
             }
-            Event::Marked { at, request, thread, bank } => {
+            Event::Marked { at, request, thread, bank, .. } => {
                 if let Some(t) = self.tracked.get_mut(request) {
                     t.marked = true;
                 }
@@ -286,11 +286,11 @@ mod tests {
     use super::*;
 
     fn enq(request: u64, thread: usize, bank: usize, row: u64) -> Event {
-        Event::Enqueued { at: 0, request, thread, write: false, bank, row }
+        Event::Enqueued { at: 0, request, thread, write: false, rank: 0, bank, row }
     }
 
     fn mark(request: u64, thread: usize, bank: usize) -> Event {
-        Event::Marked { at: 1, request, thread, bank }
+        Event::Marked { at: 1, request, thread, rank: 0, bank }
     }
 
     fn formed(id: u64, cap: Option<u32>, exclusive: bool) -> Event {
@@ -303,6 +303,7 @@ mod tests {
             request,
             thread,
             kind: CmdKind::Read,
+            rank: 0,
             bank,
             row,
             col: 0,
@@ -464,7 +465,7 @@ mod tests {
     fn window_is_bounded() {
         let mut sink = InvariantSink::new();
         for at in 0..200 {
-            sink.record(&Event::Refresh { at });
+            sink.record(&Event::Refresh { at, rank: 0 });
         }
         sink.record(&Event::RankComputed {
             at: 200,

@@ -87,12 +87,13 @@ mod tests {
     #[test]
     fn one_line_per_event() {
         let mut sink = JsonlSink::to_vec();
-        sink.record(&Event::Refresh { at: 5 });
+        sink.record(&Event::Refresh { at: 5, rank: 0 });
         sink.record(&Event::Enqueued {
             at: 6,
             request: 1,
             thread: 0,
             write: false,
+            rank: 0,
             bank: 2,
             row: 3,
         });
@@ -118,8 +119,8 @@ mod tests {
             }
         }
         let mut sink = JsonlSink::new(Failing);
-        sink.record(&Event::Refresh { at: 0 });
-        sink.record(&Event::Refresh { at: 1 });
+        sink.record(&Event::Refresh { at: 0, rank: 0 });
+        sink.record(&Event::Refresh { at: 1, rank: 0 });
         assert_eq!(sink.lines(), 0);
         assert!(sink.error().is_some());
     }

@@ -133,7 +133,7 @@ mod tests {
     use super::*;
 
     fn refresh(at: u64) -> Event {
-        Event::Refresh { at }
+        Event::Refresh { at, rank: 0 }
     }
 
     #[test]

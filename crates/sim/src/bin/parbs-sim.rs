@@ -9,9 +9,16 @@
 //! parbs-sim trace <file> [file...]      run trace files (one per core)
 //! parbs-sim --list                      enumerate available mixes and sweeps
 //!
+//! parbs-sim mapping-sweep [n]           geometry/mapping ablation (paper §6)
+//!
 //! options: --target <instructions>   per-thread run length (default 30000)
 //!          --seed <seed>             workload seed (default 42)
 //!          --jobs <n>                worker threads (default: all cores)
+//!
+//! DRAM shape (any command):
+//!          --ranks <n>               ranks per channel (default 1)
+//!          --mapping <row|line>      address-mapping policy (default row)
+//!          --no-xor                  disable the XOR bank permutation
 //!
 //! observability (case-study / mix only; runs the mix once, observed):
 //!          --trace-out <path>        write the event trace to <path>
@@ -29,6 +36,7 @@
 
 use std::time::Instant;
 
+use parbs_dram::MappingPolicy;
 use parbs_sim::{experiments, Harness, ObserveOptions, SchedulerKind, SimConfig, TraceFormat};
 use parbs_workloads::{
     all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, MixSpec,
@@ -51,6 +59,47 @@ fn sched_by_name(name: &str) -> Option<SchedulerKind> {
         "STFM" => Some(SchedulerKind::Stfm),
         "PAR-BS" | "PARBS" => Some(SchedulerKind::ParBs(Default::default())),
         _ => None,
+    }
+}
+
+/// The DRAM-shape flags (`--ranks`, `--mapping`, `--no-xor`), applied to
+/// every command's base configuration.
+#[derive(Clone, Copy)]
+struct ShapeArgs {
+    ranks: Option<usize>,
+    mapping: Option<MappingPolicy>,
+    no_xor: bool,
+}
+
+impl ShapeArgs {
+    fn parse(args: &[String]) -> ShapeArgs {
+        let mapping = str_value_of(args, "--mapping").map(|m| {
+            MappingPolicy::parse(m).unwrap_or_else(|| {
+                eprintln!("unknown mapping '{m}'; expected row or line");
+                std::process::exit(2);
+            })
+        });
+        ShapeArgs {
+            ranks: value_of(args, "--ranks").map(|r| r as usize),
+            mapping,
+            no_xor: args.iter().any(|a| a == "--no-xor"),
+        }
+    }
+
+    fn apply(&self, cfg: &mut SimConfig) {
+        if let Some(ranks) = self.ranks {
+            cfg.dram.geometry.ranks_per_channel = ranks;
+        }
+        if let Some(mapping) = self.mapping {
+            cfg.dram.mapping = mapping;
+        }
+        if self.no_xor {
+            cfg.dram.mapping = cfg.dram.mapping.with_xor(false);
+        }
+        if let Err(e) = cfg.dram.validate() {
+            eprintln!("invalid DRAM shape: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -87,8 +136,16 @@ fn observe_args(args: &[String]) -> Option<ObserveArgs> {
 
 /// Runs `mix` once with sinks attached, writes the trace, prints the
 /// invariant reports, and exits non-zero if a batching invariant broke.
-fn run_observed_cli(mix: &parbs_workloads::MixSpec, target: u64, seed: u64, oa: &ObserveArgs) {
-    let cfg = SimConfig { target_instructions: target, seed, ..SimConfig::for_cores(mix.cores()) };
+fn run_observed_cli(
+    mix: &parbs_workloads::MixSpec,
+    target: u64,
+    seed: u64,
+    shape: &ShapeArgs,
+    oa: &ObserveArgs,
+) {
+    let mut cfg =
+        SimConfig { target_instructions: target, seed, ..SimConfig::for_cores(mix.cores()) };
+    shape.apply(&mut cfg);
     let opts =
         ObserveOptions { check_invariants: oa.check, trace: oa.out.as_ref().map(|_| oa.format) };
     let start = Instant::now();
@@ -160,8 +217,10 @@ fn print_run_summary(start: Instant, evaluations: usize, jobs: usize, harness: &
     );
 }
 
-fn harness_for(cores: usize, target: u64) -> Harness {
-    Harness::new(SimConfig { target_instructions: target, ..SimConfig::for_cores(cores) })
+fn harness_for(cores: usize, target: u64, shape: &ShapeArgs) -> Harness {
+    let mut cfg = SimConfig { target_instructions: target, ..SimConfig::for_cores(cores) };
+    shape.apply(&mut cfg);
+    Harness::new(cfg)
 }
 
 fn print_available() {
@@ -175,10 +234,13 @@ fn print_available() {
         all_benchmarks().len()
     );
     println!("\nsweeps:");
-    println!("  sweep [n]      n random 4-core mixes under the paper's five schedulers");
+    println!("  sweep [n]          n random 4-core mixes under the paper's five schedulers");
+    println!("  mapping-sweep [n]  geometry/mapping ablation: row/line x xor/noxor x");
+    println!("                     ranks 1/2/4 under the five schedulers (paper Section 6)");
     println!("  (more sweeps — marking-cap, batching, ranking, priorities — are");
     println!("   regenerated by the parbs-bench binaries: fig11..fig14, table3, table4)");
     println!("\noptions: --target N   --seed N   --jobs N (default: all cores)");
+    println!("shape:   --ranks N   --mapping row|line   --no-xor");
     println!(
         "observe: --trace-out F   --trace-format chrome|jsonl   --check-invariants   \
          --trace-sched FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS"
@@ -191,6 +253,7 @@ fn main() {
     let seed = value_of(&args, "--seed").unwrap_or(42);
     let jobs =
         value_of(&args, "--jobs").map_or_else(parbs_sim::default_jobs, |v| (v as usize).max(1));
+    let shape = ShapeArgs::parse(&args);
     if args.iter().any(|a| a == "--list") {
         print_available();
         return;
@@ -207,10 +270,10 @@ fn main() {
                 }
             };
             if let Some(oa) = observe_args(&args) {
-                run_observed_cli(&mix, target, seed, &oa);
+                run_observed_cli(&mix, target, seed, &shape, &oa);
                 return;
             }
-            let harness = harness_for(mix.cores(), target);
+            let harness = harness_for(mix.cores(), target, &shape);
             let plan = experiments::compare_plan(&mix);
             println!("case study {} ({} cores):", mix.name, mix.cores());
             let start = Instant::now();
@@ -231,10 +294,10 @@ fn main() {
             }
             let mix = MixSpec::from_names("custom", &names);
             if let Some(oa) = observe_args(&args) {
-                run_observed_cli(&mix, target, seed, &oa);
+                run_observed_cli(&mix, target, seed, &shape, &oa);
                 return;
             }
-            let harness = harness_for(mix.cores(), target);
+            let harness = harness_for(mix.cores(), target, &shape);
             let plan = experiments::compare_plan(&mix);
             let start = Instant::now();
             print_evals(&harness.run_plan(&plan, jobs));
@@ -246,11 +309,10 @@ fn main() {
                 std::process::exit(2);
             };
             let mix = MixSpec { name: bench.name.to_owned(), benchmarks: vec![bench] };
-            let harness = Harness::new(SimConfig {
-                cores: 1,
-                target_instructions: target,
-                ..SimConfig::for_cores(4)
-            });
+            let mut cfg =
+                SimConfig { cores: 1, target_instructions: target, ..SimConfig::for_cores(4) };
+            shape.apply(&mut cfg);
+            let harness = Harness::new(cfg);
             let r = harness.run_shared(&mix, &SchedulerKind::FrFcfs, &Default::default());
             let t = r.threads[0];
             println!(
@@ -290,11 +352,12 @@ fn main() {
                 }
             }
             let cores = streams.len();
-            let cfg = parbs_sim::SimConfig {
+            let mut cfg = parbs_sim::SimConfig {
                 cores,
                 target_instructions: target,
                 ..parbs_sim::SimConfig::for_cores(cores.max(4))
             };
+            shape.apply(&mut cfg);
             let mut sys =
                 parbs_sim::System::new(cfg, streams, &SchedulerKind::ParBs(Default::default()));
             let r = sys.run();
@@ -317,7 +380,7 @@ fn main() {
         }
         Some("sweep") => {
             let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(10usize);
-            let harness = harness_for(4, target);
+            let harness = harness_for(4, target, &shape);
             let mixes = random_mixes(4, n, seed);
             let sweep = experiments::sweep_plan(&mixes, &experiments::paper_five_labeled());
             let start = Instant::now();
@@ -340,10 +403,44 @@ fn main() {
             }
             print_run_summary(start, sweep.job_count(), jobs, &harness);
         }
+        Some("mapping-sweep") => {
+            let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(1usize);
+            let harness = harness_for(4, target, &shape);
+            let mixes = random_mixes(4, n, seed);
+            let sweep =
+                experiments::mapping_sweep_plan(&mixes, harness.config().dram.geometry);
+            println!(
+                "geometry/mapping ablation: {} rows x {} mix(es) = {} jobs",
+                sweep.labels().len(),
+                n,
+                sweep.job_count()
+            );
+            let start = Instant::now();
+            let rows = sweep.run(&harness, jobs);
+            println!(
+                "{:22} {:>10} {:>7} {:>7} {:>7} {:>8}",
+                "shape/scheduler", "unfairness", "wspeed", "hspeed", "ast", "wc"
+            );
+            for row in &rows {
+                let sm = row.summary();
+                println!(
+                    "{:22} {:>10.3} {:>7.3} {:>7.3} {:>7.1} {:>8}",
+                    sm.name,
+                    sm.unfairness,
+                    sm.weighted_speedup,
+                    sm.hmean_speedup,
+                    sm.ast_per_req,
+                    sm.worst_case_latency
+                );
+            }
+            print_run_summary(start, sweep.job_count(), jobs, &harness);
+        }
         _ => {
             eprintln!(
-                "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n]> \
+                "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n] \
+                 | mapping-sweep [n]> \
                  [--target N] [--seed N] [--jobs N] \
+                 [--ranks N] [--mapping row|line] [--no-xor] \
                  [--trace-out F] [--trace-format chrome|jsonl] [--check-invariants] \
                  [--trace-sched S]  (or --list to enumerate mixes/sweeps)"
             );

@@ -60,9 +60,9 @@ impl SimConfig {
     #[must_use]
     pub fn geometry(&self) -> StreamGeometry {
         StreamGeometry {
-            channels: self.dram.channels,
-            banks_per_channel: self.dram.banks_per_channel,
-            cols_per_row: self.dram.cols_per_row,
+            channels: self.dram.channels(),
+            banks_per_channel: self.dram.banks_per_channel(),
+            cols_per_row: self.dram.cols_per_row(),
             region_rows: 1024,
         }
     }
@@ -86,9 +86,9 @@ mod tests {
 
     #[test]
     fn channels_scale_with_cores() {
-        assert_eq!(SimConfig::for_cores(4).dram.channels, 1);
-        assert_eq!(SimConfig::for_cores(8).dram.channels, 2);
-        assert_eq!(SimConfig::for_cores(16).dram.channels, 4);
+        assert_eq!(SimConfig::for_cores(4).dram.channels(), 1);
+        assert_eq!(SimConfig::for_cores(8).dram.channels(), 2);
+        assert_eq!(SimConfig::for_cores(16).dram.channels(), 4);
     }
 
     #[test]

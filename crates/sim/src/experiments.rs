@@ -8,29 +8,19 @@
 //! any worker count; output is identical at every `jobs` level. The
 //! `parbs-bench` regeneration binaries print the results in the shape of
 //! the paper's tables and figures.
-//!
-//! The pre-plan entry points taking `&mut Session` remain as deprecated
-//! shims that build the equivalent plan and run it serially.
 
 use parbs::{BatchingMode, ParBsConfig, Ranking, ThreadPriority};
+use parbs_dram::{Geometry, MappingPolicy};
 use parbs_metrics::SchedulerSummary;
 use parbs_workloads::{all_benchmarks, classify, BenchmarkProfile, MixSpec};
 
-use crate::{
-    EvalJob, EvalOverrides, EvalPlan, Harness, MixEvaluation, SchedulerKind, Session, SimConfig,
-};
+use crate::{EvalJob, EvalOverrides, EvalPlan, Harness, MixEvaluation, SchedulerKind, SimConfig};
 
 /// The plan behind Figs. 5, 6, 7 and 9: one mix under the paper's five
 /// schedulers, in figure order.
 #[must_use]
 pub fn compare_plan(mix: &MixSpec) -> EvalPlan {
     SchedulerKind::paper_five().into_iter().map(|k| EvalJob::new(mix.clone(), k)).collect()
-}
-
-/// Runs one mix under the paper's five schedulers (Figs. 5, 6, 7, 9).
-#[deprecated(note = "run `compare_plan(mix)` on a `Harness` via `Harness::run_plan`")]
-pub fn compare_schedulers(session: &mut Session, mix: &MixSpec) -> Vec<MixEvaluation> {
-    session.harness().run_plan(&compare_plan(mix), 1)
 }
 
 /// All evaluations of a multi-workload sweep for one scheduler.
@@ -67,14 +57,27 @@ impl SweepPlan {
     /// Builds the plan for every mix under every labeled kind.
     #[must_use]
     pub fn new(mixes: &[MixSpec], kinds: &[(String, SchedulerKind)]) -> Self {
+        let rows: Vec<(String, SchedulerKind, EvalOverrides)> =
+            kinds.iter().map(|(l, k)| (l.clone(), k.clone(), EvalOverrides::none())).collect();
+        SweepPlan::with_overrides(mixes, &rows)
+    }
+
+    /// Builds the plan for every mix under every labeled job template —
+    /// a scheduler kind plus the [`EvalOverrides`] its row runs with (the
+    /// seam the geometry/mapping ablations use).
+    #[must_use]
+    pub fn with_overrides(
+        mixes: &[MixSpec],
+        rows: &[(String, SchedulerKind, EvalOverrides)],
+    ) -> Self {
         let mut plan = EvalPlan::new();
-        for (_, kind) in kinds {
+        for (_, kind, overrides) in rows {
             for mix in mixes {
-                plan.add(mix.clone(), kind.clone());
+                plan.push(EvalJob::new(mix.clone(), kind.clone()).with_overrides(overrides.clone()));
             }
         }
         SweepPlan {
-            labels: kinds.iter().map(|(l, _)| l.clone()).collect(),
+            labels: rows.iter().map(|(l, _, _)| l.clone()).collect(),
             mixes_per_row: mixes.len(),
             plan,
         }
@@ -131,14 +134,44 @@ pub fn sweep_plan(mixes: &[MixSpec], kinds: &[(String, SchedulerKind)]) -> Sweep
     SweepPlan::new(mixes, kinds)
 }
 
-/// Runs every mix under every scheduler kind (Figs. 8, 10; Table 4).
-#[deprecated(note = "run `sweep_plan(mixes, kinds)` on a `Harness` via `SweepPlan::run`")]
-pub fn sweep(
-    session: &mut Session,
-    mixes: &[MixSpec],
-    kinds: &[(String, SchedulerKind)],
-) -> Vec<SweepRow> {
-    sweep_plan(mixes, kinds).run(session.harness(), 1)
+/// The labeled job templates of the geometry/mapping sensitivity study
+/// (paper Section 6): mapping policy (row/line-interleaved) × XOR bank
+/// permutation on/off × ranks per channel ∈ {1, 2, 4}, each under the
+/// paper's five schedulers. Non-rank geometry fields inherit `base`.
+/// Labels read `row/r2/PAR-BS`, `line-noxor/r4/FCFS`, ...
+#[must_use]
+pub fn mapping_sweep_rows(base: Geometry) -> Vec<(String, SchedulerKind, EvalOverrides)> {
+    let mut rows = Vec::new();
+    for policy in [
+        MappingPolicy::RowInterleaved { xor_permute: true },
+        MappingPolicy::LineInterleaved { xor_permute: true },
+    ] {
+        for xor in [true, false] {
+            let mapping = policy.with_xor(xor);
+            for ranks in [1usize, 2, 4] {
+                let geometry = Geometry { ranks_per_channel: ranks, ..base };
+                for kind in SchedulerKind::paper_five() {
+                    let label = format!("{}/r{}/{}", mapping.label(), ranks, kind.name());
+                    rows.push((
+                        label,
+                        kind,
+                        EvalOverrides::shaped(Some(geometry), Some(mapping)),
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// The plan of the geometry/mapping ablation: every mix under every
+/// [`mapping_sweep_rows`] template. The paper's Section 6 expectation:
+/// turning the XOR permutation off hurts FR-FCFS most and PAR-BS least,
+/// because batch-level parallelism recovery compensates for the extra row
+/// conflicts.
+#[must_use]
+pub fn mapping_sweep_plan(mixes: &[MixSpec], base: Geometry) -> SweepPlan {
+    SweepPlan::with_overrides(mixes, &mapping_sweep_rows(base))
 }
 
 /// The five paper schedulers as labeled sweep inputs.
@@ -170,17 +203,6 @@ pub fn marking_cap_kinds(caps: &[Option<u32>]) -> Vec<(String, SchedulerKind)> {
 #[must_use]
 pub fn marking_cap_plan(mixes: &[MixSpec], caps: &[Option<u32>]) -> SweepPlan {
     SweepPlan::new(mixes, &marking_cap_kinds(caps))
-}
-
-/// Fig. 11: Marking-Cap sweep. `caps` are the cap values (`None` = no cap);
-/// labels follow the paper ("c=1".."c=20", "no-c").
-#[deprecated(note = "run `marking_cap_plan(mixes, caps)` on a `Harness` via `SweepPlan::run`")]
-pub fn marking_cap_sweep(
-    session: &mut Session,
-    mixes: &[MixSpec],
-    caps: &[Option<u32>],
-) -> Vec<SweepRow> {
-    marking_cap_plan(mixes, caps).run(session.harness(), 1)
 }
 
 /// The labeled kinds of the Fig. 12 batching-choice sweep: time-based
@@ -218,13 +240,6 @@ pub fn batching_plan(mixes: &[MixSpec]) -> SweepPlan {
     SweepPlan::new(mixes, &batching_kinds())
 }
 
-/// Fig. 12: batching-choice sweep — time-based static batching with the
-/// paper's durations, empty-slot batching, and full batching.
-#[deprecated(note = "run `batching_plan(mixes)` on a `Harness` via `SweepPlan::run`")]
-pub fn batching_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
-    batching_plan(mixes).run(session.harness(), 1)
-}
-
 /// The labeled scheduler list of Fig. 13: the within-batch ranking
 /// alternatives, the rank-free variants, and STFM for reference.
 #[must_use]
@@ -245,13 +260,6 @@ pub fn ranking_kinds() -> Vec<(String, SchedulerKind)> {
 #[must_use]
 pub fn ranking_plan(mixes: &[MixSpec]) -> SweepPlan {
     SweepPlan::new(mixes, &ranking_kinds())
-}
-
-/// Fig. 13: within-batch scheduling sweep — the ranking alternatives plus
-/// the rank-free variants and STFM for reference.
-#[deprecated(note = "run `ranking_plan(mixes)` on a `Harness` via `SweepPlan::run`")]
-pub fn ranking_sweep(session: &mut Session, mixes: &[MixSpec]) -> Vec<SweepRow> {
-    ranking_plan(mixes).run(session.harness(), 1)
 }
 
 /// The plan behind Fig. 14 (left): four copies of lbm with unequal
@@ -277,14 +285,6 @@ pub fn priority_weighted_plan() -> EvalPlan {
     plan
 }
 
-/// Fig. 14 (left): four copies of lbm with unequal importance — NFQ/STFM
-/// weights 8-8-4-1, PAR-BS priorities 1-1-2-8. Returns one evaluation per
-/// scheme in the order FR-FCFS, NFQ, STFM, PAR-BS.
-#[deprecated(note = "run `priority_weighted_plan()` on a `Harness` via `Harness::run_plan`")]
-pub fn priority_weighted_lbm(session: &mut Session) -> Vec<MixEvaluation> {
-    session.harness().run_plan(&priority_weighted_plan(), 1)
-}
-
 /// The plan behind Fig. 14 (right): omnetpp is the only important thread;
 /// the other three run opportunistically (PAR-BS) or with a tiny share
 /// (weight 1 vs. 8192 for NFQ/STFM, approximating "opportunistic" as the
@@ -307,14 +307,6 @@ pub fn priority_opportunistic_plan() -> EvalPlan {
         EvalJob::new(mix, SchedulerKind::ParBs(ParBsConfig::default())).with_priorities(priorities),
     );
     plan
-}
-
-/// Fig. 14 (right): omnetpp is the only important thread; the other three
-/// run opportunistically (PAR-BS) or with a tiny share (weight 1 vs. 8192
-/// for NFQ/STFM, approximating "opportunistic" as the paper does).
-#[deprecated(note = "run `priority_opportunistic_plan()` on a `Harness` via `Harness::run_plan`")]
-pub fn priority_opportunistic(session: &mut Session) -> Vec<MixEvaluation> {
-    session.harness().run_plan(&priority_opportunistic_plan(), 1)
 }
 
 /// One row of the regenerated Table 3.
@@ -357,13 +349,6 @@ pub fn table3_rows(harness: &Harness, jobs: usize) -> Vec<Table3Row> {
             measured_category: classify(t.mcpi(), result.row_hit_rate, t.blp),
         }
     })
-}
-
-/// Regenerates Table 3: every benchmark alone on the baseline system under
-/// FR-FCFS.
-#[deprecated(note = "use `table3_rows(harness, jobs)`")]
-pub fn table3(session: &mut Session) -> Vec<Table3Row> {
-    table3_rows(session.harness(), 1)
 }
 
 /// Micro-experiments behind the motivation figures (Figs. 1 and 2).
@@ -452,14 +437,43 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_session_shims_match_the_plan_api() {
-        let mut s =
-            Session::new(SimConfig { target_instructions: 1_000, ..SimConfig::for_cores(4) });
-        let via_shim = compare_schedulers(&mut s, &case_study_1());
+    fn mapping_sweep_covers_the_ablation_grid() {
+        let base = Geometry::table2();
+        let rows = mapping_sweep_rows(base);
+        // 2 policies × XOR on/off × 3 rank counts × 5 schedulers.
+        assert_eq!(rows.len(), 60);
+        let labels: Vec<&str> = rows.iter().map(|(l, _, _)| l.as_str()).collect();
+        assert_eq!(labels[0], "row/r1/FR-FCFS");
+        assert!(labels.contains(&"row-noxor/r2/PAR-BS"));
+        assert!(labels.contains(&"line-noxor/r4/FCFS"));
+        for (_, _, o) in &rows {
+            assert!(!o.is_none(), "every row pins its geometry and mapping");
+            o.geometry.unwrap().validate().expect("every swept geometry is valid");
+        }
+        let plan = mapping_sweep_plan(&[case_study_1()], base);
+        assert_eq!(plan.job_count(), 60);
+        assert_eq!(plan.labels().len(), 60);
+    }
+
+    #[test]
+    fn shaped_sweep_rows_are_deterministic_at_any_jobs_level() {
         let h = quick_harness();
-        let via_plan = h.run_plan(&compare_plan(&case_study_1()), 1);
-        assert_eq!(via_shim, via_plan);
+        let mixes = [case_study_1()];
+        // The r2 PAR-BS slice of the ablation: small enough for a unit
+        // test, still exercising geometry+mapping overrides end to end.
+        let rows: Vec<_> = mapping_sweep_rows(h.config().dram.geometry)
+            .into_iter()
+            .filter(|(l, _, _)| l.contains("/r2/") && l.ends_with("PAR-BS"))
+            .collect();
+        assert_eq!(rows.len(), 4);
+        let sweep = SweepPlan::with_overrides(&mixes, &rows);
+        let serial = sweep.run(&h, 1);
+        let parallel = sweep.run(&h, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.evaluations, b.evaluations);
+        }
     }
 
     #[test]

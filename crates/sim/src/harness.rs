@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use parbs_cpu::{CoreConfig, InstructionStream};
-use parbs_dram::TimingParams;
+use parbs_dram::{Geometry, MappingPolicy, TimingParams};
 use parbs_metrics::{evaluate, MetricsRow, ThreadComparison, ThreadMeasurement};
 use parbs_workloads::{BenchmarkProfile, MixSpec, SyntheticStream};
 
@@ -42,19 +42,18 @@ pub struct MixEvaluation {
 
 /// Cache key of one alone-run baseline. The baseline depends on the
 /// benchmark, the scheduler, and **every** DRAM and run-shape parameter
-/// (banks, timing, queue depths, run length, seed, ...) — keying on a
-/// subset would silently reuse a baseline across different memory systems.
-/// Thread weights and priorities are excluded deliberately: alone runs
-/// always clear them (a single thread has nothing to compete with).
+/// (geometry, mapping policy, timing, queue depths, run length, seed, ...)
+/// — keying on a subset would silently reuse a baseline across different
+/// memory systems. Thread weights and priorities are excluded
+/// deliberately: alone runs always clear them (a single thread has nothing
+/// to compete with).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AloneKey {
     bench: &'static str,
     kind: SchedulerKind,
     cores: usize,
-    channels: usize,
-    banks_per_channel: usize,
-    cols_per_row: u64,
-    rows_per_bank: u64,
+    geometry: Geometry,
+    mapping: MappingPolicy,
     request_buffer_cap: usize,
     write_buffer_cap: usize,
     /// Bit pattern of the write-drain watermark (`f64` itself is not
@@ -78,10 +77,8 @@ impl AloneKey {
             bench,
             kind: kind.clone(),
             cores: cfg.cores,
-            channels: cfg.dram.channels,
-            banks_per_channel: cfg.dram.banks_per_channel,
-            cols_per_row: cfg.dram.cols_per_row,
-            rows_per_bank: cfg.dram.rows_per_bank,
+            geometry: cfg.dram.geometry,
+            mapping: cfg.dram.mapping,
             request_buffer_cap: cfg.dram.request_buffer_cap,
             write_buffer_cap: cfg.dram.write_buffer_cap,
             write_drain_watermark_bits: cfg.dram.write_drain_watermark.to_bits(),
@@ -190,15 +187,15 @@ impl Harness {
     }
 
     fn stream_for(
-        &self,
+        cfg: &SimConfig,
         bench: &'static BenchmarkProfile,
         salt: u64,
     ) -> Box<dyn InstructionStream> {
-        Box::new(SyntheticStream::new(bench, self.cfg.geometry(), self.cfg.seed, salt))
+        Box::new(SyntheticStream::new(bench, cfg.geometry(), cfg.seed, salt))
     }
 
-    /// The job configuration: the base config with non-empty override
-    /// fields replaced (see [`EvalOverrides`]).
+    /// The job configuration: the base config with non-empty / `Some`
+    /// override fields replaced (see [`EvalOverrides`]).
     fn job_config(&self, overrides: &EvalOverrides) -> SimConfig {
         let mut cfg = self.cfg.clone();
         if !overrides.weights.is_empty() {
@@ -207,6 +204,12 @@ impl Harness {
         if !overrides.priorities.is_empty() {
             cfg.thread_priorities = overrides.priorities.clone();
         }
+        if let Some(geometry) = overrides.geometry {
+            cfg.dram.geometry = geometry;
+        }
+        if let Some(mapping) = overrides.mapping {
+            cfg.dram.mapping = mapping;
+        }
         cfg
     }
 
@@ -214,19 +217,31 @@ impl Harness {
     /// memoizing the result. Safe to call from any number of threads;
     /// concurrent requests for the same baseline simulate it exactly once.
     pub fn alone(&self, bench: &'static BenchmarkProfile, kind: &SchedulerKind) -> ThreadRunStats {
-        let mut cfg = self.cfg.clone();
+        self.alone_under(bench, kind, &self.cfg)
+    }
+
+    /// Memoized alone run on the memory system described by `base` (the
+    /// seam that keeps geometry-overridden jobs comparing against alone
+    /// baselines on the *same* overridden system).
+    fn alone_under(
+        &self,
+        bench: &'static BenchmarkProfile,
+        kind: &SchedulerKind,
+        base: &SimConfig,
+    ) -> ThreadRunStats {
+        let mut cfg = base.clone();
         cfg.cores = 1;
         cfg.thread_weights = Vec::new();
         cfg.thread_priorities = Vec::new();
         let key = AloneKey::new(bench.name, kind, &cfg);
         self.alone.get_or_run(key, || {
-            let stream = self.stream_for(bench, 0);
-            let mut sys = System::new(cfg, vec![stream], kind);
+            let stream = Self::stream_for(&cfg, bench, 0);
+            let mut sys = System::new(cfg.clone(), vec![stream], kind);
             sys.run().threads[0]
         })
     }
 
-    /// Runs `mix` shared under `kind` with the given per-thread overrides
+    /// Runs `mix` shared under `kind` with the given per-job overrides
     /// and returns the full shared-run result.
     ///
     /// # Panics
@@ -240,6 +255,10 @@ impl Harness {
         kind: &SchedulerKind,
         overrides: &EvalOverrides,
     ) -> RunResult {
+        self.run_shared_under(mix, kind, self.job_config(overrides))
+    }
+
+    fn run_shared_under(&self, mix: &MixSpec, kind: &SchedulerKind, cfg: SimConfig) -> RunResult {
         assert_eq!(
             mix.cores(),
             self.cfg.cores,
@@ -247,9 +266,13 @@ impl Harness {
             mix.name,
             mix.cores()
         );
-        let streams: Vec<Box<dyn InstructionStream>> =
-            mix.benchmarks.iter().enumerate().map(|(i, b)| self.stream_for(b, i as u64)).collect();
-        System::new(self.job_config(overrides), streams, kind).run()
+        let streams: Vec<Box<dyn InstructionStream>> = mix
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Self::stream_for(&cfg, b, i as u64))
+            .collect();
+        System::new(cfg, streams, kind).run()
     }
 
     /// Shared run + alone baselines + metrics for one (mix, scheduler)
@@ -258,24 +281,28 @@ impl Harness {
         self.evaluate_mix_with(mix, kind, &EvalOverrides::none())
     }
 
-    /// Like [`Harness::evaluate_mix`] but with per-thread weights (NFQ,
-    /// STFM) and priorities (PAR-BS) — the Section 5 / Fig. 14 experiments.
-    /// Overrides apply to the shared run only; alone baselines are
-    /// single-thread runs and always clear them.
+    /// Like [`Harness::evaluate_mix`] but with [`EvalOverrides`]: per-thread
+    /// weights (NFQ, STFM) and priorities (PAR-BS) — the Section 5 /
+    /// Fig. 14 experiments — plus DRAM geometry/mapping replacements.
+    /// QoS overrides apply to the shared run only (alone baselines are
+    /// single-thread runs and always clear them); geometry and mapping
+    /// overrides apply to both, so slowdowns compare against the memory
+    /// system the mix actually ran on.
     pub fn evaluate_mix_with(
         &self,
         mix: &MixSpec,
         kind: &SchedulerKind,
         overrides: &EvalOverrides,
     ) -> MixEvaluation {
-        let shared = self.run_shared(mix, kind, overrides);
+        let job_cfg = self.job_config(overrides);
+        let shared = self.run_shared_under(mix, kind, job_cfg.clone());
         let comparisons: Vec<ThreadComparison> = mix
             .benchmarks
             .iter()
             .zip(&shared.threads)
             .map(|(bench, s)| ThreadComparison {
                 shared: to_measurement(s),
-                alone: to_measurement(&self.alone(bench, kind)),
+                alone: to_measurement(&self.alone_under(bench, kind, &job_cfg)),
             })
             .collect();
         MixEvaluation {
@@ -343,7 +370,7 @@ mod tests {
         let b = by_name("mcf").unwrap();
         let eight = Harness::new(quick_cfg());
         let mut four_cfg = quick_cfg();
-        four_cfg.dram.banks_per_channel = 4;
+        four_cfg.dram.geometry.banks_per_rank = 4;
         let four = Harness::new(four_cfg.clone());
         let eight_banks = eight.alone(b, &SchedulerKind::FrFcfs);
         let four_banks = four.alone(b, &SchedulerKind::FrFcfs);
@@ -407,10 +434,39 @@ mod tests {
             &EvalOverrides {
                 weights: vec![8.0, 1.0, 1.0, 1.0],
                 priorities: vec![parbs::ThreadPriority::Opportunistic; 4],
+                geometry: Some(Geometry { ranks_per_channel: 2, ..Geometry::table2() }),
+                mapping: Some(MappingPolicy::LineInterleaved { xor_permute: false }),
             },
         );
         assert!(h.config().thread_weights.is_empty(), "base config must stay untouched");
         assert!(h.config().thread_priorities.is_empty());
+        assert_eq!(h.config().dram.ranks_per_channel(), 1, "geometry must not leak either");
+        assert_eq!(h.config().dram.mapping, MappingPolicy::baseline());
+    }
+
+    #[test]
+    fn geometry_overrides_rebase_the_alone_baselines() {
+        // A job that overrides the DRAM shape must compare its shared run
+        // against alone runs on the *same* shape — and those baselines must
+        // key separately from the base system's.
+        let h = Harness::new(quick_cfg());
+        let mix = case_study_1();
+        let base = h.evaluate_mix(&mix, &SchedulerKind::FrFcfs);
+        let entries_after_base = h.cache_stats().entries;
+        let shaped = EvalOverrides::shaped(
+            Some(Geometry { ranks_per_channel: 2, ..Geometry::table2() }),
+            None,
+        );
+        let two_rank = h.evaluate_mix_with(&mix, &SchedulerKind::FrFcfs, &shaped);
+        assert!(
+            h.cache_stats().entries > entries_after_base,
+            "the 2-rank system must get its own alone baselines"
+        );
+        assert_ne!(base.shared, two_rank.shared, "adding a rank must change the shared run");
+        // Re-running the same overridden job hits the memo.
+        let misses = h.cache_stats().misses;
+        let _ = h.evaluate_mix_with(&mix, &SchedulerKind::FrFcfs, &shaped);
+        assert_eq!(h.cache_stats().misses, misses, "second overridden run reuses its baselines");
     }
 
     #[test]

@@ -8,23 +8,32 @@
 //! plan order, independent of execution order.
 
 use parbs::ThreadPriority;
+use parbs_dram::{Geometry, MappingPolicy};
 use parbs_workloads::MixSpec;
 
 use crate::SchedulerKind;
 
-/// Per-job replacements for the harness base config's thread QoS settings:
-/// NFQ/STFM share weights and PAR-BS priority levels (the Section 5 /
-/// Fig. 14 experiments).
+/// Per-job replacements for the harness base configuration: the thread QoS
+/// settings (NFQ/STFM share weights and PAR-BS priority levels — the
+/// Section 5 / Fig. 14 experiments) and the DRAM shape (geometry and
+/// address-mapping policy — the Section 6 sensitivity studies).
 ///
-/// An **empty** vector means "inherit the harness base configuration" for
-/// that field; a non-empty vector replaces it wholesale for this job only.
-/// The base configuration itself is never mutated.
+/// An **empty** vector / `None` means "inherit the harness base
+/// configuration" for that field; a non-empty vector or `Some` replaces it
+/// wholesale for this job only. The base configuration itself is never
+/// mutated. Geometry and mapping overrides apply to the shared run *and*
+/// its alone baselines — slowdowns always compare against the same memory
+/// system the mix ran on.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvalOverrides {
     /// NFQ/STFM share weights per thread (empty = inherit base).
     pub weights: Vec<f64>,
     /// PAR-BS priority levels per thread (empty = inherit base).
     pub priorities: Vec<ThreadPriority>,
+    /// DRAM geometry replacement (`None` = inherit base).
+    pub geometry: Option<Geometry>,
+    /// Address-mapping policy replacement (`None` = inherit base).
+    pub mapping: Option<MappingPolicy>,
 }
 
 impl EvalOverrides {
@@ -37,19 +46,28 @@ impl EvalOverrides {
     /// Overrides only the NFQ/STFM share weights.
     #[must_use]
     pub fn weighted(weights: Vec<f64>) -> Self {
-        EvalOverrides { weights, priorities: Vec::new() }
+        EvalOverrides { weights, ..EvalOverrides::default() }
     }
 
     /// Overrides only the PAR-BS priority levels.
     #[must_use]
     pub fn prioritized(priorities: Vec<ThreadPriority>) -> Self {
-        EvalOverrides { weights: Vec::new(), priorities }
+        EvalOverrides { priorities, ..EvalOverrides::default() }
+    }
+
+    /// Overrides only the DRAM shape: geometry and/or mapping policy.
+    #[must_use]
+    pub fn shaped(geometry: Option<Geometry>, mapping: Option<MappingPolicy>) -> Self {
+        EvalOverrides { geometry, mapping, ..EvalOverrides::default() }
     }
 
     /// True if the job inherits the base configuration unchanged.
     #[must_use]
     pub fn is_none(&self) -> bool {
-        self.weights.is_empty() && self.priorities.is_empty()
+        self.weights.is_empty()
+            && self.priorities.is_empty()
+            && self.geometry.is_none()
+            && self.mapping.is_none()
     }
 }
 
@@ -84,6 +102,20 @@ impl EvalJob {
     #[must_use]
     pub fn with_priorities(mut self, priorities: Vec<ThreadPriority>) -> Self {
         self.overrides.priorities = priorities;
+        self
+    }
+
+    /// Replaces this job's DRAM geometry.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: Geometry) -> Self {
+        self.overrides.geometry = Some(geometry);
+        self
+    }
+
+    /// Replaces this job's address-mapping policy.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: MappingPolicy) -> Self {
+        self.overrides.mapping = Some(mapping);
         self
     }
 
@@ -190,6 +222,17 @@ mod tests {
         assert!(!job.overrides.is_none());
         assert!(job.overrides.priorities.is_empty());
         assert_eq!(job.overrides, EvalOverrides::weighted(vec![8.0, 1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn shape_overrides_mark_the_job_as_overridden() {
+        let geo = Geometry { ranks_per_channel: 2, ..Geometry::table2() };
+        let job = EvalJob::new(case_study_1(), SchedulerKind::FrFcfs)
+            .with_geometry(geo)
+            .with_mapping(MappingPolicy::LineInterleaved { xor_permute: false });
+        assert!(!job.overrides.is_none());
+        assert_eq!(job.overrides.geometry.unwrap().ranks_per_channel, 2);
+        assert_eq!(job.overrides, EvalOverrides::shaped(job.overrides.geometry, job.overrides.mapping));
     }
 
     #[test]

@@ -87,28 +87,6 @@ impl Session {
     pub fn evaluate_mix(&mut self, mix: &MixSpec, kind: &SchedulerKind) -> MixEvaluation {
         self.harness.evaluate_mix(mix, kind)
     }
-
-    /// Like [`Session::evaluate_mix`] but with per-thread weights (NFQ,
-    /// STFM) and priorities (PAR-BS) — the Section 5 / Fig. 14 experiments.
-    ///
-    /// Unlike the original implementation this no longer mutates the
-    /// session's config (which corrupted the session if a run panicked
-    /// mid-way); an empty `weights`/`priorities` vector now means "inherit
-    /// the base configuration" rather than "clear it", which is identical
-    /// whenever the base is unweighted (the only way sessions were built).
-    #[deprecated(
-        note = "use `Harness::evaluate_mix_with` with `&EvalOverrides` (or an `EvalPlan` \
-                job with overrides)"
-    )]
-    pub fn evaluate_mix_with(
-        &mut self,
-        mix: &MixSpec,
-        kind: &SchedulerKind,
-        weights: Vec<f64>,
-        priorities: Vec<parbs::ThreadPriority>,
-    ) -> MixEvaluation {
-        self.harness.evaluate_mix_with(mix, kind, &EvalOverrides { weights, priorities })
-    }
 }
 
 #[cfg(test)]
@@ -128,21 +106,6 @@ mod tests {
         let a2 = s.alone(b, &SchedulerKind::FrFcfs);
         assert_eq!(a1, a2);
         assert_eq!(s.harness().cache_stats().entries, 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_override_signature_still_works_and_leaves_config_clean() {
-        let mut s = quick_session();
-        let mix = case_study_1();
-        let _ = s.evaluate_mix_with(
-            &mix,
-            &SchedulerKind::Nfq,
-            vec![8.0, 1.0, 1.0, 1.0],
-            vec![parbs::ThreadPriority::Opportunistic; 4],
-        );
-        assert!(s.config().thread_weights.is_empty(), "weights must not leak into the base");
-        assert!(s.config().thread_priorities.is_empty(), "priorities must not leak");
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl System {
     ) -> Self {
         assert_eq!(streams.len(), cfg.cores, "one stream per core");
         let cores: Vec<Core> = streams.into_iter().map(|s| Core::new(cfg.core, s)).collect();
-        let controllers: Vec<Controller> = (0..cfg.dram.channels)
+        let controllers: Vec<Controller> = (0..cfg.dram.channels())
             .map(|_| {
                 if cfg.check_protocol {
                     Controller::with_checker(cfg.dram.clone(), factory(&cfg))

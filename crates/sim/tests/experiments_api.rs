@@ -96,19 +96,17 @@ fn summaries_aggregate_consistently() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_session_sweep_matches_plan_run() {
-    // The compatibility shims must stay behaviorally identical to the
-    // plan-based path (they delegate to it with jobs = 1).
-    let mut session =
-        parbs_sim::Session::new(SimConfig { target_instructions: 800, ..SimConfig::for_cores(4) });
-    let mixes = random_mixes(4, 1, 9);
-    let kinds = paper_five_labeled();
-    let via_shim = parbs_sim::experiments::sweep(&mut session, &mixes, &kinds);
-    let via_plan = sweep_plan(&mixes, &kinds).run(&quick_harness(), 2);
-    assert_eq!(via_shim.len(), via_plan.len());
-    for (a, b) in via_shim.iter().zip(&via_plan) {
-        assert_eq!(a.label, b.label);
-        assert_eq!(a.evaluations, b.evaluations);
-    }
+fn mapping_sweep_labels_span_the_grid() {
+    let h = quick_harness();
+    let rows = parbs_sim::experiments::mapping_sweep_rows(h.config().dram.geometry);
+    assert_eq!(rows.len(), 60, "2 policies x 2 xor x 3 rank counts x 5 schedulers");
+    let r1_baseline = rows
+        .iter()
+        .filter(|(l, _, o)| {
+            l.starts_with("row/r1/")
+                && o.geometry.unwrap().ranks_per_channel == 1
+                && o.mapping.unwrap() == parbs_dram::MappingPolicy::baseline()
+        })
+        .count();
+    assert_eq!(r1_baseline, 5, "the baseline shape appears once per scheduler");
 }

@@ -113,11 +113,12 @@ impl SyntheticStream {
         seed: u64,
         thread_salt: u64,
     ) -> Self {
-        let mapper = AddressMapper::new(
+        let mapper = AddressMapper::canonical(
             geometry.channels,
             geometry.banks_per_channel,
             geometry.cols_per_row,
-        );
+        )
+        .expect("stream geometries are power-of-two shapes");
         let mut rng = StdRng::seed_from_u64(
             seed ^ (u64::from(profile.number) << 32) ^ thread_salt.wrapping_mul(0x9E37_79B9),
         );
@@ -317,7 +318,7 @@ mod tests {
         // Count distinct banks touched within each burst window for mcf
         // (BLP target 4.75) vs matlab (BLP target 1.08).
         let geometry = StreamGeometry::default();
-        let mapper = AddressMapper::new(1, 8, 32);
+        let mapper = AddressMapper::canonical(1, 8, 32).unwrap();
         let burst_banks = |name: &str| {
             let mut s = SyntheticStream::new(by_name(name).unwrap(), geometry, 3, 0);
             let mut widths = Vec::new();
@@ -353,7 +354,7 @@ mod tests {
     fn row_locality_knob_changes_address_stream() {
         // libquantum (row_hit .984) should mostly continue within rows;
         // sjeng (row_hit .168) should mostly jump.
-        let mapper = AddressMapper::new(1, 8, 32);
+        let mapper = AddressMapper::canonical(1, 8, 32).unwrap();
         let same_row_fraction = |name: &str| {
             let instrs = collect(name, 9, 0, 300_000);
             let mut last: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
@@ -394,7 +395,7 @@ mod tests {
     #[test]
     fn addresses_stay_in_thread_region() {
         let geometry = StreamGeometry::default();
-        let mapper = AddressMapper::new(1, 8, 32);
+        let mapper = AddressMapper::canonical(1, 8, 32).unwrap();
         for salt in [0u64, 3] {
             let mut s = SyntheticStream::new(by_name("mcf").unwrap(), geometry, 5, salt);
             for _ in 0..50_000 {

@@ -28,7 +28,7 @@ proptest! {
     ) {
         let bench = &all_benchmarks()[bench_idx];
         let geometry = StreamGeometry::baseline_4core();
-        let mapper = AddressMapper::new(1, 8, 32);
+        let mapper = AddressMapper::canonical(1, 8, 32).unwrap();
         let mut s = SyntheticStream::new(bench, geometry, seed, salt);
         let base = salt * geometry.region_rows;
         for _ in 0..20_000 {
@@ -65,7 +65,7 @@ proptest! {
     #[test]
     fn multi_channel_geometry_covers_all_channels(seed in any::<u64>()) {
         let geometry = StreamGeometry::for_cores(16);
-        let mapper = AddressMapper::new(geometry.channels, geometry.banks_per_channel, 32);
+        let mapper = AddressMapper::canonical(geometry.channels, geometry.banks_per_channel, 32).unwrap();
         let bench = parbs_workloads::by_name("mcf").unwrap();
         let mut s = SyntheticStream::new(bench, geometry, seed, 0);
         let mut seen = vec![false; geometry.channels];

@@ -11,7 +11,7 @@ use parbs_workloads::{by_name, format_trace, load_trace, SyntheticStream};
 fn main() {
     // ── 1. Build a pointer-chase trace programmatically: each load depends
     //       on the previous one (D = dependent), hopping across banks.
-    let mapper = AddressMapper::new(1, 8, 32);
+    let mapper = AddressMapper::canonical(1, 8, 32).unwrap();
     let mut instrs = Vec::new();
     for i in 0..64u64 {
         instrs.push(Instr::DependentLoad(mapper.encode(parbs_dram::LineAddr {

@@ -86,6 +86,7 @@ impl MemoryScheduler for RuleTwoInverted {
                         at: view.now,
                         request: r.id.0,
                         thread: r.thread.0,
+                        rank: r.addr.bank / view.channel.banks_per_rank(),
                         bank: r.addr.bank,
                     });
                 }
