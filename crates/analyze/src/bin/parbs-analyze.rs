@@ -1,0 +1,116 @@
+//! `parbs-analyze` — static-analysis CLI for the PAR-BS model.
+//!
+//! ```text
+//! parbs-analyze check-timing [--depth N] [--ranks R] [--banks B] [--rows W]
+//! parbs-analyze check-keys   [--scheduler all|FCFS|FR-FCFS|NFQ|STFM|PAR-BS]
+//! parbs-analyze report       [--depth N]
+//! ```
+//!
+//! `check-timing` runs the differential bounded model checker on a tiny
+//! geometry (defaults: depth 6, 2 banks/rank, 4 rows, both a 1-rank and a
+//! 2-rank channel when `--ranks` is omitted). `check-keys` validates the
+//! declared priority-key layouts of the shipped schedulers against their
+//! implementations. `report` runs both at a modest depth and prints a
+//! summary of the rule table and key layouts. Every failure exits non-zero,
+//! so all three are CI-gateable.
+
+use std::process::ExitCode;
+
+use parbs_analyze::{
+    check_scheduler_keys, run_differential, scheduler_by_name, McConfig, ALL_SCHEDULERS,
+};
+use parbs_dram::TIMING_RULES;
+
+fn value_of(args: &[String], flag: &str) -> Option<u64> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn str_value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn check_timing(args: &[String]) -> Result<(), String> {
+    let depth = value_of(args, "--depth").unwrap_or(6) as u32;
+    let rows = value_of(args, "--rows").unwrap_or(4);
+    let ranks: Vec<usize> = match value_of(args, "--ranks") {
+        Some(r) => vec![r as usize],
+        None => vec![1, 2],
+    };
+    for r in ranks {
+        let mut cfg = McConfig { rows, ..McConfig::tiny(r, depth) };
+        if let Some(b) = value_of(args, "--banks") {
+            cfg.banks_per_rank = b as usize;
+        }
+        let banks = cfg.banks_per_rank;
+        match run_differential(&cfg) {
+            Ok(stats) => println!(
+                "check-timing: {r} rank(s) x {banks} bank(s) x {rows} row(s), depth {depth}: \
+                 agree on {} command(s) over {} state(s)",
+                stats.commands, stats.states
+            ),
+            Err(d) => return Err(format!("check-timing: {r} rank(s): {d}")),
+        }
+    }
+    Ok(())
+}
+
+fn check_keys(args: &[String]) -> Result<(), String> {
+    let which = str_value_of(args, "--scheduler").unwrap_or("all");
+    let names: Vec<&str> = if which == "all" { ALL_SCHEDULERS.to_vec() } else { vec![which] };
+    for name in names {
+        let make = scheduler_by_name(name)
+            .ok_or_else(|| format!("check-keys: unknown scheduler `{name}`"))?;
+        let report = check_scheduler_keys(make.as_ref()).map_err(|e| format!("check-keys: {e}"))?;
+        println!(
+            "check-keys: {}: {} field(s) verified over {} state(s), {} key(s), {} pair(s)",
+            report.scheduler, report.fields, report.states, report.keys, report.pairs
+        );
+    }
+    Ok(())
+}
+
+fn report(args: &[String]) -> Result<(), String> {
+    println!("timing-rule table: {} rules", TIMING_RULES.len());
+    for rule in TIMING_RULES {
+        println!(
+            "  {:<32} {:?} {:?}.{:?} -> {:?}.{:?} (nth {})",
+            rule.id, rule.scope, rule.from, rule.from_time, rule.to, rule.to_time, rule.nth
+        );
+    }
+    println!();
+    for name in ALL_SCHEDULERS {
+        let make = scheduler_by_name(name).expect("shipped scheduler");
+        let sched = make();
+        if let Some(layout) = sched.key_layout() {
+            let fields: Vec<String> =
+                layout.fields.iter().map(|f| format!("{}@{}+{}", f.name, f.lo, f.width)).collect();
+            println!("key layout {:<8} [{}]", layout.scheduler, fields.join(", "));
+        }
+    }
+    println!();
+    let mut forwarded =
+        vec!["--depth".to_owned(), value_of(args, "--depth").unwrap_or(4).to_string()];
+    forwarded.extend_from_slice(args);
+    check_timing(&forwarded)?;
+    check_keys(args)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check-timing") => check_timing(&args[1..]),
+        Some("check-keys") => check_keys(&args[1..]),
+        Some("report") => report(&args[1..]),
+        other => Err(format!(
+            "usage: parbs-analyze <check-timing|check-keys|report> [options]\n\
+             (got {other:?})"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

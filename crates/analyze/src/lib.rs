@@ -1,0 +1,32 @@
+//! Static analysis for the PAR-BS model — `parbs-analyze`.
+//!
+//! Simulation results are only as trustworthy as the DRAM model and the
+//! scheduler priority encodings underneath them, and both are implemented
+//! more than once in this workspace (an imperative hot path plus a
+//! declarative specification). This crate closes the loop between the
+//! copies:
+//!
+//! * [`TimingOracle`] — an independent earliest-legal-time evaluator built
+//!   from the declarative [`parbs_dram::TIMING_RULES`] table by log
+//!   scanning (no incremental state to get wrong);
+//! * [`run_differential`] — a differential bounded model checker that
+//!   exhaustively enumerates command sequences on tiny geometries and
+//!   requires [`parbs_dram::Channel::can_issue`], the oracle and
+//!   [`parbs_dram::ProtocolChecker`] to agree on the earliest-legal cycle
+//!   of **every** command of the alphabet at **every** reached state,
+//!   reporting any divergence with a minimal command prefix;
+//! * [`check_scheduler_keys`] — a key-contract analyzer that validates each
+//!   scheduler's declared [`parbs_dram::KeyLayout`] structurally and
+//!   cross-checks the packed `priority_key` bits, field semantics and
+//!   ordering against the scheduler's own `compare`.
+//!
+//! The `parbs-analyze` binary exposes all three as CI-runnable subcommands
+//! (`check-timing`, `check-keys`, `report`).
+
+mod keycheck;
+mod mc;
+mod oracle;
+
+pub use keycheck::{check_scheduler_keys, scheduler_by_name, KeyReport, ALL_SCHEDULERS};
+pub use mc::{run_differential, run_differential_with_rules, Disagreement, McConfig, McStats};
+pub use oracle::{TimingOracle, Verdict};

@@ -2,7 +2,7 @@
 
 use std::cmp::Ordering;
 
-use parbs_dram::{MemoryScheduler, Request, SchedView};
+use parbs_dram::{FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView};
 
 /// First-Ready First-Come-First-Serve (Rixner et al., ISCA 2000; Zuravleff
 /// & Robinson, US patent 5,630,096): among ready commands, prioritize (1) row-hit requests
@@ -33,6 +33,16 @@ impl FrFcfsScheduler {
     }
 }
 
+/// FR-FCFS packs row-hit first (the "first-ready" criterion), then the
+/// inverted request id (oldest first).
+pub(crate) const FRFCFS_KEY_LAYOUT: KeyLayout = KeyLayout {
+    scheduler: "FR-FCFS",
+    fields: &[
+        KeyField { name: "row_hit", semantic: FieldSemantic::RowHit, lo: 64, width: 1 },
+        KeyField { name: "age", semantic: FieldSemantic::Age, lo: 0, width: 64 },
+    ],
+};
+
 impl MemoryScheduler for FrFcfsScheduler {
     fn name(&self) -> &str {
         "FR-FCFS"
@@ -47,6 +57,10 @@ impl MemoryScheduler for FrFcfsScheduler {
         let hit_a = view.is_row_hit(a);
         let hit_b = view.is_row_hit(b);
         hit_b.cmp(&hit_a).then(a.id.cmp(&b.id))
+    }
+
+    fn key_layout(&self) -> Option<&'static KeyLayout> {
+        Some(&FRFCFS_KEY_LAYOUT)
     }
 }
 

@@ -16,9 +16,6 @@
 //! All implement [`parbs_dram::MemoryScheduler`]; none of them preserve
 //! intra-thread bank-level parallelism, which is the gap PAR-BS fills.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod frfcfs;
 mod nfq;
 mod stfm;

@@ -5,7 +5,10 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-use parbs_dram::{MemoryScheduler, Request, RequestId, SchedView, ThreadId, TimingParams};
+use parbs_dram::{
+    f64_total_order_bits, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, RequestId,
+    SchedView, ThreadId, TimingParams,
+};
 
 /// Which virtual timestamp orders requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -124,6 +127,14 @@ impl NfqScheduler {
     pub fn deadline_of(&self, id: RequestId) -> Option<f64> {
         self.deadlines.get(&id).copied()
     }
+
+    /// Installs an arbitrary deadline, bypassing the virtual clocks — test
+    /// hook for exercising the key encoding on values the clock arithmetic
+    /// cannot produce (subnormals, exact ties, extremes).
+    #[cfg(test)]
+    fn set_deadline_for_tests(&mut self, id: RequestId, dl: f64) {
+        self.deadlines.insert(id, dl);
+    }
 }
 
 impl Default for NfqScheduler {
@@ -131,6 +142,19 @@ impl Default for NfqScheduler {
         Self::new()
     }
 }
+
+/// NFQ's key: capture-window row hit, then the inverted total-order
+/// embedding of the virtual deadline (earlier deadlines pack larger), then
+/// inverted request id. Request ids are bounded by the 63-bit age field
+/// (asserted in `priority_key`).
+pub(crate) const NFQ_KEY_LAYOUT: KeyLayout = KeyLayout {
+    scheduler: "NFQ",
+    fields: &[
+        KeyField { name: "recent_hit", semantic: FieldSemantic::RecentRowHit, lo: 127, width: 1 },
+        KeyField { name: "deadline", semantic: FieldSemantic::Deadline, lo: 63, width: 64 },
+        KeyField { name: "age", semantic: FieldSemantic::Age, lo: 0, width: 63 },
+    ],
+};
 
 impl MemoryScheduler for NfqScheduler {
     fn name(&self) -> &str {
@@ -187,15 +211,19 @@ impl MemoryScheduler for NfqScheduler {
 
     fn priority_key(&self, req: &Request, view: &SchedView<'_>) -> u128 {
         // Capture-window row hits first, then the earliest virtual deadline,
-        // then oldest-first. Deadlines are non-negative finite f64s, for
-        // which IEEE-754 bit patterns order like the values — inverting the
-        // bits makes smaller deadlines pack larger.
+        // then oldest-first. The deadline field inverts the sign-magnitude
+        // total-order embedding, so smaller (earlier) deadlines pack larger
+        // for *every* f64 — ties, subnormals, negatives and infinities all
+        // order exactly as `total_cmp` in `compare` does.
         let dl = self.deadlines.get(&req.id).copied().unwrap_or(f64::MAX);
-        debug_assert!(dl >= 0.0, "virtual deadlines are non-negative");
         debug_assert!(req.id.0 < 1 << 63, "request id fits 63 key bits");
         (u128::from(self.recent_hit(req, view)) << 127)
-            | (u128::from(!dl.to_bits()) << 63)
+            | (u128::from(!f64_total_order_bits(dl)) << 63)
             | u128::from(((1u64 << 63) - 1) - req.id.0)
+    }
+
+    fn key_layout(&self) -> Option<&'static KeyLayout> {
+        Some(&NFQ_KEY_LAYOUT)
     }
 
     fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
@@ -305,6 +333,43 @@ mod tests {
         let d_nfq = nfq.deadline_of(RequestId(9)).unwrap();
         let d_stfq = stfq.deadline_of(RequestId(9)).unwrap();
         assert!(d_stfq < d_nfq);
+    }
+
+    #[test]
+    fn deadline_key_orders_like_total_cmp_on_hard_values() {
+        // The satellite fix: the key's deadline field must order like
+        // `total_cmp` even for ties, subnormals and huge deadlines (the old
+        // raw-bits inversion was only correct for non-negative values and
+        // is now replaced by the sign-magnitude total-order embedding).
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        let view = SchedView { channel: &ch, now: 0 };
+        let mut s = NfqScheduler::new();
+        let deadlines: &[f64] = &[
+            0.0,
+            f64::from_bits(1), // smallest positive subnormal
+            f64::MIN_POSITIVE,
+            1.0,
+            1.0, // tie with the previous — age must break it
+            1.5e18,
+            9.9e307,
+            f64::MAX,
+        ];
+        let reqs: Vec<Request> = (0..deadlines.len()).map(|i| req(i as u64, 0, 0, 1, 0)).collect();
+        for (r, &dl) in reqs.iter().zip(deadlines) {
+            s.set_deadline_for_tests(r.id, dl);
+        }
+        for a in &reqs {
+            for b in &reqs {
+                let by_key = s.priority_key(b, &view).cmp(&s.priority_key(a, &view));
+                assert_eq!(
+                    by_key,
+                    s.compare(a, b, &view),
+                    "key vs comparator mismatch for deadlines {:?} vs {:?}",
+                    s.deadline_of(a.id),
+                    s.deadline_of(b.id)
+                );
+            }
+        }
     }
 
     #[test]

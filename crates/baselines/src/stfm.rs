@@ -4,7 +4,19 @@
 use std::cmp::Ordering;
 
 use parbs_dram::{
-    Command, CommandKind, MemoryScheduler, Request, SchedView, ThreadId, TimingParams,
+    Command, CommandKind, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView,
+    ThreadId, TimingParams,
+};
+
+/// STFM's key: the fairness-mode ("boosted") thread first, then row hits,
+/// then the inverted request id.
+pub(crate) const STFM_KEY_LAYOUT: KeyLayout = KeyLayout {
+    scheduler: "STFM",
+    fields: &[
+        KeyField { name: "boosted", semantic: FieldSemantic::Boosted, lo: 65, width: 1 },
+        KeyField { name: "row_hit", semantic: FieldSemantic::RowHit, lo: 64, width: 1 },
+        KeyField { name: "age", semantic: FieldSemantic::Age, lo: 0, width: 64 },
+    ],
 };
 
 /// STFM parameters (the values used in the PAR-BS paper's §7.2).
@@ -254,6 +266,10 @@ impl MemoryScheduler for StfmScheduler {
         let hit_b = view.is_row_hit(b);
         hit_b.cmp(&hit_a).then(a.id.cmp(&b.id))
     }
+
+    fn key_layout(&self) -> Option<&'static KeyLayout> {
+        Some(&STFM_KEY_LAYOUT)
+    }
 }
 
 #[cfg(test)]
@@ -314,8 +330,14 @@ mod tests {
         let ch = Channel::new(8, TimingParams::ddr2_800());
         let mut q = vec![req(0, 0, 3, 1), req(1, 1, 3, 2)];
         s.pre_schedule(&mut q, &view(&ch));
-        let cmd =
-            Command { kind: CommandKind::Activate, rank: 0, bank: 3, row: 1, col: 0, request: q[0].id };
+        let cmd = Command {
+            kind: CommandKind::Activate,
+            rank: 0,
+            bank: 3,
+            row: 1,
+            col: 0,
+            request: q[0].id,
+        };
         s.on_command(&cmd, &q[0], 0);
         assert!(s.threads[1].t_interference > 0.0, "thread 1 waits on bank 3");
         assert_eq!(s.threads[0].t_interference, 0.0, "no self-interference");
@@ -335,8 +357,14 @@ mod tests {
             req(5, 2, 0, 3),
         ];
         s.pre_schedule(&mut q, &view(&ch));
-        let cmd =
-            Command { kind: CommandKind::Activate, rank: 0, bank: 0, row: 1, col: 0, request: q[0].id };
+        let cmd = Command {
+            kind: CommandKind::Activate,
+            rank: 0,
+            bank: 0,
+            row: 1,
+            col: 0,
+            request: q[0].id,
+        };
         s.on_command(&cmd, &q[0], 0);
         assert!(
             s.threads[1].t_interference < s.threads[2].t_interference,

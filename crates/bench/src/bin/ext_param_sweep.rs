@@ -12,7 +12,10 @@ fn run_point(label: &str, cfg: SimConfig, mixes_n: usize, seed: u64, jobs: usize
     let kinds = experiments::paper_five_labeled();
     let rows = experiments::sweep_plan(&mixes, &kinds).run(&harness, jobs);
     let get = |name: &str| {
-        rows.iter().find(|r| r.label == name).map(|r| r.summary()).expect("scheduler present")
+        rows.iter()
+            .find(|r| r.label == name)
+            .map(parbs_sim::experiments::SweepRow::summary)
+            .expect("scheduler present")
     };
     let fr = get("FR-FCFS");
     let pb = get("PAR-BS");
@@ -30,7 +33,7 @@ fn main() {
     let scale = Scale::from_args();
     let n = scale.mixes4.min(15);
     let base = || SimConfig { target_instructions: scale.target, ..SimConfig::for_cores(4) };
-    println!("## Extension — system-parameter sensitivity ({} workloads per point)\n", n);
+    println!("## Extension — system-parameter sensitivity ({n} workloads per point)\n");
 
     println!("banks per channel:");
     for banks in [4usize, 8, 16] {

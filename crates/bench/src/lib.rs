@@ -15,9 +15,6 @@
 //! scaled-down simulator — but the *shape* (ordering of schedulers,
 //! direction of gaps, sweet spots) is; see `EXPERIMENTS.md`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use parbs_sim::experiments::SweepRow;
 use parbs_sim::{Harness, MixEvaluation, Session, SimConfig};
 

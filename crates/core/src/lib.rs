@@ -36,9 +36,6 @@
 //! assert_eq!(ctrl.scheduler_name(), "PAR-BS");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod abstract_model;
 mod config;
 mod hw_cost;

@@ -2,7 +2,9 @@
 
 use std::cmp::Ordering;
 
-use parbs_dram::{MemoryScheduler, Request, SchedView, ThreadId};
+use parbs_dram::{
+    FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView, ThreadId,
+};
 use parbs_obs::{Event, RankEntry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -382,6 +384,21 @@ impl ParBsScheduler {
     }
 }
 
+/// PAR-BS packs Rule 3.2's order exactly (Figure 4): marked bit, inverted
+/// thread priority level, row-hit bit, inverted within-batch rank, inverted
+/// request id. Mirrors [`PriorityValue::pack`]; `parbs-analyze` cross-checks
+/// the two.
+pub(crate) const PARBS_KEY_LAYOUT: KeyLayout = KeyLayout {
+    scheduler: "PAR-BS",
+    fields: &[
+        KeyField { name: "marked", semantic: FieldSemantic::Marked, lo: 113, width: 1 },
+        KeyField { name: "level", semantic: FieldSemantic::PriorityLevel, lo: 97, width: 16 },
+        KeyField { name: "row_hit", semantic: FieldSemantic::RowHit, lo: 96, width: 1 },
+        KeyField { name: "rank", semantic: FieldSemantic::Rank, lo: 64, width: 32 },
+        KeyField { name: "age", semantic: FieldSemantic::Age, lo: 0, width: 64 },
+    ],
+};
+
 impl MemoryScheduler for ParBsScheduler {
     fn name(&self) -> &str {
         "PAR-BS"
@@ -433,6 +450,10 @@ impl MemoryScheduler for ParBsScheduler {
     fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {
         // Larger packed priority value = scheduled first = Ordering::Less.
         self.priority_value(b, view).cmp(&self.priority_value(a, view))
+    }
+
+    fn key_layout(&self) -> Option<&'static KeyLayout> {
+        Some(&PARBS_KEY_LAYOUT)
     }
 
     fn debug_summary(&self) -> String {

@@ -58,7 +58,7 @@ proptest! {
     fn frfcfs_makespan_never_worse_than_fcfs(batch in batch_strategy()) {
         let fcfs = batch.completion_times(AbstractPolicy::Fcfs);
         let fr = batch.completion_times(AbstractPolicy::FrFcfs);
-        let makespan = |t: &[f64]| t.iter().cloned().fold(0.0f64, f64::max);
+        let makespan = |t: &[f64]| t.iter().copied().fold(0.0f64, f64::max);
         prop_assert!(makespan(&fr) <= makespan(&fcfs) + 1e-9);
     }
 

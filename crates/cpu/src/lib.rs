@@ -46,9 +46,6 @@
 //! assert!(core.stats().committed > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod core_model;
 mod stream;
 

@@ -272,8 +272,8 @@ mod tests {
                             MappingPolicy::RowInterleaved { xor_permute: xor },
                             MappingPolicy::LineInterleaved { xor_permute: xor },
                         ] {
-                            let m = AddressMapper::new(geom(channels, ranks, banks), policy)
-                                .unwrap();
+                            let m =
+                                AddressMapper::new(geom(channels, ranks, banks), policy).unwrap();
                             for line in (0..200_000u64).step_by(83) {
                                 let a = m.decode(line);
                                 assert!(a.channel < channels);
@@ -303,11 +303,9 @@ mod tests {
 
     #[test]
     fn consecutive_lines_stripe_channels_when_line_interleaved() {
-        let m = AddressMapper::new(
-            geom(4, 1, 8),
-            MappingPolicy::LineInterleaved { xor_permute: true },
-        )
-        .unwrap();
+        let m =
+            AddressMapper::new(geom(4, 1, 8), MappingPolicy::LineInterleaved { xor_permute: true })
+                .unwrap();
         let addrs: Vec<LineAddr> = (0..4).map(|l| m.decode(l)).collect();
         for (i, a) in addrs.iter().enumerate() {
             assert_eq!(a.channel, i, "line {i} lands on channel {i}");
@@ -327,11 +325,9 @@ mod tests {
 
     #[test]
     fn disabling_xor_keeps_raw_bank_order() {
-        let m = AddressMapper::new(
-            geom(1, 1, 8),
-            MappingPolicy::RowInterleaved { xor_permute: false },
-        )
-        .unwrap();
+        let m =
+            AddressMapper::new(geom(1, 1, 8), MappingPolicy::RowInterleaved { xor_permute: false })
+                .unwrap();
         let a = m.decode(0);
         let b = m.decode(32 * 8); // row 1, raw bank 0
         assert_eq!(b.row, 1);
@@ -341,8 +337,8 @@ mod tests {
     #[test]
     fn multi_rank_decode_assigns_rank_major_banks() {
         let g = geom(1, 2, 8);
-        let m = AddressMapper::new(g, MappingPolicy::RowInterleaved { xor_permute: false })
-            .unwrap();
+        let m =
+            AddressMapper::new(g, MappingPolicy::RowInterleaved { xor_permute: false }).unwrap();
         // After a full sweep of rank 0's banks (8 banks × 32 cols), the next
         // line lands in rank 1 — i.e. global bank 8.
         let a = m.decode(0);

@@ -104,11 +104,14 @@ impl Bank {
     ///
     /// # Panics
     ///
-    /// Panics (debug) if the bank is not closed or the activate gate has not
-    /// elapsed — the controller must only issue legal commands.
+    /// Panics if the bank is not closed or the activate gate has not
+    /// elapsed — the controller must only issue legal commands. The checks
+    /// are always on (release builds included): they are two integer
+    /// comparisons per row command, and a silently-violated timing
+    /// constraint would corrupt every downstream measurement.
     pub fn activate(&mut self, row: u64, thread: ThreadId, now: u64, t: &TimingParams) {
-        debug_assert_eq!(self.state, BankState::Closed, "activate on non-closed bank");
-        debug_assert!(now >= self.earliest_activate, "tRP/tRC violated");
+        assert_eq!(self.state, BankState::Closed, "activate on non-closed bank");
+        assert!(now >= self.earliest_activate, "tRP/tRC violated");
         self.state = BankState::Open(row);
         self.last_activate_at = now;
         self.earliest_column = self.earliest_column.max(now + t.t_rcd);
@@ -126,7 +129,8 @@ impl Bank {
     ///
     /// # Panics
     ///
-    /// Panics (debug) if no row is open or `t_rcd` has not elapsed.
+    /// Panics if no row is open or `t_rcd` has not elapsed (always on, like
+    /// [`Bank::activate`]).
     pub fn column(
         &mut self,
         is_write: bool,
@@ -134,8 +138,8 @@ impl Bank {
         now: u64,
         t: &TimingParams,
     ) -> (u64, u64) {
-        debug_assert!(matches!(self.state, BankState::Open(_)), "column on closed bank");
-        debug_assert!(now >= self.earliest_column, "tRCD violated");
+        assert!(matches!(self.state, BankState::Open(_)), "column on closed bank");
+        assert!(now >= self.earliest_column, "tRCD violated");
         let start = now + if is_write { t.t_cwl } else { t.t_cl };
         let end = start + t.t_burst;
         if is_write {
@@ -156,11 +160,11 @@ impl Bank {
     ///
     /// # Panics
     ///
-    /// Panics (debug) if the bank is closed or `t_ras`/`t_rtp`/`t_wr` gates
-    /// have not elapsed.
+    /// Panics if the bank is closed or `t_ras`/`t_rtp`/`t_wr` gates have
+    /// not elapsed (always on, like [`Bank::activate`]).
     pub fn precharge(&mut self, thread: ThreadId, now: u64, t: &TimingParams) {
-        debug_assert!(matches!(self.state, BankState::Open(_)), "precharge on closed bank");
-        debug_assert!(now >= self.earliest_precharge, "tRAS/tRTP/tWR violated");
+        assert!(matches!(self.state, BankState::Open(_)), "precharge on closed bank");
+        assert!(now >= self.earliest_precharge, "tRAS/tRTP/tWR violated");
         self.state = BankState::Closed;
         self.earliest_activate = self.earliest_activate.max(now + t.t_rp);
         self.service_end = self.service_end.max(now + t.t_rp + t.t_rcd + t.t_cl + t.t_burst);

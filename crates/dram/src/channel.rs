@@ -166,17 +166,18 @@ impl Channel {
     ///
     /// # Panics
     ///
-    /// Panics (debug) if `cmd` is not issuable; call
-    /// [`Channel::can_issue`] first.
+    /// Panics if `cmd` is not issuable; call [`Channel::can_issue`] first.
+    /// The check is always on — a command issues at most once per DRAM
+    /// cycle, so the cost is negligible, and a silent protocol violation in
+    /// a release-mode run would invalidate every downstream result.
     pub fn issue(&mut self, cmd: &Command, thread: ThreadId, now: u64) -> Option<(u64, u64)> {
-        debug_assert!(self.can_issue(cmd, now), "command {cmd:?} not ready at {now}");
+        assert!(self.can_issue(cmd, now), "command {cmd:?} not ready at {now}");
         let timing = self.timing;
         let rank = self.cmd_rank(cmd);
         match cmd.kind {
             CommandKind::Activate => {
                 self.banks[cmd.bank].activate(cmd.row, thread, now, &timing);
-                self.earliest_activate[rank] =
-                    self.earliest_activate[rank].max(now + timing.t_rrd);
+                self.earliest_activate[rank] = self.earliest_activate[rank].max(now + timing.t_rrd);
                 if timing.t_faw > 0 {
                     self.recent_activates[rank].push(now);
                     let faw = timing.t_faw;
@@ -191,7 +192,9 @@ impl Channel {
                 self.last_data_rank = Some(rank);
                 self.earliest_column = self.earliest_column.max(now + timing.t_ccd);
                 if is_write {
-                    // Write-to-read turnaround applies channel-wide.
+                    // Write-to-read turnaround, modeled conservatively as
+                    // gating *all* column commands channel-wide (the rule
+                    // table's `tWTR` rule states the same semantics).
                     self.earliest_column = self.earliest_column.max(end + timing.t_wtr);
                 }
                 Some((start, end))
@@ -401,6 +404,26 @@ mod tests {
         let r = cmd(CommandKind::Read, 1, 1);
         assert!(!ch.can_issue(&r, wend));
         assert!(ch.can_issue(&r, wend + t.t_wtr));
+    }
+
+    #[test]
+    fn twtr_gates_all_columns_after_write_data() {
+        // The model applies the write turnaround conservatively to every
+        // following column command channel-wide — the same semantics the
+        // rule table's `tWTR` rule declares, so gating, checker and oracle
+        // agree by construction.
+        let t = TimingParams::ddr2_800();
+        let mut ch = Channel::new(8, t);
+        ch.issue(&cmd(CommandKind::Activate, 0, 1), ThreadId(0), 0);
+        ch.issue(&cmd(CommandKind::Activate, 1, 1), ThreadId(0), 30);
+        ch.issue(&cmd(CommandKind::Write, 0, 1), ThreadId(0), 60);
+        // First write's data: [110, 150); columns blocked until 150 + tWTR.
+        let w1 = cmd(CommandKind::Write, 1, 1);
+        let r1 = cmd(CommandKind::Read, 1, 1);
+        assert!(!ch.can_issue(&w1, 170));
+        assert!(!ch.can_issue(&r1, 170));
+        assert!(ch.can_issue(&w1, 180));
+        assert!(ch.can_issue(&r1, 180));
     }
 
     #[test]

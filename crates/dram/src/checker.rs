@@ -5,11 +5,17 @@
 //! violated timing or state constraint. The property-based tests run it
 //! against the controller under random request streams and schedulers.
 //!
-//! Rank-level constraints (tRRD, tFAW, tRFC) are tracked per rank;
-//! channel-level constraints (tCCD, tWTR, the data bus and its tRTRS
-//! rank-switch penalty) are shared, mirroring [`crate::Channel`].
+//! The timing validation is **evaluated from the declarative rule table**
+//! ([`crate::TIMING_RULES`], via [`RuleEngine`]) rather than hand-coded:
+//! every pairwise constraint the checker enforces is stated once, as data,
+//! in `rules.rs`, and the same table drives the reference oracle the
+//! `parbs-analyze` differential model checker uses to cross-validate
+//! [`crate::Channel::can_issue`]. The checker layers on top of the table the
+//! parts that are not timing rules: command-clock alignment, rank/bank index
+//! validity, and bank-state legality (no `ACT` on an open bank, column row
+//! match, no `PRE` on a closed bank).
 
-use crate::{Command, CommandKind, TimingParams, DRAM_CYCLE};
+use crate::{Command, CommandKind, RuleEngine, TimingParams, DRAM_CYCLE};
 
 /// A violated DRAM protocol rule, with enough context to debug it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,18 +36,6 @@ impl std::fmt::Display for ProtocolViolation {
 
 impl std::error::Error for ProtocolViolation {}
 
-#[derive(Debug, Clone, Copy, Default)]
-struct BankRecord {
-    open_row: Option<u64>,
-    last_act: Option<u64>,
-    last_pre: Option<u64>,
-    last_read: Option<u64>,
-    /// End of the last write's data transfer (for tWR).
-    last_write_data_end: Option<u64>,
-    /// Bank blocked until this cycle by its rank's refresh.
-    refresh_block: u64,
-}
-
 /// Observes a channel's command stream and validates every constraint the
 /// model enforces: bank state legality, tRCD, tRP, tRAS, tRC, per-rank tRRD
 /// and tFAW, tCCD, tRTP, tWR, tWTR, per-rank tRFC, tRTRS on cross-rank data
@@ -49,19 +43,10 @@ struct BankRecord {
 /// command per DRAM cycle.
 #[derive(Debug, Clone)]
 pub struct ProtocolChecker {
-    timing: TimingParams,
-    banks: Vec<BankRecord>,
+    engine: RuleEngine,
+    ranks: usize,
     banks_per_rank: usize,
-    last_cmd_at: Option<u64>,
-    /// Last activate per rank (tRRD is a rank constraint).
-    last_act_rank: Vec<Option<u64>>,
-    last_col_any: Option<u64>,
-    data_busy_until: u64,
-    /// Rank that drove the last data transfer (for tRTRS).
-    last_data_rank: Option<usize>,
-    wtr_block_until: u64,
-    /// Recent activates per rank (tFAW sliding window).
-    recent_activates: Vec<Vec<u64>>,
+    open_rows: Vec<Option<u64>>,
 }
 
 impl ProtocolChecker {
@@ -76,16 +61,10 @@ impl ProtocolChecker {
     #[must_use]
     pub fn with_ranks(ranks: usize, banks_per_rank: usize, timing: TimingParams) -> Self {
         ProtocolChecker {
-            timing,
-            banks: vec![BankRecord::default(); ranks * banks_per_rank],
+            engine: RuleEngine::new(ranks, banks_per_rank, timing),
+            ranks,
             banks_per_rank,
-            last_cmd_at: None,
-            last_act_rank: vec![None; ranks],
-            last_col_any: None,
-            data_busy_until: 0,
-            last_data_rank: None,
-            wtr_block_until: 0,
-            recent_activates: vec![Vec::new(); ranks],
+            open_rows: vec![None; ranks * banks_per_rank],
         }
     }
 
@@ -93,146 +72,80 @@ impl ProtocolChecker {
         ProtocolViolation { rule: rule.to_owned(), command: *cmd, at }
     }
 
+    /// Validates `cmd` at cycle `at` against the derived state **without
+    /// recording it** — the probe entry point the `parbs-analyze`
+    /// differential model checker uses to test many candidate cycles
+    /// against one state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule (evaluation order: clock alignment,
+    /// index validity, bank-state legality, then the rule table in
+    /// [`crate::TIMING_RULES`] order).
+    pub fn check(&self, cmd: &Command, at: u64) -> Result<(), ProtocolViolation> {
+        if !at.is_multiple_of(DRAM_CYCLE) {
+            return Err(self.violation("command-clock alignment", cmd, at));
+        }
+        if cmd.rank >= self.ranks {
+            return Err(self.violation("rank index range", cmd, at));
+        }
+        if cmd.kind != CommandKind::Refresh {
+            if cmd.bank >= self.open_rows.len() {
+                return Err(self.violation("bank index range", cmd, at));
+            }
+            if cmd.rank != cmd.bank / self.banks_per_rank {
+                return Err(self.violation("rank/bank consistency", cmd, at));
+            }
+        }
+        // Bank-state legality — a property of the re-derived state machine,
+        // checked outside the timing-rule table.
+        match cmd.kind {
+            CommandKind::Activate => {
+                if self.open_rows[cmd.bank].is_some() {
+                    return Err(self.violation("bank state (ACT on open bank)", cmd, at));
+                }
+            }
+            CommandKind::Read | CommandKind::Write => match self.open_rows[cmd.bank] {
+                Some(row) if row == cmd.row => {}
+                Some(_) => return Err(self.violation("row match (column to wrong row)", cmd, at)),
+                None => return Err(self.violation("bank state (column on closed)", cmd, at)),
+            },
+            CommandKind::Precharge => {
+                if self.open_rows[cmd.bank].is_none() {
+                    return Err(self.violation("bank state (PRE on closed bank)", cmd, at));
+                }
+            }
+            CommandKind::Refresh => {}
+        }
+        // Every timing constraint comes from the declarative table.
+        if let Some(rule) = self.engine.first_violation(cmd.kind, cmd.rank, cmd.bank, at) {
+            return Err(self.violation(rule, cmd, at));
+        }
+        Ok(())
+    }
+
     /// Validates `cmd` issued at cycle `at` and updates the derived state.
     ///
     /// # Errors
     ///
-    /// Returns the first violated rule; after an error the checker state is
-    /// unspecified and the checker should be discarded.
+    /// Returns the first violated rule (see [`ProtocolChecker::check`]); on
+    /// error nothing is recorded, so the checker may keep observing (though
+    /// later violations may be knock-on effects of the first).
     pub fn observe(&mut self, cmd: &Command, at: u64) -> Result<(), ProtocolViolation> {
-        let t = self.timing;
-        let ranks = self.last_act_rank.len();
-        if !at.is_multiple_of(DRAM_CYCLE) {
-            return Err(self.violation("command-clock alignment", cmd, at));
-        }
-        if let Some(prev) = self.last_cmd_at {
-            if at < prev + DRAM_CYCLE {
-                return Err(self.violation("one command per DRAM cycle", cmd, at));
-            }
-        }
-        if cmd.rank >= ranks {
-            return Err(self.violation("rank index range", cmd, at));
-        }
-        if cmd.kind == CommandKind::Refresh {
-            // Per-rank refresh: quiet data bus, then blank out this rank only.
-            if at < self.data_busy_until {
-                return Err(self.violation("refresh during data transfer", cmd, at));
-            }
-            let lo = cmd.rank * self.banks_per_rank;
-            for b in &mut self.banks[lo..lo + self.banks_per_rank] {
-                b.open_row = None;
-                b.refresh_block = at + t.t_rfc;
-            }
-            self.last_cmd_at = Some(at);
-            return Ok(());
-        }
-        if cmd.bank >= self.banks.len() {
-            return Err(self.violation("bank index range", cmd, at));
-        }
-        if cmd.rank != cmd.bank / self.banks_per_rank {
-            return Err(self.violation("rank/bank consistency", cmd, at));
-        }
-        let rank = cmd.rank;
-        let bank = self.banks[cmd.bank];
-        if at < bank.refresh_block {
-            return Err(self.violation("tRFC", cmd, at));
-        }
+        self.check(cmd, at)?;
+        self.engine.record(cmd.kind, cmd.rank, cmd.bank, at);
         match cmd.kind {
-            CommandKind::Refresh => unreachable!("handled above"),
-            CommandKind::Activate => {
-                if bank.open_row.is_some() {
-                    return Err(self.violation("bank state (ACT on open bank)", cmd, at));
-                }
-                if let Some(pre) = bank.last_pre {
-                    if at < pre + t.t_rp {
-                        return Err(self.violation("tRP", cmd, at));
-                    }
-                }
-                if let Some(act) = bank.last_act {
-                    if at < act + t.t_rc {
-                        return Err(self.violation("tRC", cmd, at));
-                    }
-                }
-                if let Some(any) = self.last_act_rank[rank] {
-                    if at < any + t.t_rrd {
-                        return Err(self.violation("tRRD", cmd, at));
-                    }
-                }
-                if t.t_faw > 0 {
-                    self.recent_activates[rank].retain(|&x| x + t.t_faw > at);
-                    if self.recent_activates[rank].len() >= 4 {
-                        return Err(self.violation("tFAW", cmd, at));
-                    }
-                    self.recent_activates[rank].push(at);
-                }
-                self.banks[cmd.bank].open_row = Some(cmd.row);
-                self.banks[cmd.bank].last_act = Some(at);
-                self.last_act_rank[rank] = Some(at);
-            }
-            CommandKind::Read | CommandKind::Write => {
-                let is_write = cmd.kind == CommandKind::Write;
-                match bank.open_row {
-                    Some(row) if row == cmd.row => {}
-                    Some(_) => {
-                        return Err(self.violation("row match (column to wrong row)", cmd, at))
-                    }
-                    None => return Err(self.violation("bank state (column on closed)", cmd, at)),
-                }
-                let act = bank.last_act.expect("open bank must have an activate");
-                if at < act + t.t_rcd {
-                    return Err(self.violation("tRCD", cmd, at));
-                }
-                if let Some(col) = self.last_col_any {
-                    if at < col + t.t_ccd {
-                        return Err(self.violation("tCCD", cmd, at));
-                    }
-                }
-                if !is_write && at < self.wtr_block_until {
-                    return Err(self.violation("tWTR", cmd, at));
-                }
-                let start = at + if is_write { t.t_cwl } else { t.t_cl };
-                let end = start + t.t_burst;
-                if start < self.data_busy_until {
-                    return Err(self.violation("data bus conflict", cmd, at));
-                }
-                if let Some(last) = self.last_data_rank {
-                    if last != rank && start < self.data_busy_until + t.t_rtrs {
-                        return Err(self.violation("tRTRS", cmd, at));
-                    }
-                }
-                self.data_busy_until = end;
-                self.last_data_rank = Some(rank);
-                self.last_col_any = Some(at);
-                if is_write {
-                    self.banks[cmd.bank].last_write_data_end = Some(end);
-                    self.wtr_block_until = self.wtr_block_until.max(end + t.t_wtr);
-                } else {
-                    self.banks[cmd.bank].last_read = Some(at);
+            CommandKind::Activate => self.open_rows[cmd.bank] = Some(cmd.row),
+            CommandKind::Precharge => self.open_rows[cmd.bank] = None,
+            CommandKind::Refresh => {
+                // Refresh force-precharges the rank: its open rows are lost.
+                let lo = cmd.rank * self.banks_per_rank;
+                for row in &mut self.open_rows[lo..lo + self.banks_per_rank] {
+                    *row = None;
                 }
             }
-            CommandKind::Precharge => {
-                if bank.open_row.is_none() {
-                    return Err(self.violation("bank state (PRE on closed bank)", cmd, at));
-                }
-                let act = bank.last_act.expect("open bank must have an activate");
-                if at < act + t.t_ras {
-                    return Err(self.violation("tRAS", cmd, at));
-                }
-                if let Some(rd) = bank.last_read {
-                    if at < rd + t.t_rtp {
-                        return Err(self.violation("tRTP", cmd, at));
-                    }
-                }
-                if let Some(wend) = bank.last_write_data_end {
-                    if at < wend + t.t_wr {
-                        return Err(self.violation("tWR", cmd, at));
-                    }
-                }
-                self.banks[cmd.bank].open_row = None;
-                self.banks[cmd.bank].last_pre = Some(at);
-            }
+            CommandKind::Read | CommandKind::Write => {}
         }
-        self.last_cmd_at = Some(at);
         Ok(())
     }
 }
@@ -387,6 +300,19 @@ mod tests {
         // Rank 0 does not.
         let err = c.observe(&cmd(CommandKind::Activate, 0, 1), t.t_rfc - 10).unwrap_err();
         assert_eq!(err.rule, "tRFC");
+    }
+
+    #[test]
+    fn refresh_during_own_trfc_is_a_violation() {
+        // Historical gap closed by the rule table's `tRFC: Ref → Any` scope:
+        // a second refresh of the *same* rank inside its blackout is illegal.
+        let t = TimingParams::ddr2_800();
+        let mut c = checker2();
+        c.observe(&Command::refresh(0, RequestId(u64::MAX)), 0).unwrap();
+        let err = c.observe(&Command::refresh(0, RequestId(u64::MAX)), t.t_rfc - 10).unwrap_err();
+        assert_eq!(err.rule, "tRFC");
+        // The other rank may refresh concurrently.
+        c.observe(&Command::refresh(1, RequestId(u64::MAX)), 10).unwrap();
     }
 
     #[test]

@@ -175,10 +175,7 @@ mod tests {
             Err(GeometryError::NotPowerOfTwo { field: "banks_per_rank", value: 3 })
         );
         let wide = Geometry { ranks_per_channel: 16, banks_per_rank: 8, ..Geometry::table2() };
-        assert_eq!(
-            wide.validate(),
-            Err(GeometryError::TooManyBanks { banks_per_channel: 128 })
-        );
+        assert_eq!(wide.validate(), Err(GeometryError::TooManyBanks { banks_per_channel: 128 }));
         assert!(wide.validate().unwrap_err().to_string().contains("128"));
     }
 }

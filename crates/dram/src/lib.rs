@@ -54,9 +54,6 @@
 //! assert!(done[0].finish >= 160);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod address;
 mod bank;
 mod channel;
@@ -65,7 +62,9 @@ mod command;
 mod config;
 mod controller;
 mod geometry;
+mod keys;
 mod request;
+mod rules;
 mod scheduler;
 mod stats;
 mod timeline;
@@ -80,7 +79,12 @@ pub use command::{Command, CommandKind};
 pub use config::DramConfig;
 pub use controller::{Completion, Controller, EnqueueError};
 pub use geometry::{Geometry, GeometryError};
+pub use keys::{f64_total_order_bits, FieldSemantic, KeyField, KeyLayout};
 pub use request::{Request, RequestId, RequestKind, ThreadId};
+pub use rules::{
+    data_interval, CmdClass, EventClass, FromTime, RuleEngine, RuleScope, TimingParam, TimingRule,
+    ToTime, TIMING_RULES,
+};
 pub use scheduler::{FcfsScheduler, MemoryScheduler, SchedView};
 pub use stats::{BlpTracker, ControllerStats};
 pub use timeline::render_timeline;

@@ -10,7 +10,7 @@
 
 use std::cmp::Ordering;
 
-use crate::{Channel, Command, Request, ThreadId};
+use crate::{Channel, Command, FieldSemantic, KeyField, KeyLayout, Request, ThreadId};
 
 /// Read-only view of the channel state handed to schedulers during
 /// prioritization.
@@ -117,6 +117,16 @@ pub trait MemoryScheduler {
         self.priority_key(b, view).cmp(&self.priority_key(a, view))
     }
 
+    /// The declared bit layout of [`MemoryScheduler::priority_key`], for
+    /// static analysis: `parbs-analyze check-keys` validates the structural
+    /// invariants ([`KeyLayout::validate`]) and cross-checks the packed key
+    /// against the declaration over enumerated scheduler states. Returning
+    /// `None` (the default) opts the policy out of key analysis; every
+    /// shipped scheduler declares its layout.
+    fn key_layout(&self) -> Option<&'static KeyLayout> {
+        None
+    }
+
     /// Feedback from the cores: `stall_cycles[t]` processor cycles of
     /// memory-related stall accrued by thread `t` since the previous call.
     /// Used by stall-time-based policies (STFM); default is to ignore it.
@@ -175,6 +185,12 @@ impl FcfsScheduler {
     }
 }
 
+/// FCFS packs one field: the inverted request id (oldest first).
+pub(crate) const FCFS_KEY_LAYOUT: KeyLayout = KeyLayout {
+    scheduler: "FCFS",
+    fields: &[KeyField { name: "age", semantic: FieldSemantic::Age, lo: 0, width: 64 }],
+};
+
 impl MemoryScheduler for FcfsScheduler {
     fn name(&self) -> &str {
         "FCFS"
@@ -186,6 +202,10 @@ impl MemoryScheduler for FcfsScheduler {
 
     fn compare(&self, a: &Request, b: &Request, _view: &SchedView<'_>) -> Ordering {
         a.id.cmp(&b.id)
+    }
+
+    fn key_layout(&self) -> Option<&'static KeyLayout> {
+        Some(&FCFS_KEY_LAYOUT)
     }
 }
 

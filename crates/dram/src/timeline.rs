@@ -170,7 +170,15 @@ mod tests {
     fn out_of_window_and_non_command_events_are_ignored() {
         let events = vec![
             cmd(CmdKind::Read, 0, 500),
-            Event::Enqueued { at: 10, request: 0, thread: 0, write: false, rank: 0, bank: 0, row: 0 },
+            Event::Enqueued {
+                at: 10,
+                request: 0,
+                thread: 0,
+                write: false,
+                rank: 0,
+                bank: 0,
+                row: 0,
+            },
             Event::Marked { at: 20, request: 0, thread: 0, rank: 0, bank: 0 },
         ];
         let art = render_timeline(&events, &banks_config(1), 0, 100, 80);

@@ -57,8 +57,10 @@ impl EventSink for CommandTraceSink {
                     CmdKind::Write => CommandKind::Write,
                     CmdKind::Precharge => CommandKind::Precharge,
                 };
-                self.trace
-                    .push((at, Command { kind, rank, bank, row, col, request: RequestId(request) }));
+                self.trace.push((
+                    at,
+                    Command { kind, rank, bank, row, col, request: RequestId(request) },
+                ));
             }
             Event::Refresh { at, rank } => {
                 self.trace.push((at, Command::refresh(rank, RequestId(u64::MAX))));

@@ -259,7 +259,15 @@ mod tests {
 
     fn stream() -> Vec<Event> {
         vec![
-            Event::Enqueued { at: 0, request: 1, thread: 0, write: false, rank: 0, bank: 0, row: 4 },
+            Event::Enqueued {
+                at: 0,
+                request: 1,
+                thread: 0,
+                write: false,
+                rank: 0,
+                bank: 0,
+                row: 4,
+            },
             Event::BatchFormed {
                 at: 0,
                 id: 1,

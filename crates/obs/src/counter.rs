@@ -225,7 +225,15 @@ mod tests {
     fn counters_fold_a_small_stream() {
         let mut sink = CounterSink::new();
         let events = [
-            Event::Enqueued { at: 0, request: 1, thread: 0, write: false, rank: 0, bank: 2, row: 5 },
+            Event::Enqueued {
+                at: 0,
+                request: 1,
+                thread: 0,
+                write: false,
+                rank: 0,
+                bank: 2,
+                row: 5,
+            },
             Event::Enqueued { at: 0, request: 2, thread: 1, write: true, rank: 0, bank: 3, row: 6 },
             Event::BatchFormed {
                 at: 10,

@@ -372,7 +372,15 @@ mod tests {
     #[test]
     fn at_and_name_cover_every_variant() {
         let events = vec![
-            Event::Enqueued { at: 1, request: 0, thread: 0, write: false, rank: 0, bank: 0, row: 0 },
+            Event::Enqueued {
+                at: 1,
+                request: 0,
+                thread: 0,
+                write: false,
+                rank: 0,
+                bank: 0,
+                row: 0,
+            },
             Event::Marked { at: 2, request: 0, thread: 0, rank: 0, bank: 0 },
             Event::BatchFormed {
                 at: 3,

@@ -32,9 +32,6 @@
 //! and bank indices, cycles), so the DRAM substrate and schedulers can emit
 //! without any dependency cycle.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod chrome;
 mod counter;
 mod event;

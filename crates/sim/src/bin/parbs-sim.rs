@@ -407,8 +407,7 @@ fn main() {
             let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(1usize);
             let harness = harness_for(4, target, &shape);
             let mixes = random_mixes(4, n, seed);
-            let sweep =
-                experiments::mapping_sweep_plan(&mixes, harness.config().dram.geometry);
+            let sweep = experiments::mapping_sweep_plan(&mixes, harness.config().dram.geometry);
             println!(
                 "geometry/mapping ablation: {} rows x {} mix(es) = {} jobs",
                 sweep.labels().len(),

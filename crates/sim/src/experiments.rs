@@ -73,7 +73,9 @@ impl SweepPlan {
         let mut plan = EvalPlan::new();
         for (_, kind, overrides) in rows {
             for mix in mixes {
-                plan.push(EvalJob::new(mix.clone(), kind.clone()).with_overrides(overrides.clone()));
+                plan.push(
+                    EvalJob::new(mix.clone(), kind.clone()).with_overrides(overrides.clone()),
+                );
             }
         }
         SweepPlan {
@@ -152,11 +154,7 @@ pub fn mapping_sweep_rows(base: Geometry) -> Vec<(String, SchedulerKind, EvalOve
                 let geometry = Geometry { ranks_per_channel: ranks, ..base };
                 for kind in SchedulerKind::paper_five() {
                     let label = format!("{}/r{}/{}", mapping.label(), ranks, kind.name());
-                    rows.push((
-                        label,
-                        kind,
-                        EvalOverrides::shaped(Some(geometry), Some(mapping)),
-                    ));
+                    rows.push((label, kind, EvalOverrides::shaped(Some(geometry), Some(mapping))));
                 }
             }
         }

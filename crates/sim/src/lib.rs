@@ -38,9 +38,6 @@
 //! assert_eq!(rows[0].metrics.slowdowns.len(), 4);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod executor;
 pub mod experiments;

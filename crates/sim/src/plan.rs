@@ -232,7 +232,10 @@ mod tests {
             .with_mapping(MappingPolicy::LineInterleaved { xor_permute: false });
         assert!(!job.overrides.is_none());
         assert_eq!(job.overrides.geometry.unwrap().ranks_per_channel, 2);
-        assert_eq!(job.overrides, EvalOverrides::shaped(job.overrides.geometry, job.overrides.mapping));
+        assert_eq!(
+            job.overrides,
+            EvalOverrides::shaped(job.overrides.geometry, job.overrides.mapping)
+        );
     }
 
     #[test]

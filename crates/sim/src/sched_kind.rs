@@ -102,7 +102,8 @@ mod tests {
 
     #[test]
     fn paper_five_in_figure_order() {
-        let names: Vec<&str> = SchedulerKind::paper_five().iter().map(|s| s.name()).collect();
+        let names: Vec<&str> =
+            SchedulerKind::paper_five().iter().map(super::SchedulerKind::name).collect();
         assert_eq!(names, ["FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"]);
     }
 

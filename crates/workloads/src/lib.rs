@@ -32,9 +32,6 @@
 //! let _first = stream.next_instr();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod mixes;
 mod profiles;
 mod synth;

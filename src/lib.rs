@@ -5,9 +5,6 @@
 //! so that examples read naturally. Library users should depend on the
 //! individual crates (`parbs`, `parbs-dram`, `parbs-sim`, ...) directly.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use parbs;
 pub use parbs_baselines;
 pub use parbs_cpu;
