@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! parbs-analyze check-timing [--depth N] [--ranks R] [--banks B] [--rows W]
-//! parbs-analyze check-keys   [--scheduler all|FCFS|FR-FCFS|NFQ|STFM|PAR-BS]
+//! parbs-analyze check-keys   [--scheduler all|FCFS|FR-FCFS|NFQ|STFM|PAR-BS|BLISS|ATLAS]
 //! parbs-analyze report       [--depth N]
 //! ```
 //!

@@ -21,7 +21,7 @@
 //! The checks are state-driven rather than proof-based: they enumerate
 //! channel states with open and closed rows, expired and live capture
 //! windows, and marked and unmarked requests, which covers every branch the
-//! five shipped schedulers' packers have.
+//! seven shipped schedulers' packers have.
 
 use parbs_dram::{
     Channel, Command, CommandKind, FieldSemantic, KeyLayout, LineAddr, MemoryScheduler, Request,
@@ -233,12 +233,15 @@ pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Fn() -> Box<dyn MemorySch
         "PAR-BS" => {
             Some(Box::new(|| Box::new(parbs::ParBsScheduler::new(parbs::ParBsConfig::default()))))
         }
+        "BLISS" => Some(Box::new(|| Box::new(parbs_baselines::BlissScheduler::new()))),
+        "ATLAS" => Some(Box::new(|| Box::new(parbs_baselines::AtlasScheduler::new()))),
         _ => None,
     }
 }
 
-/// The five shipped scheduler names, in the paper's order.
-pub const ALL_SCHEDULERS: &[&str] = &["FCFS", "FR-FCFS", "NFQ", "STFM", "PAR-BS"];
+/// The seven shipped scheduler names: the paper's five in the paper's
+/// order, then the post-PAR-BS zoo members (BLISS, ATLAS).
+pub const ALL_SCHEDULERS: &[&str] = &["FCFS", "FR-FCFS", "NFQ", "STFM", "PAR-BS", "BLISS", "ATLAS"];
 
 #[cfg(test)]
 mod tests {

@@ -1,17 +1,18 @@
 //! Property tests: `priority_key` ordering equals the documented pairwise
-//! comparator for PAR-BS and FR-FCFS across randomized channel states and
-//! request queues.
+//! comparator for PAR-BS, FR-FCFS, BLISS and ATLAS across randomized
+//! channel states and request queues.
 //!
 //! The reference comparators below are written out from the papers' rule
 //! statements (FR-FCFS: row-hit first, then oldest first; PAR-BS Rule 3.2
-//! with ranking disabled: marked first, then row-hit, then oldest first) —
-//! *not* from the schedulers' own `compare`, so a shared packing bug cannot
-//! hide.
+//! with ranking disabled: marked first, then row-hit, then oldest first;
+//! BLISS: non-blacklisted first, then row-hit, then oldest; ATLAS: lower
+//! attained-service rank first, then row-hit, then oldest) — *not* from
+//! the schedulers' own `compare`, so a shared packing bug cannot hide.
 
 use std::cmp::Ordering;
 
 use parbs::{ParBsConfig, ParBsScheduler, Ranking};
-use parbs_baselines::FrFcfsScheduler;
+use parbs_baselines::{AtlasScheduler, BlissScheduler, FrFcfsScheduler};
 use parbs_dram::{
     Channel, Command, CommandKind, LineAddr, MemoryScheduler, Request, RequestId, RequestKind,
     SchedView, ThreadId, TimingParams,
@@ -142,6 +143,113 @@ proptest! {
             b.marked
                 .cmp(&a.marked)
                 .then(hit(b).cmp(&hit(a)))
+                .then(a.id.cmp(&b.id))
+        });
+    }
+
+    #[test]
+    fn bliss_key_order_matches_documented_comparator(
+        opens in proptest::collection::vec(open_spec(), 0..6),
+        reqs in proptest::collection::vec(req_spec(), 2..10),
+        // 0..4 blacklist that thread; 4 means "no thread blacklisted".
+        blacklist_pick in 0u8..5,
+    ) {
+        let blacklist = (blacklist_pick < 4).then_some(blacklist_pick);
+        let (ch, mut queue, now) = build_state(&opens, &reqs);
+        let view = SchedView { channel: &ch, now };
+        let mut sched = BlissScheduler::new();
+        for req in &queue {
+            sched.on_arrival(req, req.arrival);
+        }
+        // Drive one thread over the blacklisting threshold by servicing a
+        // consecutive run of its column commands.
+        if let Some(t) = blacklist {
+            let victim = Request::new(
+                1_000,
+                ThreadId(t as usize),
+                LineAddr { channel: 0, bank: 0, row: 0, col: 0 },
+                RequestKind::Read,
+                0,
+            );
+            let cmd = Command {
+                kind: CommandKind::Read,
+                rank: 0,
+                bank: 0,
+                row: 0,
+                col: 0,
+                request: victim.id,
+            };
+            for _ in 0..4 {
+                sched.on_command(&cmd, &victim, now);
+            }
+            assert!(sched.is_blacklisted(ThreadId(t as usize)));
+        }
+        // Consume the dirty flag the way the controller does before reading
+        // keys.
+        sched.pre_schedule(&mut queue, &view);
+        let blacklisted = |r: &Request| blacklist == Some(r.thread.0 as u8);
+        assert_key_order_matches(&sched, &queue, &view, |a, b| {
+            // BLISS: non-blacklisted first, then row-hit, then oldest.
+            let ok = |r: &Request| !blacklisted(r);
+            ok(b)
+                .cmp(&ok(a))
+                .then(view.is_row_hit(b).cmp(&view.is_row_hit(a)))
+                .then(a.id.cmp(&b.id))
+        });
+    }
+
+    #[test]
+    fn atlas_key_order_matches_documented_comparator(
+        opens in proptest::collection::vec(open_spec(), 0..6),
+        reqs in proptest::collection::vec(req_spec(), 2..10),
+        services in proptest::collection::vec(0u32..5, 4..5),
+    ) {
+        let (ch, mut queue, state_now) = build_state(&opens, &reqs);
+        let mut sched = AtlasScheduler::new();
+        for req in &queue {
+            sched.on_arrival(req, req.arrival);
+        }
+        // Accrue a known amount of service per thread: each Read costs
+        // t_cl + t_burst cycles of attained service.
+        for (t, &count) in services.iter().enumerate() {
+            let r = Request::new(
+                2_000 + t as u64,
+                ThreadId(t),
+                LineAddr { channel: 0, bank: 0, row: 0, col: 0 },
+                RequestKind::Read,
+                0,
+            );
+            let cmd = Command {
+                kind: CommandKind::Read,
+                rank: 0,
+                bank: 0,
+                row: 0,
+                col: 0,
+                request: r.id,
+            };
+            for _ in 0..count {
+                sched.on_command(&cmd, &r, state_now);
+            }
+        }
+        // Roll the quantum so the accrued service becomes the ranking.
+        let now = state_now + 20_000;
+        let view = SchedView { channel: &ch, now };
+        sched.pre_schedule(&mut queue, &view);
+        // Expected ranks, recomputed independently: ascending by (attained
+        // service, thread id); every thread 0..4 exists (service was fed
+        // for all four).
+        let mut order: Vec<usize> = (0..4).collect();
+        order.sort_by_key(|&t| (services[t], t));
+        let mut rank = [0usize; 4];
+        for (pos, &t) in order.iter().enumerate() {
+            rank[t] = pos;
+        }
+        assert_key_order_matches(&sched, &queue, &view, |a, b| {
+            // ATLAS: least-attained-service rank first, then row-hit, then
+            // oldest.
+            rank[a.thread.0]
+                .cmp(&rank[b.thread.0])
+                .then(view.is_row_hit(b).cmp(&view.is_row_hit(a)))
                 .then(a.id.cmp(&b.id))
         });
     }

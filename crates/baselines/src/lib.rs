@@ -13,13 +13,29 @@
 //!   MICRO 2007): estimates per-thread slowdown online and switches to a
 //!   fairness-oriented policy when estimated unfairness exceeds α.
 //!
-//! All implement [`parbs_dram::MemoryScheduler`]; none of them preserve
-//! intra-thread bank-level parallelism, which is the gap PAR-BS fills.
+//! Plus two post-PAR-BS "scheduler zoo" members that bracket it from the
+//! other side of history:
+//!
+//! * **BLISS** — the blacklisting scheduler (Subramanian et al., ICCD
+//!   2014): demotes threads that get long streaks of consecutive service,
+//!   clearing the blacklist periodically. Most of the fairness of ranking
+//!   schemes at a fraction of the hardware cost;
+//! * **ATLAS** — adaptive per-thread least-attained-service scheduling
+//!   (Kim et al., HPCA 2010): ranks threads each quantum by long-term
+//!   attained memory service, favoring the least-served.
+//!
+//! All implement [`parbs_dram::MemoryScheduler`]; none of the four paper
+//! baselines preserve intra-thread bank-level parallelism, which is the gap
+//! PAR-BS fills.
 
+mod atlas;
+mod bliss;
 mod frfcfs;
 mod nfq;
 mod stfm;
 
+pub use atlas::{AtlasConfig, AtlasScheduler};
+pub use bliss::{BlissConfig, BlissScheduler};
 pub use frfcfs::FrFcfsScheduler;
 pub use nfq::{NfqConfig, NfqScheduler, VirtualTimePolicy};
 pub use parbs_dram::FcfsScheduler;

@@ -140,6 +140,52 @@ impl StfmScheduler {
             CommandKind::Refresh => self.timing.t_rfc as f64,
         }
     }
+
+    /// Estimated unfairness (`max slowdown / min slowdown`) among active
+    /// threads with measured service, and the most-slowed such thread.
+    ///
+    /// Degenerate cases are pinned down explicitly: with fewer than two
+    /// eligible threads there is no one to be unfair *to*, so the estimate
+    /// is 1.0 and no thread is singled out; threads with `Tshared == 0`
+    /// (no measured stall time yet) are skipped entirely, since their
+    /// vacuous slowdown-1.0 estimates would otherwise anchor the minimum
+    /// and inflate the ratio. A non-finite ratio (impossible with clamped
+    /// weights, but cheap to guard) also reports 1.0.
+    fn fairness_scan(&self) -> (f64, Option<ThreadId>) {
+        let mut max: Option<(f64, ThreadId)> = None;
+        let mut min: Option<f64> = None;
+        let mut eligible = 0u32;
+        for (i, t) in self.threads.iter().enumerate() {
+            if !t.active || t.t_shared <= 0.0 {
+                continue;
+            }
+            eligible += 1;
+            let s = t.slowdown();
+            if max.is_none_or(|(m, _)| s > m) {
+                max = Some((s, ThreadId(i)));
+            }
+            min = Some(min.map_or(s, |m: f64| m.min(s)));
+        }
+        let (Some((max_s, max_thread)), Some(min_s)) = (max, min) else {
+            return (1.0, None);
+        };
+        if eligible < 2 || min_s <= 0.0 {
+            return (1.0, None);
+        }
+        let ratio = max_s / min_s;
+        if ratio.is_finite() {
+            (ratio, Some(max_thread))
+        } else {
+            (1.0, None)
+        }
+    }
+
+    /// The current estimated unfairness among active threads (1.0 when
+    /// fewer than two threads have measured service).
+    #[must_use]
+    pub fn estimated_unfairness(&self) -> f64 {
+        self.fairness_scan().0
+    }
 }
 
 impl Default for StfmScheduler {
@@ -197,24 +243,8 @@ impl MemoryScheduler for StfmScheduler {
             }
         }
         // Fairness decision: estimated unfairness among active threads.
-        let mut max_s = f64::MIN;
-        let mut min_s = f64::MAX;
-        let mut max_thread = None;
-        for (i, t) in self.threads.iter().enumerate() {
-            if !t.active {
-                continue;
-            }
-            let s = t.slowdown();
-            if s > max_s {
-                max_s = s;
-                max_thread = Some(ThreadId(i));
-            }
-            min_s = min_s.min(s);
-        }
-        self.prioritized = match max_thread {
-            Some(t) if max_s / min_s > self.cfg.alpha => Some(t),
-            _ => None,
-        };
+        let (unfairness, max_thread) = self.fairness_scan();
+        self.prioritized = if unfairness > self.cfg.alpha { max_thread } else { None };
         // Only the fairness-mode thread feeds request priorities; the
         // slowdown bookkeeping above does not. Report a key-relevant change
         // exactly when the prioritized thread switched.
@@ -383,6 +413,46 @@ mod tests {
         s.pre_schedule(&mut q, &v);
         assert!((s.threads[0].t_shared - 4_000.0).abs() < 1e-9);
         assert!((s.threads[0].t_interference - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_active_threads_report_unit_unfairness() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        s.on_stall_cycles(&[50_000, 1_000], 0);
+        s.thread_mut(ThreadId(0)).t_interference = 40_000.0;
+        // Empty queue: no thread is active, so there is no unfairness.
+        let mut q: Vec<Request> = vec![];
+        assert!(!s.pre_schedule(&mut q, &view(&ch)));
+        assert!((s.estimated_unfairness() - 1.0).abs() < 1e-12);
+        assert!(s.fairness_mode_thread().is_none());
+    }
+
+    #[test]
+    fn a_single_active_thread_cannot_trigger_fairness_mode() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        s.on_stall_cycles(&[50_000], 0);
+        s.thread_mut(ThreadId(0)).t_interference = 40_000.0; // slowdown 5.0
+        let mut q = vec![req(0, 0, 0, 1)];
+        s.pre_schedule(&mut q, &view(&ch));
+        assert!((s.estimated_unfairness() - 1.0).abs() < 1e-12, "nobody to be unfair to");
+        assert!(s.fairness_mode_thread().is_none());
+    }
+
+    #[test]
+    fn zero_service_threads_are_skipped_by_the_scan() {
+        let mut s = StfmScheduler::new();
+        let ch = Channel::new(8, TimingParams::ddr2_800());
+        // Thread 0 is genuinely slowed; thread 1 is active but has reported
+        // no stall time yet. Its vacuous slowdown of 1.0 must not anchor
+        // the minimum and fake an unfairness of 5.0.
+        s.on_stall_cycles(&[50_000, 0], 0);
+        s.thread_mut(ThreadId(0)).t_interference = 40_000.0;
+        let mut q = vec![req(0, 0, 0, 1), req(1, 1, 1, 1)];
+        s.pre_schedule(&mut q, &view(&ch));
+        assert!((s.estimated_unfairness() - 1.0).abs() < 1e-12);
+        assert!(s.fairness_mode_thread().is_none());
     }
 
     #[test]

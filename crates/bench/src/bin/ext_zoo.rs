@@ -1,0 +1,48 @@
+//! Extension: the scheduler zoo (the paper's five plus BLISS and ATLAS)
+//! over mixed CPU/accelerator workloads — a streaming-accelerator agent
+//! (GPU-like: very high MPKI, very high row-buffer locality) shares the
+//! memory system with three CPU threads per mix.
+//!
+//! The interesting columns are the per-class ones: under FR-FCFS the
+//! streamer's open-row bursts win every row-hit arbitration, so the CPUs
+//! absorb nearly all the slowdown while the streamer is barely perturbed.
+//! BLISS (blacklisting the streamer's consecutive-service streaks) and
+//! PAR-BS (batch-capped service) pull the worst CPU slowdown back down;
+//! ATLAS (least-attained-service) goes furthest, at the price of slowing
+//! the bandwidth-hungry streamer the most.
+
+use parbs_bench::Scale;
+use parbs_sim::experiments::{zoo_rows, zoo_sweep_plan};
+use parbs_workloads::{accel_case_study, cpu_accel_mixes};
+
+fn main() {
+    let scale = Scale::from_args();
+    let harness = scale.harness(4);
+    let mut mixes = vec![accel_case_study()];
+    mixes.extend(cpu_accel_mixes(4, scale.mixes4.min(30), scale.seed));
+    let sweep = zoo_sweep_plan(&mixes);
+    let rows = zoo_rows(sweep.run(&harness, scale.jobs), &mixes);
+    println!("## Extension — scheduler zoo over {} mixed CPU/accelerator workload(s)", mixes.len());
+    println!(
+        "{:10} {:>10} {:>12} {:>9} {:>11} {:>8} {:>8}",
+        "scheduler", "unfairness", "cpu-unfair", "cpu-max", "accel-max", "wspeed", "hspeed"
+    );
+    for zr in &rows {
+        let s = zr.row.summary();
+        println!(
+            "{:10} {:>10.3} {:>12.3} {:>9.2} {:>11.2} {:>8.3} {:>8.3}",
+            s.name,
+            s.unfairness,
+            zr.cpu_unfairness,
+            zr.cpu_max_slowdown,
+            zr.accel_max_slowdown,
+            s.weighted_speedup,
+            s.hmean_speedup
+        );
+    }
+    println!(
+        "\nexpected shape: FR-FCFS worst CPU fairness (the streamer rides row hits),\n\
+         BLISS/PAR-BS contain it, ATLAS flattens CPU slowdowns hardest while the\n\
+         accelerator pays the largest slowdown of any scheduler."
+    );
+}

@@ -201,11 +201,12 @@ pub mod hotpath {
     };
     use parbs_sim::{SchedulerKind, SimConfig};
 
-    /// The scheduler kinds covered by the hot-path benchmarks: the paper's
-    /// five plus STFQ — every policy shipped with the repository.
+    /// The scheduler kinds covered by the hot-path benchmarks: the full
+    /// seven-scheduler zoo plus STFQ — every policy shipped with the
+    /// repository.
     #[must_use]
     pub fn all_schedulers() -> Vec<SchedulerKind> {
-        let mut kinds = SchedulerKind::paper_five();
+        let mut kinds = SchedulerKind::zoo_seven();
         kinds.push(SchedulerKind::Stfq);
         kinds
     }

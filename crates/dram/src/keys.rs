@@ -31,9 +31,13 @@ pub enum FieldSemantic {
     /// 1 if the request's thread is boosted by a fairness intervention
     /// (STFM's fairness mode).
     Boosted,
+    /// 1 if the request's thread is *not* currently blacklisted (BLISS:
+    /// non-blacklisted threads are served first).
+    NotBlacklisted,
     /// Inverted per-request priority level: lower level value packs larger.
     PriorityLevel,
-    /// Inverted in-batch rank: lower (better) rank packs larger.
+    /// Inverted rank: lower (better) rank packs larger. Used for PAR-BS's
+    /// in-batch rank and ATLAS's attained-service rank.
     Rank,
     /// Inverted virtual deadline via [`f64_total_order_bits`]: earlier
     /// deadlines pack larger.

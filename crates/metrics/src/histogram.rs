@@ -24,13 +24,15 @@ pub struct LatencyHistogram {
     count: u64,
     sum: u64,
     max: u64,
+    /// Exact minimum sample; `u64::MAX` sentinel while empty.
+    min: u64,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     #[must_use]
     pub fn new() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0, min: u64::MAX }
     }
 
     /// Adds one sample.
@@ -40,6 +42,7 @@ impl LatencyHistogram {
         self.count += 1;
         self.sum += value;
         self.max = self.max.max(value);
+        self.min = self.min.min(value);
     }
 
     /// Total samples recorded.
@@ -64,9 +67,25 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Exact minimum sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
     /// Approximate `p`-th percentile (`p` in `[0, 1]`): the upper bound of
     /// the bucket containing the percentile rank, clamped to the observed
-    /// maximum. Returns 0 when empty.
+    /// maximum.
+    ///
+    /// The edge cases are defined, not accidental: an **empty histogram
+    /// returns 0** for every `p`, and **`p = 0.0` returns the exact
+    /// observed minimum** (not a bucket bound) — so `percentile(0.0)` and
+    /// `percentile(1.0)` bracket the recorded samples exactly via
+    /// [`LatencyHistogram::min`] and [`LatencyHistogram::max`].
     ///
     /// # Panics
     ///
@@ -76,6 +95,9 @@ impl LatencyHistogram {
         assert!((0.0..=1.0).contains(&p), "percentile must be within [0, 1]");
         if self.count == 0 {
             return 0;
+        }
+        if p == 0.0 {
+            return self.min;
         }
         let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
@@ -97,6 +119,8 @@ impl LatencyHistogram {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+        // The empty sentinel (u64::MAX) is absorbing-neutral under min.
+        self.min = self.min.min(other.min);
     }
 }
 
@@ -117,6 +141,39 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(0.5), 0);
         assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0, "empty min is defined as 0");
+        assert_eq!(h.percentile(0.0), 0, "empty histogram: every percentile is 0");
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn p_zero_is_the_exact_observed_minimum() {
+        let mut h = LatencyHistogram::new();
+        for v in [7u64, 100, 6_000] {
+            h.record(v);
+        }
+        // 7 lives in bucket [4, 8); the bucket upper bound would be 7 too,
+        // but 100's bucket is [64, 128) — p=0 must not report a bound.
+        assert_eq!(h.percentile(0.0), 7);
+        assert_eq!(h.min(), 7);
+        h.record(3);
+        assert_eq!(h.percentile(0.0), 3, "min tracks new smaller samples");
+    }
+
+    #[test]
+    fn merge_keeps_the_smaller_minimum() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(500);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.percentile(0.0), 20);
+        let empty = LatencyHistogram::new();
+        a.merge(&empty);
+        assert_eq!(a.min(), 20, "merging an empty histogram keeps the minimum");
+        let mut c = LatencyHistogram::new();
+        c.merge(&a);
+        assert_eq!(c.min(), 20, "merging into an empty histogram adopts the minimum");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Result records for a single workload run and aggregation across workloads
-//! (the shape of the paper's Table 4 rows).
+//! (the shape of the paper's Table 4 rows), plus the agent-class fairness
+//! split used by mixed CPU/accelerator experiments.
 
-use crate::{geometric_mean, mean};
+use crate::{geometric_mean, mean, unfairness};
 
 /// All Section 7.1 metrics for one (workload, scheduler) run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -69,9 +70,70 @@ impl SchedulerSummary {
     }
 }
 
+/// Fairness split between two agent classes sharing the memory system —
+/// CPU threads vs streaming accelerators (GPU-like bandwidth-bound
+/// requestors). A scheduler can look fair on the whole-mix unfairness index
+/// while the accelerator quietly starves every CPU thread; splitting the
+/// slowdowns by class makes that visible.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassFairness {
+    /// Unfairness index (`max/min` slowdown) among CPU threads only.
+    pub cpu_unfairness: f64,
+    /// Worst memory slowdown suffered by any CPU thread.
+    pub cpu_max_slowdown: f64,
+    /// Worst memory slowdown suffered by any accelerator agent (1.0 when
+    /// the mix has none).
+    pub accel_max_slowdown: f64,
+}
+
+/// Splits per-thread slowdowns by agent class. `is_accel[i]` says whether
+/// thread `i` is an accelerator; a shorter (or empty) mask treats the
+/// remaining threads as CPUs.
+///
+/// # Examples
+///
+/// ```
+/// use parbs_metrics::class_fairness;
+/// let f = class_fairness(&[1.0, 3.0, 1.2], &[false, false, true]);
+/// assert_eq!(f.cpu_unfairness, 3.0);
+/// assert_eq!(f.accel_max_slowdown, 1.2);
+/// ```
+#[must_use]
+pub fn class_fairness(slowdowns: &[f64], is_accel: &[bool]) -> ClassFairness {
+    let accel = |i: usize| is_accel.get(i).copied().unwrap_or(false);
+    let cpu: Vec<f64> =
+        slowdowns.iter().enumerate().filter(|&(i, _)| !accel(i)).map(|(_, &s)| s).collect();
+    let accel_max = slowdowns
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| accel(i))
+        .map(|(_, &s)| s)
+        .fold(1.0f64, f64::max);
+    ClassFairness {
+        cpu_unfairness: unfairness(&cpu),
+        cpu_max_slowdown: cpu.iter().copied().fold(1.0f64, f64::max),
+        accel_max_slowdown: accel_max,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_fairness_splits_by_mask() {
+        let f = class_fairness(&[1.0, 4.0, 1.5], &[false, false, true]);
+        assert!((f.cpu_unfairness - 4.0).abs() < 1e-12);
+        assert!((f.cpu_max_slowdown - 4.0).abs() < 1e-12);
+        assert!((f.accel_max_slowdown - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_fairness_without_accelerators_matches_plain_unfairness() {
+        let f = class_fairness(&[1.0, 2.0], &[]);
+        assert!((f.cpu_unfairness - 2.0).abs() < 1e-12);
+        assert!((f.accel_max_slowdown - 1.0).abs() < 1e-12, "no accel: neutral 1.0");
+    }
 
     fn row(u: f64, ws: f64, hs: f64, ast: f64) -> MetricsRow {
         MetricsRow {

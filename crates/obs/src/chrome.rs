@@ -239,6 +239,21 @@ impl EventSink for ChromeTraceSink {
                 let args = format!("{{\"rank\":{rank}}}");
                 self.instant("refresh", SCHED_PID, BATCH_TID, *at, &args);
             }
+            Event::BlacklistSet { at, thread, consecutive } => {
+                self.ensure_sched();
+                let args = format!("{{\"thread\":{thread},\"consecutive\":{consecutive}}}");
+                self.instant("blacklist_set", SCHED_PID, BATCH_TID, *at, &args);
+            }
+            Event::BlacklistCleared { at, cleared } => {
+                self.ensure_sched();
+                let args = format!("{{\"cleared\":{cleared}}}");
+                self.instant("blacklist_cleared", SCHED_PID, BATCH_TID, *at, &args);
+            }
+            Event::QuantumRolled { at, quantum, .. } => {
+                self.ensure_sched();
+                let args = format!("{{\"quantum\":{quantum}}}");
+                self.instant("quantum_rolled", SCHED_PID, BATCH_TID, *at, &args);
+            }
             Event::BusSample { at, busy_banks, queued_reads, .. } => {
                 self.ensure_sched();
                 self.counter("busy_banks", *at, *busy_banks);

@@ -212,7 +212,11 @@ impl EventSink for CounterSink {
                 }
             }
             Event::Refresh { .. } => self.refreshes += 1,
-            Event::RankComputed { .. } | Event::BusSample { .. } => {}
+            Event::RankComputed { .. }
+            | Event::BusSample { .. }
+            | Event::BlacklistSet { .. }
+            | Event::BlacklistCleared { .. }
+            | Event::QuantumRolled { .. } => {}
         }
     }
 }

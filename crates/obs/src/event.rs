@@ -223,6 +223,35 @@ pub enum Event {
         /// Queued write requests.
         queued_writes: u32,
     },
+    /// BLISS blacklisted a thread after it was serviced too many times in a
+    /// row.
+    BlacklistSet {
+        /// Blacklisting cycle.
+        at: u64,
+        /// The thread that crossed the consecutive-service threshold.
+        thread: usize,
+        /// Consecutive column commands the thread had received.
+        consecutive: u32,
+    },
+    /// BLISS's periodic clearing interval expired and the blacklist was
+    /// emptied.
+    BlacklistCleared {
+        /// Clearing cycle.
+        at: u64,
+        /// Threads removed from the blacklist.
+        cleared: u32,
+    },
+    /// An ATLAS quantum expired: long-term attained service was aged and the
+    /// least-attained-service thread ranking recomputed.
+    QuantumRolled {
+        /// Rollover cycle.
+        at: u64,
+        /// 1-based quantum sequence number.
+        quantum: u64,
+        /// `(thread, rank, attained_service)` entries, sorted by ascending
+        /// rank (rank 0 = least attained service = highest priority).
+        ranking: Vec<(usize, u32, u64)>,
+    },
 }
 
 impl Event {
@@ -239,7 +268,10 @@ impl Event {
             | Event::Completed { at, .. }
             | Event::WriteDrain { at, .. }
             | Event::Refresh { at, .. }
-            | Event::BusSample { at, .. } => at,
+            | Event::BusSample { at, .. }
+            | Event::BlacklistSet { at, .. }
+            | Event::BlacklistCleared { at, .. }
+            | Event::QuantumRolled { at, .. } => at,
         }
     }
 
@@ -257,6 +289,9 @@ impl Event {
             Event::WriteDrain { .. } => "write_drain",
             Event::Refresh { .. } => "refresh",
             Event::BusSample { .. } => "bus_sample",
+            Event::BlacklistSet { .. } => "blacklist_set",
+            Event::BlacklistCleared { .. } => "blacklist_cleared",
+            Event::QuantumRolled { .. } => "quantum_rolled",
         }
     }
 
@@ -359,6 +394,22 @@ impl Event {
                     ",\"busy_banks\":{busy_banks},\"queued_reads\":{queued_reads},\"queued_writes\":{queued_writes}"
                 );
             }
+            Event::BlacklistSet { thread, consecutive, .. } => {
+                let _ = write!(s, ",\"thread\":{thread},\"consecutive\":{consecutive}");
+            }
+            Event::BlacklistCleared { cleared, .. } => {
+                let _ = write!(s, ",\"cleared\":{cleared}");
+            }
+            Event::QuantumRolled { quantum, ranking, .. } => {
+                let _ = write!(s, ",\"quantum\":{quantum},\"ranking\":[");
+                for (i, (t, r, svc)) in ranking.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{{\"thread\":{t},\"rank\":{r},\"attained\":{svc}}}");
+                }
+                s.push(']');
+            }
         }
         s.push('}');
         s
@@ -414,6 +465,9 @@ mod tests {
             Event::WriteDrain { at: 8, start: true, queued: 20 },
             Event::Refresh { at: 9, rank: 1 },
             Event::BusSample { at: 10, busy_banks: 2, queued_reads: 3, queued_writes: 0 },
+            Event::BlacklistSet { at: 11, thread: 1, consecutive: 4 },
+            Event::BlacklistCleared { at: 12, cleared: 2 },
+            Event::QuantumRolled { at: 13, quantum: 1, ranking: vec![(0, 0, 123), (1, 1, 456)] },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.at(), (i + 1) as u64);

@@ -276,7 +276,10 @@ impl EventSink for InvariantSink {
             Event::BatchDrained { .. }
             | Event::WriteDrain { .. }
             | Event::Refresh { .. }
-            | Event::BusSample { .. } => {}
+            | Event::BusSample { .. }
+            | Event::BlacklistSet { .. }
+            | Event::BlacklistCleared { .. }
+            | Event::QuantumRolled { .. } => {}
         }
     }
 }

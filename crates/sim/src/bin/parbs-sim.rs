@@ -10,10 +10,15 @@
 //! parbs-sim --list                      enumerate available mixes and sweeps
 //!
 //! parbs-sim mapping-sweep [n]           geometry/mapping ablation (paper §6)
+//! parbs-sim zoo-sweep [n]               seven schedulers × n mixed
+//!                                       CPU/accelerator workloads
 //!
 //! options: --target <instructions>   per-thread run length (default 30000)
 //!          --seed <seed>             workload seed (default 42)
 //!          --jobs <n>                worker threads (default: all cores)
+//!
+//! Malformed option values (`--jobs abc`, `--ranks -1`) are hard errors
+//! naming the offending flag, never silent fallbacks to defaults.
 //!
 //! DRAM shape (any command):
 //!          --ranks <n>               ranks per channel (default 1)
@@ -26,8 +31,8 @@
 //!          --check-invariants        verify PAR-BS batching invariants;
 //!                                    exit 1 on any violation
 //!          --trace-sched <name>      scheduler for the observed run
-//!                                    (FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS,
-//!                                    default PAR-BS)
+//!                                    (FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS|
+//!                                    BLISS|ATLAS, default PAR-BS)
 //! ```
 //!
 //! Every evaluation command fans its plan across `--jobs` worker threads
@@ -42,8 +47,36 @@ use parbs_workloads::{
     all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, MixSpec,
 };
 
+/// Looks up the value of `flag`. A missing flag is `None`; a flag that is
+/// present but has a missing or unparseable value is a **hard error** naming
+/// the flag — silently falling back to a default would run the wrong
+/// experiment.
 fn value_of(args: &[String], flag: &str) -> Option<u64> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(v) = args.get(i + 1) else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    };
+    match v.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("invalid value '{v}' for {flag}: expected a non-negative integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses an optional positional count (`sweep [n]`). A flag or absent
+/// argument means "use the default"; anything else must parse.
+fn count_arg(args: &[String], command: &str, default: usize) -> usize {
+    match args.get(1) {
+        None => default,
+        Some(v) if v.starts_with("--") => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid count '{v}' for `parbs-sim {command} [n]`: expected an integer");
+            std::process::exit(2);
+        }),
+    }
 }
 
 fn str_value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -58,6 +91,8 @@ fn sched_by_name(name: &str) -> Option<SchedulerKind> {
         "STFQ" => Some(SchedulerKind::Stfq),
         "STFM" => Some(SchedulerKind::Stfm),
         "PAR-BS" | "PARBS" => Some(SchedulerKind::ParBs(Default::default())),
+        "BLISS" => Some(SchedulerKind::Bliss(Default::default())),
+        "ATLAS" => Some(SchedulerKind::Atlas(Default::default())),
         _ => None,
     }
 }
@@ -127,7 +162,9 @@ fn observe_args(args: &[String]) -> Option<ObserveArgs> {
     let sched = match str_value_of(args, "--trace-sched") {
         None => SchedulerKind::ParBs(Default::default()),
         Some(s) => sched_by_name(s).unwrap_or_else(|| {
-            eprintln!("unknown scheduler '{s}'; expected FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS");
+            eprintln!(
+                "unknown scheduler '{s}'; expected FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS|BLISS|ATLAS"
+            );
             std::process::exit(2);
         }),
     };
@@ -236,14 +273,17 @@ fn print_available() {
     println!("\nsweeps:");
     println!("  sweep [n]          n random 4-core mixes under the paper's five schedulers");
     println!("  mapping-sweep [n]  geometry/mapping ablation: row/line x xor/noxor x");
-    println!("                     ranks 1/2/4 under the five schedulers (paper Section 6)");
+    println!("                     ranks 1/2/4 under the seven-scheduler zoo (paper Section 6)");
+    println!("  zoo-sweep [n]      all seven schedulers (paper five + BLISS + ATLAS) over");
+    println!("                     the accel case study + n mixed CPU/accelerator mixes,");
+    println!("                     with fairness split by agent class");
     println!("  (more sweeps — marking-cap, batching, ranking, priorities — are");
     println!("   regenerated by the parbs-bench binaries: fig11..fig14, table3, table4)");
     println!("\noptions: --target N   --seed N   --jobs N (default: all cores)");
     println!("shape:   --ranks N   --mapping row|line   --no-xor");
     println!(
         "observe: --trace-out F   --trace-format chrome|jsonl   --check-invariants   \
-         --trace-sched FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS"
+         --trace-sched FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS|BLISS|ATLAS"
     );
 }
 
@@ -379,7 +419,7 @@ fn main() {
             println!("cycles: {} (PAR-BS)", r.cycles);
         }
         Some("sweep") => {
-            let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(10usize);
+            let n = count_arg(&args, "sweep", 10);
             let harness = harness_for(4, target, &shape);
             let mixes = random_mixes(4, n, seed);
             let sweep = experiments::sweep_plan(&mixes, &experiments::paper_five_labeled());
@@ -404,7 +444,7 @@ fn main() {
             print_run_summary(start, sweep.job_count(), jobs, &harness);
         }
         Some("mapping-sweep") => {
-            let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(1usize);
+            let n = count_arg(&args, "mapping-sweep", 1);
             let harness = harness_for(4, target, &shape);
             let mixes = random_mixes(4, n, seed);
             let sweep = experiments::mapping_sweep_plan(&mixes, harness.config().dram.geometry);
@@ -434,10 +474,42 @@ fn main() {
             }
             print_run_summary(start, sweep.job_count(), jobs, &harness);
         }
+        Some("zoo-sweep") => {
+            let n = count_arg(&args, "zoo-sweep", 4);
+            let harness = harness_for(4, target, &shape);
+            let mut mixes = vec![parbs_workloads::accel_case_study()];
+            mixes.extend(parbs_workloads::cpu_accel_mixes(4, n, seed));
+            let sweep = experiments::zoo_sweep_plan(&mixes);
+            println!(
+                "scheduler zoo: 7 schedulers x {} mixed CPU/accelerator mix(es) = {} jobs",
+                mixes.len(),
+                sweep.job_count()
+            );
+            let start = Instant::now();
+            let rows = experiments::zoo_rows(sweep.run(&harness, jobs), &mixes);
+            println!(
+                "{:10} {:>10} {:>12} {:>9} {:>11} {:>7} {:>7}",
+                "scheduler", "unfairness", "cpu-unfair", "cpu-max", "accel-max", "wspeed", "hspeed"
+            );
+            for zr in &rows {
+                let sm = zr.row.summary();
+                println!(
+                    "{:10} {:>10.3} {:>12.3} {:>9.2} {:>11.2} {:>7.3} {:>7.3}",
+                    sm.name,
+                    sm.unfairness,
+                    zr.cpu_unfairness,
+                    zr.cpu_max_slowdown,
+                    zr.accel_max_slowdown,
+                    sm.weighted_speedup,
+                    sm.hmean_speedup
+                );
+            }
+            print_run_summary(start, sweep.job_count(), jobs, &harness);
+        }
         _ => {
             eprintln!(
                 "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n] \
-                 | mapping-sweep [n]> \
+                 | mapping-sweep [n] | zoo-sweep [n]> \
                  [--target N] [--seed N] [--jobs N] \
                  [--ranks N] [--mapping row|line] [--no-xor] \
                  [--trace-out F] [--trace-format chrome|jsonl] [--check-invariants] \

@@ -11,7 +11,7 @@
 
 use parbs::{BatchingMode, ParBsConfig, Ranking, ThreadPriority};
 use parbs_dram::{Geometry, MappingPolicy};
-use parbs_metrics::SchedulerSummary;
+use parbs_metrics::{class_fairness, ClassFairness, SchedulerSummary};
 use parbs_workloads::{all_benchmarks, classify, BenchmarkProfile, MixSpec};
 
 use crate::{EvalJob, EvalOverrides, EvalPlan, Harness, MixEvaluation, SchedulerKind, SimConfig};
@@ -139,8 +139,8 @@ pub fn sweep_plan(mixes: &[MixSpec], kinds: &[(String, SchedulerKind)]) -> Sweep
 /// The labeled job templates of the geometry/mapping sensitivity study
 /// (paper Section 6): mapping policy (row/line-interleaved) × XOR bank
 /// permutation on/off × ranks per channel ∈ {1, 2, 4}, each under the
-/// paper's five schedulers. Non-rank geometry fields inherit `base`.
-/// Labels read `row/r2/PAR-BS`, `line-noxor/r4/FCFS`, ...
+/// full seven-scheduler zoo. Non-rank geometry fields inherit `base`.
+/// Labels read `row/r2/PAR-BS`, `line-noxor/r4/BLISS`, ...
 #[must_use]
 pub fn mapping_sweep_rows(base: Geometry) -> Vec<(String, SchedulerKind, EvalOverrides)> {
     let mut rows = Vec::new();
@@ -152,7 +152,7 @@ pub fn mapping_sweep_rows(base: Geometry) -> Vec<(String, SchedulerKind, EvalOve
             let mapping = policy.with_xor(xor);
             for ranks in [1usize, 2, 4] {
                 let geometry = Geometry { ranks_per_channel: ranks, ..base };
-                for kind in SchedulerKind::paper_five() {
+                for kind in SchedulerKind::zoo_seven() {
                     let label = format!("{}/r{}/{}", mapping.label(), ranks, kind.name());
                     rows.push((label, kind, EvalOverrides::shaped(Some(geometry), Some(mapping))));
                 }
@@ -176,6 +176,67 @@ pub fn mapping_sweep_plan(mixes: &[MixSpec], base: Geometry) -> SweepPlan {
 #[must_use]
 pub fn paper_five_labeled() -> Vec<(String, SchedulerKind)> {
     SchedulerKind::paper_five().into_iter().map(|k| (k.name().to_owned(), k)).collect()
+}
+
+/// The full seven-scheduler zoo as labeled sweep inputs (paper five plus
+/// BLISS and ATLAS).
+#[must_use]
+pub fn zoo_seven_labeled() -> Vec<(String, SchedulerKind)> {
+    SchedulerKind::zoo_seven().into_iter().map(|k| (k.name().to_owned(), k)).collect()
+}
+
+/// The scheduler-zoo comparison plan: every mixed CPU/accelerator workload
+/// under all seven schedulers. Collate its rows with [`zoo_rows`] to get
+/// the per-class fairness split the streaming agent is designed to stress.
+#[must_use]
+pub fn zoo_sweep_plan(mixes: &[MixSpec]) -> SweepPlan {
+    SweepPlan::new(mixes, &zoo_seven_labeled())
+}
+
+/// One scheduler's line of the zoo comparison: the overall sweep row plus
+/// the CPU-vs-accelerator fairness split averaged over the sweep's mixes.
+#[derive(Debug, Clone)]
+pub struct ZooRow {
+    /// The underlying sweep row (label + per-mix evaluations).
+    pub row: SweepRow,
+    /// Geometric mean of per-mix CPU-thread unfairness.
+    pub cpu_unfairness: f64,
+    /// Maximum CPU-thread slowdown over all mixes.
+    pub cpu_max_slowdown: f64,
+    /// Maximum accelerator slowdown over all mixes.
+    pub accel_max_slowdown: f64,
+}
+
+/// Splits each sweep row's fairness by agent class. `mixes` must be the
+/// slice the plan was built from (same order); each evaluation is scored
+/// against its mix's [`MixSpec::accel_mask`].
+///
+/// # Panics
+///
+/// Panics if a row's evaluation count differs from `mixes.len()`.
+#[must_use]
+pub fn zoo_rows(rows: Vec<SweepRow>, mixes: &[MixSpec]) -> Vec<ZooRow> {
+    rows.into_iter()
+        .map(|row| {
+            assert_eq!(row.evaluations.len(), mixes.len(), "one evaluation per sweep mix");
+            let splits: Vec<ClassFairness> = row
+                .evaluations
+                .iter()
+                .zip(mixes)
+                .map(|(e, mix)| class_fairness(&e.metrics.slowdowns, &mix.accel_mask()))
+                .collect();
+            let gmean = |f: fn(&ClassFairness) -> f64| {
+                let log_sum: f64 = splits.iter().map(|s| f(s).max(f64::MIN_POSITIVE).ln()).sum();
+                (log_sum / splits.len().max(1) as f64).exp()
+            };
+            ZooRow {
+                cpu_unfairness: gmean(|s| s.cpu_unfairness),
+                cpu_max_slowdown: splits.iter().map(|s| s.cpu_max_slowdown).fold(0.0, f64::max),
+                accel_max_slowdown: splits.iter().map(|s| s.accel_max_slowdown).fold(0.0, f64::max),
+                row,
+            }
+        })
+        .collect()
 }
 
 /// The labeled kinds of the Fig. 11 Marking-Cap sweep. `caps` are the cap
@@ -438,19 +499,37 @@ mod tests {
     fn mapping_sweep_covers_the_ablation_grid() {
         let base = Geometry::table2();
         let rows = mapping_sweep_rows(base);
-        // 2 policies × XOR on/off × 3 rank counts × 5 schedulers.
-        assert_eq!(rows.len(), 60);
+        // 2 policies × XOR on/off × 3 rank counts × 7 schedulers.
+        assert_eq!(rows.len(), 84);
         let labels: Vec<&str> = rows.iter().map(|(l, _, _)| l.as_str()).collect();
         assert_eq!(labels[0], "row/r1/FR-FCFS");
         assert!(labels.contains(&"row-noxor/r2/PAR-BS"));
         assert!(labels.contains(&"line-noxor/r4/FCFS"));
+        assert!(labels.contains(&"line-noxor/r4/BLISS"));
+        assert!(labels.contains(&"row/r1/ATLAS"));
         for (_, _, o) in &rows {
             assert!(!o.is_none(), "every row pins its geometry and mapping");
             o.geometry.unwrap().validate().expect("every swept geometry is valid");
         }
         let plan = mapping_sweep_plan(&[case_study_1()], base);
-        assert_eq!(plan.job_count(), 60);
-        assert_eq!(plan.labels().len(), 60);
+        assert_eq!(plan.job_count(), 84);
+        assert_eq!(plan.labels().len(), 84);
+    }
+
+    #[test]
+    fn zoo_sweep_splits_fairness_by_agent_class() {
+        let h = quick_harness();
+        let mixes = [parbs_workloads::accel_case_study()];
+        let sweep = zoo_sweep_plan(&mixes);
+        assert_eq!(sweep.job_count(), 7);
+        let rows = zoo_rows(sweep.run(&h, 2), &mixes);
+        let labels: Vec<&str> = rows.iter().map(|r| r.row.label.as_str()).collect();
+        assert_eq!(labels, ["FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS", "BLISS", "ATLAS"]);
+        for r in &rows {
+            assert!(r.cpu_unfairness >= 1.0, "{}: unfairness is max/min", r.row.label);
+            assert!(r.cpu_max_slowdown >= 1.0, "{}", r.row.label);
+            assert!(r.accel_max_slowdown >= 1.0, "{}", r.row.label);
+        }
     }
 
     #[test]

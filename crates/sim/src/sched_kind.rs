@@ -1,7 +1,11 @@
-//! Scheduler selection: the five policies of the paper's evaluation.
+//! Scheduler selection: the five policies of the paper's evaluation plus
+//! the post-PAR-BS zoo members (BLISS, ATLAS).
 
 use parbs::{ParBsConfig, ParBsScheduler};
-use parbs_baselines::{FcfsScheduler, FrFcfsScheduler, NfqScheduler, StfmScheduler};
+use parbs_baselines::{
+    AtlasConfig, AtlasScheduler, BlissConfig, BlissScheduler, FcfsScheduler, FrFcfsScheduler,
+    NfqScheduler, StfmScheduler,
+};
 use parbs_dram::{MemoryScheduler, ThreadId};
 
 use crate::SimConfig;
@@ -22,6 +26,12 @@ pub enum SchedulerKind {
     Stfm,
     /// Parallelism-aware batch scheduling with the given configuration.
     ParBs(ParBsConfig),
+    /// Blacklisting scheduling (Subramanian et al.) with the given
+    /// threshold and clearing interval.
+    Bliss(BlissConfig),
+    /// Adaptive per-thread least-attained-service scheduling (Kim et al.)
+    /// with the given quantum.
+    Atlas(AtlasConfig),
 }
 
 impl SchedulerKind {
@@ -38,6 +48,16 @@ impl SchedulerKind {
         ]
     }
 
+    /// The full scheduler zoo: the paper's five followed by BLISS and ATLAS
+    /// in their default configurations.
+    #[must_use]
+    pub fn zoo_seven() -> Vec<SchedulerKind> {
+        let mut kinds = Self::paper_five();
+        kinds.push(SchedulerKind::Bliss(BlissConfig::default()));
+        kinds.push(SchedulerKind::Atlas(AtlasConfig::default()));
+        kinds
+    }
+
     /// Display name matching the paper's figures.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -48,6 +68,8 @@ impl SchedulerKind {
             SchedulerKind::Stfq => "STFQ",
             SchedulerKind::Stfm => "STFM",
             SchedulerKind::ParBs(_) => "PAR-BS",
+            SchedulerKind::Bliss(_) => "BLISS",
+            SchedulerKind::Atlas(_) => "ATLAS",
         }
     }
 
@@ -86,6 +108,8 @@ impl SchedulerKind {
                 }
                 Box::new(s)
             }
+            SchedulerKind::Bliss(bc) => Box::new(BlissScheduler::with_config(*bc)),
+            SchedulerKind::Atlas(ac) => Box::new(AtlasScheduler::with_config(*ac)),
         }
     }
 }
@@ -108,9 +132,16 @@ mod tests {
     }
 
     #[test]
+    fn zoo_seven_extends_the_paper_order() {
+        let names: Vec<&str> =
+            SchedulerKind::zoo_seven().iter().map(super::SchedulerKind::name).collect();
+        assert_eq!(names, ["FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS", "BLISS", "ATLAS"]);
+    }
+
+    #[test]
     fn build_produces_matching_names() {
         let cfg = SimConfig::for_cores(4);
-        for kind in SchedulerKind::paper_five() {
+        for kind in SchedulerKind::zoo_seven() {
             assert_eq!(kind.build(&cfg).name(), kind.name());
         }
         assert_eq!(SchedulerKind::Stfq.build(&cfg).name(), "STFQ");

@@ -99,7 +99,7 @@ fn summaries_aggregate_consistently() {
 fn mapping_sweep_labels_span_the_grid() {
     let h = quick_harness();
     let rows = parbs_sim::experiments::mapping_sweep_rows(h.config().dram.geometry);
-    assert_eq!(rows.len(), 60, "2 policies x 2 xor x 3 rank counts x 5 schedulers");
+    assert_eq!(rows.len(), 84, "2 policies x 2 xor x 3 rank counts x 7 schedulers");
     let r1_baseline = rows
         .iter()
         .filter(|(l, _, o)| {
@@ -108,5 +108,5 @@ fn mapping_sweep_labels_span_the_grid() {
                 && o.mapping.unwrap() == parbs_dram::MappingPolicy::baseline()
         })
         .count();
-    assert_eq!(r1_baseline, 5, "the baseline shape appears once per scheduler");
+    assert_eq!(r1_baseline, 7, "the baseline shape appears once per scheduler");
 }

@@ -6,9 +6,11 @@
 use parbs::{ParBsConfig, ParBsScheduler};
 use parbs_dram::{Controller, DramConfig, LineAddr, Request, RequestKind, ThreadId};
 use parbs_obs::{downcast_sink, ChromeTraceSink};
-use parbs_sim::experiments::{paper_five_labeled, priority_weighted_plan, sweep_plan};
+use parbs_sim::experiments::{
+    paper_five_labeled, priority_weighted_plan, sweep_plan, zoo_sweep_plan,
+};
 use parbs_sim::{EvalJob, EvalPlan, Harness, SchedulerKind, SimConfig};
-use parbs_workloads::{case_study_1, random_mixes};
+use parbs_workloads::{accel_case_study, case_study_1, cpu_accel_mixes, random_mixes};
 
 fn quick_cfg() -> SimConfig {
     SimConfig { target_instructions: 800, ..SimConfig::for_cores(4) }
@@ -31,6 +33,24 @@ fn two_mix_five_scheduler_plan_is_identical_at_jobs_1_and_4() {
     }
     // Belt and braces: the full vectors compare equal in one shot (same
     // order, `==` rows), and even their Debug renderings are identical.
+    assert_eq!(serial, parallel);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+#[test]
+fn zoo_sweep_is_identical_at_jobs_1_and_4() {
+    // The seven-scheduler zoo (paper five + BLISS + ATLAS) over mixed
+    // CPU/accelerator workloads: BLISS's blacklist clearing and ATLAS's
+    // quantum rollovers are driven purely by simulated cycles, so the
+    // trace — and the collated table — must be byte-identical at any
+    // worker count.
+    let mut mixes = vec![accel_case_study()];
+    mixes.extend(cpu_accel_mixes(4, 1, 7));
+    let sweep = zoo_sweep_plan(&mixes);
+    assert_eq!(sweep.job_count(), 14);
+
+    let serial = Harness::new(quick_cfg()).run_plan(sweep.plan(), 1);
+    let parallel = Harness::new(quick_cfg()).run_plan(sweep.plan(), 4);
     assert_eq!(serial, parallel);
     assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
 }

@@ -38,10 +38,12 @@ mod synth;
 mod trace;
 
 pub use mixes::{
-    case_study_1, case_study_2, case_study_3, fig10_named, fig9_8core, random_mixes, MixSpec,
+    accel_case_study, case_study_1, case_study_2, case_study_3, cpu_accel_mixes, fig10_named,
+    fig9_8core, random_mixes, MixSpec,
 };
 pub use profiles::{
-    all_benchmarks, by_name, by_number, classify, BenchmarkProfile, PaperRow, CATEGORIES,
+    accelerators, all_benchmarks, by_name, by_number, classify, BenchmarkProfile, PaperRow,
+    ACCEL_NUMBER_BASE, CATEGORIES,
 };
 pub use synth::{StreamGeometry, SyntheticStream};
 pub use trace::{format_trace, load_trace, parse_trace, ParseTraceError};

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::{all_benchmarks, by_name, by_number, BenchmarkProfile, CATEGORIES};
+use crate::{accelerators, all_benchmarks, by_name, by_number, BenchmarkProfile, CATEGORIES};
 
 /// A named multiprogrammed workload: one benchmark per core.
 #[derive(Debug, Clone)]
@@ -36,6 +36,14 @@ impl MixSpec {
     pub fn cores(&self) -> usize {
         self.benchmarks.len()
     }
+
+    /// Per-thread accelerator mask (`true` where the thread is a streaming
+    /// accelerator agent), in core order — the shape
+    /// `parbs_metrics::class_fairness` takes.
+    #[must_use]
+    pub fn accel_mask(&self) -> Vec<bool> {
+        self.benchmarks.iter().map(|b| b.is_accelerator()).collect()
+    }
 }
 
 /// Pseudo-random mixes following the paper's rule: each mix selects its
@@ -62,6 +70,43 @@ pub fn random_mixes(cores: usize, count: usize, seed: u64) -> Vec<MixSpec> {
             MixSpec { name: format!("mix{i:03}"), benchmarks }
         })
         .collect()
+}
+
+/// Mixed CPU/accelerator workloads for the scheduler-zoo comparison: each
+/// mix runs `cores - 1` CPU benchmarks from distinct categories plus one
+/// streaming-accelerator agent on the last core. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `cores < 2` — a mixed mix needs at least one CPU thread and
+/// the accelerator.
+#[must_use]
+pub fn cpu_accel_mixes(cores: usize, count: usize, seed: u64) -> Vec<MixSpec> {
+    assert!(cores >= 2, "a CPU/accelerator mix needs at least 2 cores");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let mut cats = CATEGORIES.to_vec();
+            cats.shuffle(&mut rng);
+            let mut benchmarks: Vec<&'static BenchmarkProfile> = (0..cores - 1)
+                .map(|j| {
+                    let cat = cats[j % cats.len()];
+                    let pool: Vec<&'static BenchmarkProfile> =
+                        all_benchmarks().iter().filter(|b| b.category == cat).collect();
+                    pool[rng.gen_range(0..pool.len())]
+                })
+                .collect();
+            benchmarks.push(&accelerators()[rng.gen_range(0..accelerators().len())]);
+            MixSpec { name: format!("accel{i:03}"), benchmarks }
+        })
+        .collect()
+}
+
+/// The reference mixed CPU/accelerator case: the paper's Case Study I CPU
+/// threads minus GemsFDTD, with a GPU streamer on the fourth core.
+#[must_use]
+pub fn accel_case_study() -> MixSpec {
+    MixSpec::from_names("CSA", &["libquantum", "mcf", "xalancbmk", "gpu-stream"])
 }
 
 /// Case Study I (Fig. 5): a memory-intensive 4-core workload, one benchmark
@@ -212,5 +257,35 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn from_names_rejects_typos() {
         let _ = MixSpec::from_names("bad", &["mfc"]);
+    }
+
+    #[test]
+    fn cpu_accel_mixes_put_one_accelerator_on_the_last_core() {
+        let mixes = cpu_accel_mixes(4, 8, 11);
+        assert_eq!(mixes.len(), 8);
+        for mix in &mixes {
+            assert_eq!(mix.cores(), 4);
+            let mask = mix.accel_mask();
+            assert_eq!(mask, [false, false, false, true], "{}", mix.name);
+            let mut cats: Vec<u8> = mix.benchmarks[..3].iter().map(|b| b.category).collect();
+            cats.sort_unstable();
+            cats.dedup();
+            assert_eq!(cats.len(), 3, "{}: CPU threads span distinct categories", mix.name);
+        }
+        // Determinism in the seed.
+        let again = cpu_accel_mixes(4, 8, 11);
+        for (a, b) in mixes.iter().zip(&again) {
+            let an: Vec<_> = a.benchmarks.iter().map(|b| b.name).collect();
+            let bn: Vec<_> = b.benchmarks.iter().map(|b| b.name).collect();
+            assert_eq!(an, bn);
+        }
+    }
+
+    #[test]
+    fn accel_case_study_shape() {
+        let mix = accel_case_study();
+        assert_eq!(mix.cores(), 4);
+        assert_eq!(mix.accel_mask(), [false, false, false, true]);
+        assert_eq!(mix.benchmarks[3].name, "gpu-stream");
     }
 }

@@ -1,4 +1,6 @@
-//! The 28 benchmark profiles of the paper's Table 3.
+//! The 28 benchmark profiles of the paper's Table 3, plus the streaming
+//! accelerator agent class (GPU-like requestors) used by the scheduler-zoo
+//! experiments.
 
 /// The paper's measured characteristics for a benchmark (Table 3), kept for
 /// side-by-side paper-vs-measured reporting (see EXPERIMENTS.md).
@@ -125,23 +127,59 @@ static BENCHMARKS: [BenchmarkProfile; 28] = [
         paper: (0.10, 0.41, 0.168, 1.53, 192.0)),
 ];
 
+/// Profile numbers at or above this are streaming-accelerator agents, not
+/// Table 3 benchmarks.
+pub const ACCEL_NUMBER_BASE: u8 = 100;
+
+/// The streaming-accelerator agent class: GPU-like requestors that are
+/// bandwidth-bound rather than latency-bound — very high memory intensity,
+/// high row-buffer locality (long sequential strides), and high bank-level
+/// parallelism. Under row-hit-first scheduling they capture banks for long
+/// streaks and starve latency-sensitive CPU threads; that interference is
+/// exactly what the zoo-sweep experiments measure. Numbers start at
+/// [`ACCEL_NUMBER_BASE`] so they can never collide with Table 3 rows (the
+/// stream generator salts its RNG with the profile number).
+///
+/// The `paper` rows here are *not* from Table 3 — they restate the synthetic
+/// targets so paper-vs-measured reporting stays well-formed.
+static ACCELERATORS: [BenchmarkProfile; 3] = [
+    // A GPU shader-core style streamer: long unit-stride vector fetches.
+    bench!(101, "gpu-stream", 7, mpki: 180.00, rb: 0.92, blp: 6.00, wf: 0.30,
+        paper: (20.0, 180.00, 0.92, 6.00, 60.0)),
+    // Texture sampling: slightly less local, still bandwidth-hungry.
+    bench!(102, "gpu-texture", 7, mpki: 120.00, rb: 0.85, blp: 4.50, wf: 0.10,
+        paper: (14.0, 120.00, 0.85, 4.50, 70.0)),
+    // A copy engine: reads and writes in equal measure, near-perfect rows.
+    bench!(103, "dma-copy", 7, mpki: 220.00, rb: 0.96, blp: 3.00, wf: 0.50,
+        paper: (24.0, 220.00, 0.96, 3.00, 55.0)),
+];
+
 /// All benchmarks, in Table 3 order (ordered by category as in the paper's
-/// figures).
+/// figures). Does *not* include the accelerator agents — paper-facing
+/// experiments iterate this, and the agents are not part of Table 3.
 #[must_use]
 pub fn all_benchmarks() -> &'static [BenchmarkProfile] {
     &BENCHMARKS
 }
 
-/// Looks up a benchmark by its short name ("mcf", "libquantum", ...).
+/// The streaming-accelerator agent profiles.
 #[must_use]
-pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
-    BENCHMARKS.iter().find(|b| b.name == name)
+pub fn accelerators() -> &'static [BenchmarkProfile] {
+    &ACCELERATORS
 }
 
-/// Looks up a benchmark by its Table 3 row number (1-28).
+/// Looks up a benchmark or accelerator agent by its short name ("mcf",
+/// "libquantum", "gpu-stream", ...).
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
+    BENCHMARKS.iter().chain(&ACCELERATORS).find(|b| b.name == name)
+}
+
+/// Looks up a benchmark by its Table 3 row number (1-28) or an accelerator
+/// agent by its number (101+).
 #[must_use]
 pub fn by_number(number: u8) -> Option<&'static BenchmarkProfile> {
-    BENCHMARKS.iter().find(|b| b.number == number)
+    BENCHMARKS.iter().chain(&ACCELERATORS).find(|b| b.number == number)
 }
 
 impl BenchmarkProfile {
@@ -154,6 +192,11 @@ impl BenchmarkProfile {
     /// episodes (of `blp` parallel misses) issue strictly one at a time.
     #[must_use]
     pub fn stream_depth(&self) -> u64 {
+        // Accelerator agents are not bound by an instruction window at all:
+        // their request FIFOs keep dozens of misses in flight.
+        if self.is_accelerator() {
+            return 32;
+        }
         match self.category {
             // Streaming categories issue until the instruction window fills;
             // the 128-entry window itself caps outstanding misses.
@@ -162,6 +205,13 @@ impl BenchmarkProfile {
             _ if self.row_hit >= 0.70 => 3,
             _ => 1,
         }
+    }
+
+    /// Whether this profile is a streaming-accelerator agent (GPU-like
+    /// requestor) rather than a Table 3 CPU benchmark.
+    #[must_use]
+    pub fn is_accelerator(&self) -> bool {
+        self.number >= ACCEL_NUMBER_BASE
     }
 }
 
@@ -235,6 +285,39 @@ mod tests {
         for b in all_benchmarks() {
             assert!(b.mpki <= mcf.mpki);
             assert!(b.blp <= mcf.blp);
+        }
+    }
+
+    #[test]
+    fn accelerators_live_outside_the_table3_namespace() {
+        assert!(!accelerators().is_empty());
+        for (i, a) in accelerators().iter().enumerate() {
+            assert!(a.number >= ACCEL_NUMBER_BASE, "{}: number {}", a.name, a.number);
+            assert!(a.is_accelerator());
+            assert!(all_benchmarks().iter().all(|b| b.name != a.name && b.number != a.number));
+            for other in &accelerators()[i + 1..] {
+                assert_ne!(a.name, other.name);
+                assert_ne!(a.number, other.number);
+            }
+        }
+        assert!(all_benchmarks().iter().all(|b| !b.is_accelerator()));
+    }
+
+    #[test]
+    fn accelerator_lookups_and_class_shape() {
+        let gpu = by_name("gpu-stream").unwrap();
+        assert_eq!(by_number(gpu.number).unwrap().name, "gpu-stream");
+        for a in accelerators() {
+            assert_eq!(
+                classify(a.paper.mcpi, a.paper.rb_hit, a.paper.blp),
+                7,
+                "{}: accelerators are intensive, row-local and bank-parallel",
+                a.name
+            );
+            // Bandwidth-bound: more outstanding misses than any CPU profile.
+            assert!(all_benchmarks().iter().all(|b| b.stream_depth() < a.stream_depth()));
+            // More intensive than the most intensive CPU benchmark (mcf).
+            assert!(a.mpki > by_name("mcf").unwrap().mpki);
         }
     }
 }

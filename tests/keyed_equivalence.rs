@@ -10,7 +10,9 @@
 //! write drains, and refresh.
 
 use parbs::{BatchingMode, ParBsConfig, ParBsScheduler, ThreadPriority};
-use parbs_baselines::{FrFcfsScheduler, NfqScheduler, StfmScheduler};
+use parbs_baselines::{
+    AtlasScheduler, BlissScheduler, FrFcfsScheduler, NfqScheduler, StfmScheduler,
+};
 use parbs_dram::{
     Command, CommandTraceSink, Completion, Controller, DramConfig, FcfsScheduler, LineAddr,
     MemoryScheduler, Request, RequestKind, ThreadId,
@@ -177,4 +179,18 @@ fn stfq_keyed_path_matches_comparator() {
 #[test]
 fn stfm_keyed_path_matches_comparator() {
     assert_paths_agree("STFM", &|| Box::new(StfmScheduler::new()));
+}
+
+#[test]
+fn bliss_keyed_path_matches_comparator() {
+    // Blacklist state mutates on column commands (between pre_schedules),
+    // so this exercises the dirty-flag staleness reporting.
+    assert_paths_agree("BLISS", &|| Box::new(BlissScheduler::new()));
+}
+
+#[test]
+fn atlas_keyed_path_matches_comparator() {
+    // Quantum rollovers re-rank all threads mid-run; the keyed path must
+    // pick the rank changes up on the same cycle the comparator does.
+    assert_paths_agree("ATLAS", &|| Box::new(AtlasScheduler::new()));
 }

@@ -53,8 +53,16 @@ fn parbs_is_clean_on_random_mixes() {
 fn baselines_are_trivially_clean() {
     // Non-batching schedulers emit no marking events, so the batching
     // invariants hold vacuously — but the sink must still run and report.
+    // BLISS and ATLAS additionally stream their own events (blacklist
+    // set/clear, quantum rollover) through the same sink, which must
+    // ignore them without tripping.
     let mix = case_study_1();
-    for kind in [SchedulerKind::FrFcfs, SchedulerKind::Stfm] {
+    for kind in [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::Stfm,
+        SchedulerKind::Bliss(Default::default()),
+        SchedulerKind::Atlas(Default::default()),
+    ] {
         assert_clean(&mix, &kind, 1_000);
     }
 }
