@@ -16,7 +16,7 @@ use std::cmp::Ordering;
 
 use parbs_dram::{
     Command, CommandKind, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView,
-    ThreadId, TimingParams,
+    ThreadId, ThreadTable, TimingParams,
 };
 use parbs_obs::Event;
 
@@ -72,7 +72,13 @@ struct ThreadService {
 pub struct AtlasScheduler {
     cfg: AtlasConfig,
     timing: TimingParams,
-    threads: Vec<ThreadService>,
+    /// Per-thread service state, sparse: only threads that have actually
+    /// appeared (arrival, queue presence, or command) hold an entry, so the
+    /// per-slot cost is O(active threads) however large the id space.
+    threads: ThreadTable<ThreadService>,
+    /// Scratch: sorted thread ids of the current queue, for the
+    /// retire-on-idle sweep at quantum boundaries.
+    queued_scratch: Vec<usize>,
     /// Cycle the current quantum started at.
     quantum_start: u64,
     /// 1-based count of completed quanta.
@@ -95,7 +101,8 @@ impl AtlasScheduler {
         AtlasScheduler {
             cfg,
             timing: TimingParams::ddr2_800(),
-            threads: Vec::new(),
+            threads: ThreadTable::new(),
+            queued_scratch: Vec::new(),
             quantum_start: 0,
             quanta_rolled: 0,
             observing: false,
@@ -107,21 +114,30 @@ impl AtlasScheduler {
     /// threads never seen rank below any seen thread only by id order).
     #[must_use]
     pub fn rank_of(&self, t: ThreadId) -> u64 {
-        self.threads.get(t.0).map_or_else(|| (t.0 as u64).min(RANK_MAX), |s| s.rank)
+        self.threads.get(t).map_or_else(|| (t.0 as u64).min(RANK_MAX), |s| s.rank)
     }
 
     /// The long-term attained-service total of a thread (for tests).
     #[must_use]
     pub fn attained_service(&self, t: ThreadId) -> u64 {
-        self.threads.get(t.0).map_or(0, |s| s.total)
+        self.threads.get(t).map_or(0, |s| s.total)
+    }
+
+    /// The attained-service totals of threads 0..`n` as a dense vector —
+    /// the pre-`ThreadTable` representation.
+    #[deprecated(note = "iterate sparse per-thread state via `attained_service` per thread of \
+                         interest instead; a dense vector is O(max thread id)")]
+    #[must_use]
+    pub fn dense_service_totals(&self, n: usize) -> Vec<u64> {
+        (0..n).map(|t| self.attained_service(ThreadId(t))).collect()
     }
 
     fn ensure_thread(&mut self, t: ThreadId) -> bool {
-        if self.threads.len() <= t.0 {
-            self.threads.resize(t.0 + 1, ThreadService::default());
-            return true;
+        if self.threads.contains(t) {
+            return false;
         }
-        false
+        self.threads.insert(t, ThreadService::default());
+        true
     }
 
     fn command_latency(&self, kind: CommandKind) -> u64 {
@@ -133,16 +149,19 @@ impl AtlasScheduler {
         }
     }
 
-    /// Re-ranks all threads ascending by `(total, thread id)`; returns
-    /// whether any rank changed.
+    /// Re-ranks all registered threads ascending by `(total, thread id)`;
+    /// returns whether any rank changed. O(registered log registered), run
+    /// only at quantum boundaries and registrations — never per decision.
     fn recompute_ranks(&mut self) -> bool {
-        let mut order: Vec<usize> = (0..self.threads.len()).collect();
-        order.sort_by_key(|&i| (self.threads[i].total, i));
+        let mut order: Vec<(u64, usize)> =
+            self.threads.iter_active().map(|(t, s)| (s.total, t.0)).collect();
+        order.sort_unstable();
         let mut changed = false;
-        for (rank, &i) in order.iter().enumerate() {
+        for (rank, &(_, id)) in order.iter().enumerate() {
             let rank = (rank as u64).min(RANK_MAX);
-            if self.threads[i].rank != rank {
-                self.threads[i].rank = rank;
+            let s = self.threads.get_mut(ThreadId(id)).expect("just iterated");
+            if s.rank != rank {
+                s.rank = rank;
                 changed = true;
             }
         }
@@ -167,24 +186,36 @@ impl MemoryScheduler for AtlasScheduler {
 
     fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) -> bool {
         let mut grew = false;
-        if let Some(max_thread) = queue.iter().map(|r| r.thread).max_by_key(|t| t.0) {
-            grew = self.ensure_thread(max_thread);
+        for r in queue.iter() {
+            grew |= self.ensure_thread(r.thread);
         }
         let mut changed = false;
         if view.now.saturating_sub(self.quantum_start) >= self.cfg.quantum {
             self.quantum_start = view.now;
             self.quanta_rolled += 1;
-            for t in &mut self.threads {
+            self.threads.for_each_mut(|_, t| {
                 // α = 0.875 EWMA in integer arithmetic.
                 t.total = t.total - t.total / 8 + std::mem::take(&mut t.in_quantum);
-            }
+            });
+            // Retire-on-idle: a thread with no long-term service, nothing
+            // accrued this quantum, and no queued request holds exactly the
+            // default state, so dropping it is unobservable — it re-registers
+            // with that same state if it ever returns. This keeps the table
+            // bounded by the recently-active set under open-loop flows.
+            let mut queued = std::mem::take(&mut self.queued_scratch);
+            queued.clear();
+            queued.extend(queue.iter().map(|r| r.thread.0));
+            queued.sort_unstable();
+            self.threads.retain(|t, s| {
+                s.total > 0 || s.in_quantum > 0 || queued.binary_search(&t.0).is_ok()
+            });
+            self.queued_scratch = queued;
             changed = self.recompute_ranks();
             if self.observing {
                 let mut ranking: Vec<(usize, u32, u64)> = self
                     .threads
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| (i, u32::try_from(t.rank).unwrap_or(u32::MAX), t.total))
+                    .iter_active()
+                    .map(|(t, s)| (t.0, u32::try_from(s.rank).unwrap_or(u32::MAX), s.total))
                     .collect();
                 ranking.sort_by_key(|&(_, rank, _)| rank);
                 self.obs_events.push(Event::QuantumRolled {
@@ -203,8 +234,7 @@ impl MemoryScheduler for AtlasScheduler {
 
     fn on_command(&mut self, cmd: &Command, req: &Request, _now: u64) {
         let latency = self.command_latency(cmd.kind);
-        self.ensure_thread(req.thread);
-        self.threads[req.thread.0].in_quantum += latency;
+        self.threads.get_or_default(req.thread).in_quantum += latency;
     }
 
     fn priority_key(&self, req: &Request, view: &SchedView<'_>) -> u128 {
@@ -240,9 +270,8 @@ impl MemoryScheduler for AtlasScheduler {
     fn debug_summary(&self) -> String {
         let ranks: Vec<String> = self
             .threads
-            .iter()
-            .enumerate()
-            .map(|(i, t)| format!("t{i}:r{} as={}", t.rank, t.total))
+            .iter_active()
+            .map(|(t, s)| format!("t{}:r{} as={}", t.0, s.rank, s.total))
             .collect();
         format!("ATLAS: quantum {} [{}]", self.quanta_rolled, ranks.join(" "))
     }

@@ -14,6 +14,7 @@ use std::cmp::Ordering;
 
 use parbs_dram::{
     Command, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView, ThreadId,
+    ThreadTable,
 };
 use parbs_obs::Event;
 
@@ -62,8 +63,11 @@ impl Default for BlissConfig {
 #[derive(Debug, Clone)]
 pub struct BlissScheduler {
     cfg: BlissConfig,
-    /// Per-thread blacklist membership.
-    blacklisted: Vec<bool>,
+    /// Blacklist membership as a sparse presence set: a registered thread is
+    /// blacklisted. The periodic clear retires every entry at once, so the
+    /// table never outlives one clearing interval's offenders — O(active
+    /// blacklisted threads), independent of the id space.
+    blacklisted: ThreadTable<()>,
     /// Thread whose request was serviced by the most recent column command.
     last_serviced: Option<ThreadId>,
     /// Length of the current consecutive-service streak.
@@ -90,7 +94,7 @@ impl BlissScheduler {
     pub fn with_config(cfg: BlissConfig) -> Self {
         BlissScheduler {
             cfg,
-            blacklisted: Vec::new(),
+            blacklisted: ThreadTable::new(),
             last_serviced: None,
             streak: 0,
             last_clear: 0,
@@ -103,13 +107,22 @@ impl BlissScheduler {
     /// Whether a thread is currently blacklisted (for tests/telemetry).
     #[must_use]
     pub fn is_blacklisted(&self, t: ThreadId) -> bool {
-        self.blacklisted.get(t.0).copied().unwrap_or(false)
+        self.blacklisted.contains(t)
     }
 
     /// Number of currently blacklisted threads.
     #[must_use]
     pub fn blacklist_len(&self) -> usize {
-        self.blacklisted.iter().filter(|&&b| b).count()
+        self.blacklisted.len()
+    }
+
+    /// Blacklist membership of threads 0..`n` as a dense vector — the
+    /// pre-`ThreadTable` representation.
+    #[deprecated(note = "use `is_blacklisted` per thread of interest instead; a dense membership \
+                         vector is O(max thread id)")]
+    #[must_use]
+    pub fn dense_blacklist(&self, n: usize) -> Vec<bool> {
+        (0..n).map(|t| self.is_blacklisted(ThreadId(t))).collect()
     }
 }
 
@@ -130,7 +143,7 @@ impl MemoryScheduler for BlissScheduler {
             self.last_clear = view.now;
             let cleared = u32::try_from(self.blacklist_len()).expect("thread count fits in u32");
             if cleared > 0 {
-                self.blacklisted.iter_mut().for_each(|b| *b = false);
+                self.blacklisted.clear();
                 changed = true;
                 if self.observing {
                     self.obs_events.push(Event::BlacklistCleared { at: view.now, cleared });
@@ -152,22 +165,18 @@ impl MemoryScheduler for BlissScheduler {
             self.last_serviced = Some(req.thread);
             self.streak = 1;
         }
-        if self.streak >= self.cfg.blacklist_threshold {
-            if self.blacklisted.len() <= req.thread.0 {
-                self.blacklisted.resize(req.thread.0 + 1, false);
-            }
-            if !self.blacklisted[req.thread.0] {
-                self.blacklisted[req.thread.0] = true;
-                // Column commands don't invalidate the controller's key
-                // cache; flag the change for the next pre_schedule.
-                self.dirty = true;
-                if self.observing {
-                    self.obs_events.push(Event::BlacklistSet {
-                        at: now,
-                        thread: req.thread.0,
-                        consecutive: self.streak,
-                    });
-                }
+        if self.streak >= self.cfg.blacklist_threshold
+            && self.blacklisted.insert(req.thread, ()).is_none()
+        {
+            // Column commands don't invalidate the controller's key
+            // cache; flag the change for the next pre_schedule.
+            self.dirty = true;
+            if self.observing {
+                self.obs_events.push(Event::BlacklistSet {
+                    at: now,
+                    thread: req.thread.0,
+                    consecutive: self.streak,
+                });
             }
         }
     }

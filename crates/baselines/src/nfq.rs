@@ -7,7 +7,7 @@ use std::collections::HashMap;
 
 use parbs_dram::{
     f64_total_order_bits, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, RequestId,
-    SchedView, ThreadId, TimingParams,
+    SchedView, ThreadId, ThreadTable, TimingParams,
 };
 
 /// Which virtual timestamp orders requests.
@@ -72,8 +72,9 @@ pub struct NfqScheduler {
     clocks: HashMap<(ThreadId, usize), f64>,
     /// Virtual finish time assigned to each queued request.
     deadlines: HashMap<RequestId, f64>,
-    /// Per-thread share weights (default 1.0).
-    weights: Vec<f64>,
+    /// Per-thread share weights; unregistered threads get the default 1.0,
+    /// so only explicitly weighted threads occupy state.
+    weights: ThreadTable<f64>,
     /// Bitmask of banks whose open row is still inside its capture window
     /// (`now - last_activate < tras_threshold`), as of the last
     /// `pre_schedule`. A capture window *expiring* changes priorities with
@@ -105,7 +106,7 @@ impl NfqScheduler {
             cfg,
             clocks: HashMap::new(),
             deadlines: HashMap::new(),
-            weights: Vec::new(),
+            weights: ThreadTable::new(),
             recent_banks: 0,
         }
     }
@@ -119,7 +120,16 @@ impl NfqScheduler {
     }
 
     fn weight(&self, thread: ThreadId) -> f64 {
-        self.weights.get(thread.0).copied().unwrap_or(1.0)
+        self.weights.get(thread).copied().unwrap_or(1.0)
+    }
+
+    /// Share weights of threads 0..`n` as a dense vector — the
+    /// pre-`ThreadTable` representation.
+    #[deprecated(note = "query per-thread weights individually instead; a dense weight vector is \
+                         O(max thread id)")]
+    #[must_use]
+    pub fn dense_weights(&self, n: usize) -> Vec<f64> {
+        (0..n).map(|t| self.weight(ThreadId(t))).collect()
     }
 
     /// The virtual finish time assigned to a queued request (for tests).
@@ -165,10 +175,7 @@ impl MemoryScheduler for NfqScheduler {
     }
 
     fn set_thread_weight(&mut self, thread: ThreadId, weight: f64) {
-        if self.weights.len() <= thread.0 {
-            self.weights.resize(thread.0 + 1, 1.0);
-        }
-        self.weights[thread.0] = weight.max(1e-6);
+        self.weights.insert(thread, weight.max(1e-6));
     }
 
     fn on_arrival(&mut self, req: &Request, now: u64) {

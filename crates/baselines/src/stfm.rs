@@ -5,7 +5,7 @@ use std::cmp::Ordering;
 
 use parbs_dram::{
     Command, CommandKind, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView,
-    ThreadId, TimingParams,
+    ThreadId, ThreadTable, TimingParams,
 };
 
 /// STFM's key: the fairness-mode ("boosted") thread first, then row hits,
@@ -82,11 +82,18 @@ impl ThreadState {
 pub struct StfmScheduler {
     cfg: StfmConfig,
     timing: TimingParams,
-    threads: Vec<ThreadState>,
+    /// Sparse per-thread stall/interference state; a thread occupies an
+    /// entry only once it stalls, accrues interference, is weighted, or
+    /// queues a request.
+    threads: ThreadTable<ThreadState>,
     /// Thread estimated most slowed in the current slot (fairness mode).
     prioritized: Option<ThreadId>,
     /// Threads with a queued request per bank, rebuilt each slot.
     bank_threads: Vec<Vec<ThreadId>>,
+    /// Distinct queued threads as of the last slot, ascending by id — the
+    /// fairness scan and the interference charge walk this instead of the
+    /// whole id space, so both stay O(active threads).
+    active_threads: Vec<ThreadId>,
     last_aging: u64,
 }
 
@@ -104,24 +111,33 @@ impl StfmScheduler {
         StfmScheduler {
             cfg,
             timing: TimingParams::ddr2_800(),
-            threads: Vec::new(),
+            threads: ThreadTable::new(),
             prioritized: None,
             bank_threads: Vec::new(),
+            active_threads: Vec::new(),
             last_aging: 0,
         }
     }
 
     fn thread_mut(&mut self, t: ThreadId) -> &mut ThreadState {
-        if self.threads.len() <= t.0 {
-            self.threads.resize(t.0 + 1, ThreadState::default());
-        }
-        &mut self.threads[t.0]
+        self.threads.get_or_default(t)
     }
 
     /// The current slowdown estimate for a thread (for tests/telemetry).
     #[must_use]
     pub fn slowdown_estimate(&self, t: ThreadId) -> f64 {
-        self.threads.get(t.0).map_or(1.0, ThreadState::slowdown)
+        self.threads.get(t).map_or(1.0, ThreadState::slowdown)
+    }
+
+    /// Slowdown estimates of threads 0..`n` as a dense vector — the
+    /// pre-`ThreadTable` representation.
+    #[deprecated(
+        note = "use `slowdown_estimate` per thread of interest instead; a dense slowdown \
+                         vector is O(max thread id)"
+    )]
+    #[must_use]
+    pub fn dense_slowdown_estimates(&self, n: usize) -> Vec<f64> {
+        (0..n).map(|t| self.slowdown_estimate(ThreadId(t))).collect()
     }
 
     /// The thread being prioritized by fairness mode, if any.
@@ -155,14 +171,17 @@ impl StfmScheduler {
         let mut max: Option<(f64, ThreadId)> = None;
         let mut min: Option<f64> = None;
         let mut eligible = 0u32;
-        for (i, t) in self.threads.iter().enumerate() {
+        // `active_threads` is ascending by id, so ties on the maximum resolve
+        // to the lowest thread id — the same winner a dense 0..n scan picks.
+        for &i in &self.active_threads {
+            let Some(t) = self.threads.get(i) else { continue };
             if !t.active || t.t_shared <= 0.0 {
                 continue;
             }
             eligible += 1;
             let s = t.slowdown();
             if max.is_none_or(|(m, _)| s > m) {
-                max = Some((s, ThreadId(i)));
+                max = Some((s, i));
             }
             min = Some(min.map_or(s, |m: f64| m.min(s)));
         }
@@ -205,43 +224,66 @@ impl MemoryScheduler for StfmScheduler {
 
     fn on_stall_cycles(&mut self, stall_cycles: &[u64], _now: u64) {
         for (t, &cycles) in stall_cycles.iter().enumerate() {
-            self.thread_mut(ThreadId(t)).t_shared += cycles as f64;
+            // A zero report adds nothing; skipping it keeps never-stalled
+            // threads out of the table entirely.
+            if cycles > 0 {
+                self.thread_mut(ThreadId(t)).t_shared += cycles as f64;
+            }
         }
     }
 
     fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) -> bool {
         let was_prioritized = self.prioritized;
-        // Counter aging.
+        // Counter aging — the one sweep that touches every registered entry,
+        // amortized over the (long) aging interval. The same sweep retires
+        // idle entries whose state is exactly default: an unregistered thread
+        // and a default entry are observationally identical (slowdown 1.0,
+        // skipped by the fairness scan, re-registered on the next touch), so
+        // dropping them cannot change any scheduling decision.
         let now = view.now;
         if now.saturating_sub(self.last_aging) >= self.cfg.interval_length {
             self.last_aging = now;
-            for t in &mut self.threads {
+            self.threads.for_each_mut(|_, t| {
                 t.t_shared *= 0.5;
                 t.t_interference *= 0.5;
-            }
+            });
+            self.threads.retain(|_, t| {
+                t.active || t.t_shared != 0.0 || t.t_interference != 0.0 || t.weight != 0.0
+            });
         }
-        // Rebuild the bank-occupancy snapshot and per-thread BLP estimate.
+        // Rebuild the bank-occupancy snapshot and per-thread BLP estimate,
+        // touching only last slot's active threads and the current queue.
         let banks = view.channel.bank_count();
         self.bank_threads.clear();
         self.bank_threads.resize(banks, Vec::new());
-        for t in &mut self.threads {
-            t.active = false;
-            t.bank_parallelism = 0;
+        for &t in &self.active_threads {
+            if let Some(st) = self.threads.get_mut(t) {
+                st.active = false;
+                st.bank_parallelism = 0;
+            }
         }
+        self.active_threads.clear();
         for req in queue.iter() {
             let list = &mut self.bank_threads[req.addr.bank];
             if !list.contains(&req.thread) {
                 list.push(req.thread);
             }
         }
-        let per_bank: Vec<Vec<ThreadId>> = self.bank_threads.clone();
-        for list in &per_bank {
+        let bank_threads = std::mem::take(&mut self.bank_threads);
+        let mut active = std::mem::take(&mut self.active_threads);
+        for list in &bank_threads {
             for &t in list {
                 let st = self.thread_mut(t);
+                if !st.active {
+                    active.push(t);
+                }
                 st.active = true;
                 st.bank_parallelism += 1;
             }
         }
+        self.bank_threads = bank_threads;
+        self.active_threads = active;
+        self.active_threads.sort_unstable_by_key(|t| t.0);
         // Fairness decision: estimated unfairness among active threads.
         let (unfairness, max_thread) = self.fairness_scan();
         self.prioritized = if unfairness > self.cfg.alpha { max_thread } else { None };
@@ -258,11 +300,10 @@ impl MemoryScheduler for StfmScheduler {
         let latency = self.command_latency(cmd.kind);
         let bus = if cmd.kind.is_column() { self.timing.t_burst as f64 } else { 0.0 };
         let victims: Vec<(ThreadId, u32)> = self
-            .threads
+            .active_threads
             .iter()
-            .enumerate()
-            .filter(|(i, t)| t.active && ThreadId(*i) != req.thread)
-            .map(|(i, t)| (ThreadId(i), t.bank_parallelism.max(1)))
+            .filter(|&&t| t != req.thread)
+            .filter_map(|&t| self.threads.get(t).map(|s| (t, s.bank_parallelism.max(1))))
             .collect();
         let same_bank = self.bank_threads.get(cmd.bank).cloned().unwrap_or_default();
         for (t, gamma) in victims {
@@ -369,8 +410,10 @@ mod tests {
             request: q[0].id,
         };
         s.on_command(&cmd, &q[0], 0);
-        assert!(s.threads[1].t_interference > 0.0, "thread 1 waits on bank 3");
-        assert_eq!(s.threads[0].t_interference, 0.0, "no self-interference");
+        let interference =
+            |s: &StfmScheduler, t: usize| s.threads.get(ThreadId(t)).unwrap().t_interference;
+        assert!(interference(&s, 1) > 0.0, "thread 1 waits on bank 3");
+        assert_eq!(interference(&s, 0), 0.0, "no self-interference");
     }
 
     #[test]
@@ -396,8 +439,10 @@ mod tests {
             request: q[0].id,
         };
         s.on_command(&cmd, &q[0], 0);
+        let interference =
+            |s: &StfmScheduler, t: usize| s.threads.get(ThreadId(t)).unwrap().t_interference;
         assert!(
-            s.threads[1].t_interference < s.threads[2].t_interference,
+            interference(&s, 1) < interference(&s, 2),
             "gamma scaling: high-BLP thread is charged less per event"
         );
     }
@@ -411,8 +456,9 @@ mod tests {
         let mut q = vec![req(0, 0, 0, 1)];
         let v = SchedView { channel: &ch, now: 1 << 24 };
         s.pre_schedule(&mut q, &v);
-        assert!((s.threads[0].t_shared - 4_000.0).abs() < 1e-9);
-        assert!((s.threads[0].t_interference - 2_000.0).abs() < 1e-9);
+        let t0 = s.threads.get(ThreadId(0)).unwrap();
+        assert!((t0.t_shared - 4_000.0).abs() < 1e-9);
+        assert!((t0.t_interference - 2_000.0).abs() < 1e-9);
     }
 
     #[test]

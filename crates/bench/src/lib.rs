@@ -278,6 +278,89 @@ pub mod hotpath {
         }
         best
     }
+
+    /// The `active` thread ids used by the sparse-population benchmarks:
+    /// strided evenly across the id space `0..population`, so the largest
+    /// id grows with `population` while the count stays fixed.
+    #[must_use]
+    pub fn strided_ids(population: usize, active: usize) -> Vec<usize> {
+        let active = active.min(population).max(1);
+        let stride = (population / active).max(1);
+        (0..active).map(|k| k * stride).collect()
+    }
+
+    /// A `queue_len`-entry read queue round-robining over exactly 16
+    /// distinct thread ids subsampled from `strided_ids(population,
+    /// active)`. Keeping the *distinct-thread count* of the queue constant
+    /// across populations is what makes decision costs comparable: several
+    /// schedulers legitimately pay O(distinct queued threads) per decision
+    /// (STFM's fairness scan, ATLAS's ranking), and the benchmark's
+    /// question is whether cost grows with the *registered population*,
+    /// not with queue composition.
+    #[must_use]
+    pub fn sparse_queue(queue_len: u64, population: usize, active: usize) -> Vec<Request> {
+        let ids = strided_ids(population, active);
+        let queue_ids: Vec<usize> =
+            ids.iter().copied().step_by((ids.len() / 16).max(1)).take(16).collect();
+        (0..queue_len)
+            .map(|i| {
+                let addr =
+                    LineAddr { channel: 0, bank: (i % 8) as usize, row: i * 7 % 13, col: i % 32 };
+                let t = queue_ids[(i as usize) % queue_ids.len()];
+                Request::new(i, ThreadId(t), addr, RequestKind::Read, i / 4)
+            })
+            .collect()
+    }
+
+    /// A scheduler carrying live per-thread state for every id in
+    /// `strided_ids(population, active)`, warmed over a
+    /// [`sparse_queue`] measurement queue.
+    ///
+    /// Registration gives each active thread the full footprint a long run
+    /// would: a share weight (NFQ/STFM), attained service and a blacklist
+    /// entry (ATLAS/BLISS, via four consecutive column commands), and a
+    /// ranking pass over a queue naming every id (ATLAS/PAR-BS). A
+    /// decision measured afterwards therefore pays whatever per-thread
+    /// state the scheduler keeps — the point of the benchmark is that this
+    /// cost tracks `active`, never `population`.
+    #[must_use]
+    pub fn warmed_sparse(
+        kind: &SchedulerKind,
+        queue_len: u64,
+        population: usize,
+        active: usize,
+    ) -> (Box<dyn MemoryScheduler>, Vec<Request>, Channel) {
+        use parbs_dram::{Command, CommandKind};
+        let channel = Channel::new(8, TimingParams::ddr2_800());
+        let mut sched = kind.build(&SimConfig::for_cores(4));
+        let ids = strided_ids(population, active);
+        let mut reg: Vec<Request> = Vec::with_capacity(ids.len());
+        for (k, &t) in ids.iter().enumerate() {
+            sched.set_thread_weight(ThreadId(t), 1.0);
+            let addr =
+                LineAddr { channel: 0, bank: k % 8, row: (k % 13) as u64 + 1, col: k as u64 % 32 };
+            let r = Request::new(k as u64, ThreadId(t), addr, RequestKind::Read, 0);
+            let cmd = Command {
+                kind: CommandKind::Read,
+                rank: 0,
+                bank: addr.bank,
+                row: addr.row,
+                col: addr.col,
+                request: r.id,
+            };
+            for _ in 0..4 {
+                sched.on_command(&cmd, &r, 0);
+            }
+            reg.push(r);
+        }
+        sched.pre_schedule(&mut reg, &SchedView { channel: &channel, now: 50 });
+        let mut q = sparse_queue(queue_len, population, active);
+        for r in &q {
+            sched.on_arrival(r, r.arrival);
+        }
+        sched.pre_schedule(&mut q, &SchedView { channel: &channel, now: 100 });
+        (sched, q, channel)
+    }
 }
 
 #[cfg(test)]

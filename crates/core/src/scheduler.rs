@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 
 use parbs_dram::{
-    FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView, ThreadId,
+    FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView, ThreadId, ThreadTable,
 };
 use parbs_obs::{Event, RankEntry};
 use rand::rngs::StdRng;
@@ -58,13 +58,15 @@ impl ParBsStats {
 #[derive(Debug)]
 pub struct ParBsScheduler {
     cfg: ParBsConfig,
-    /// Rank per thread index; `u32::MAX` = not in current batch (lowest).
-    ranks: Vec<u32>,
-    /// System-software priority per thread index (default level 1).
-    priorities: Vec<ThreadPriority>,
-    /// Marking budget already granted this batch: `granted[thread][bank]`,
-    /// grown on demand and zeroed (not reallocated) at each batch boundary.
-    granted: Vec<Vec<u32>>,
+    /// Rank of each thread in the current batch; unregistered = not in the
+    /// current batch (lowest, `u32::MAX`).
+    ranks: ThreadTable<u32>,
+    /// System-software priority per thread (unregistered = level 1).
+    priorities: ThreadTable<ThreadPriority>,
+    /// Marking budget already granted this batch, per bank. Cleared (entries
+    /// retired) at each batch boundary, so only the threads of the current
+    /// batch hold state.
+    granted: ThreadTable<Vec<u32>>,
     /// Scratch for [`ParBsScheduler::mark`]: `(id, queue index)` of unmarked
     /// eligible requests. Reused so the per-slot eslot/static re-mark checks
     /// allocate nothing.
@@ -72,8 +74,9 @@ pub struct ParBsScheduler {
     /// Scratch for [`ParBsScheduler::loads`]: `(thread, bank)` of marked
     /// requests.
     load_pairs: Vec<(usize, usize)>,
-    /// Threads eligible for marking in the current batch (priority cadence).
-    eligible: Vec<bool>,
+    /// The batch index marking eligibility was last refreshed for
+    /// (priority-based marking: a level-X thread joins every Xth batch).
+    eligible_batch_no: u64,
     batch_formed_at: u64,
     batch_open: bool,
     /// Cap currently in force (tracks `cfg.marking_cap` unless adaptive).
@@ -99,12 +102,12 @@ impl ParBsScheduler {
     pub fn new(cfg: ParBsConfig) -> Self {
         ParBsScheduler {
             cfg,
-            ranks: Vec::new(),
-            priorities: Vec::new(),
-            granted: Vec::new(),
+            ranks: ThreadTable::new(),
+            priorities: ThreadTable::new(),
+            granted: ThreadTable::new(),
             mark_scratch: Vec::new(),
             load_pairs: Vec::new(),
-            eligible: Vec::new(),
+            eligible_batch_no: 0,
             batch_formed_at: 0,
             batch_open: false,
             current_cap: cfg
@@ -124,10 +127,7 @@ impl ParBsScheduler {
     /// default; [`ThreadPriority::Opportunistic`] requests are never marked
     /// and yield to everything else.
     pub fn set_thread_priority(&mut self, thread: ThreadId, priority: ThreadPriority) {
-        if self.priorities.len() <= thread.0 {
-            self.priorities.resize(thread.0 + 1, ThreadPriority::default());
-        }
-        self.priorities[thread.0] = priority;
+        self.priorities.insert(thread, priority);
     }
 
     /// Telemetry counters.
@@ -145,20 +145,36 @@ impl ParBsScheduler {
     /// Current rank of a thread (0 = highest; `u32::MAX` = unranked).
     #[must_use]
     pub fn rank_of(&self, thread: ThreadId) -> u32 {
-        self.ranks.get(thread.0).copied().unwrap_or(u32::MAX)
+        self.ranks.get(thread).copied().unwrap_or(u32::MAX)
+    }
+
+    /// The ranks of threads 0..`n` as a dense vector, `u32::MAX` for
+    /// unranked threads — the pre-`ThreadTable` representation.
+    #[deprecated(note = "iterate sparse ranks via `rank_of` per queued thread instead; a dense \
+                         rank vector is O(max thread id)")]
+    #[must_use]
+    pub fn dense_ranks(&self, n: usize) -> Vec<u32> {
+        (0..n).map(|t| self.rank_of(ThreadId(t))).collect()
     }
 
     fn priority_of(&self, thread: usize) -> ThreadPriority {
-        self.priorities.get(thread).copied().unwrap_or_default()
+        self.priorities.get(ThreadId(thread)).copied().unwrap_or_default()
+    }
+
+    /// Marking eligibility of `thread` for the batch the cadence was last
+    /// refreshed for: a level-X thread joins every Xth batch, opportunistic
+    /// threads never join (Section 5).
+    fn is_eligible(&self, thread: usize) -> bool {
+        match self.priority_of(thread).period() {
+            Some(period) => self.eligible_batch_no.is_multiple_of(period),
+            None => false,
+        }
     }
 
     /// The marking budget already spent by `(thread, bank)` this batch,
-    /// growing the table on demand.
+    /// registering the thread on demand.
     fn granted_slot(&mut self, thread: usize, bank: usize) -> &mut u32 {
-        if self.granted.len() <= thread {
-            self.granted.resize_with(thread + 1, Vec::new);
-        }
-        let row = &mut self.granted[thread];
+        let row = self.granted.get_or_default(ThreadId(thread));
         if row.len() <= bank {
             row.resize(bank + 1, 0);
         }
@@ -177,8 +193,7 @@ impl ParBsScheduler {
         let mut scratch = std::mem::take(&mut self.mark_scratch);
         scratch.clear();
         scratch.extend(queue.iter().enumerate().filter_map(|(i, r)| {
-            let eligible = self.eligible.get(r.thread.0).copied().unwrap_or(true);
-            (!r.marked && eligible).then_some((r.id.0, i))
+            (!r.marked && self.is_eligible(r.thread.0)).then_some((r.id.0, i))
         }));
         if scratch.is_empty() {
             self.mark_scratch = scratch;
@@ -247,10 +262,7 @@ impl ParBsScheduler {
             compute_ranks(self.cfg.ranking, &loads, self.stats.batches_formed, &mut self.rng);
         self.ranks.clear();
         for &(thread, rank) in &ranked {
-            if self.ranks.len() <= thread {
-                self.ranks.resize(thread + 1, u32::MAX);
-            }
-            self.ranks[thread] = rank;
+            self.ranks.insert(ThreadId(thread), rank);
         }
         if self.observing && !ranked.is_empty() {
             // `loads` is sorted by thread id; join each ranked thread with
@@ -277,22 +289,6 @@ impl ParBsScheduler {
         }
     }
 
-    /// Determines marking eligibility per thread for a new batch
-    /// (priority-based marking: a level-X thread joins every Xth batch).
-    fn refresh_eligibility(&mut self, queue: &[Request]) {
-        let max_thread = queue.iter().map(|r| r.thread.0).max().unwrap_or(0);
-        let n = max_thread.max(self.priorities.len().saturating_sub(1)) + 1;
-        self.eligible.clear();
-        self.eligible.resize(n, false);
-        let batch_no = self.stats.batches_formed;
-        for t in 0..n {
-            self.eligible[t] = match self.priority_of(t).period() {
-                Some(period) => batch_no.is_multiple_of(period),
-                None => false,
-            };
-        }
-    }
-
     fn form_batch(&mut self, queue: &mut [Request], now: u64) {
         if self.batch_open {
             let duration = now.saturating_sub(self.batch_formed_at);
@@ -307,10 +303,10 @@ impl ParBsScheduler {
             }
             self.adapt_cap(duration);
         }
-        for row in &mut self.granted {
-            row.fill(0);
-        }
-        self.refresh_eligibility(queue);
+        // Retire the previous batch's budget entries: only this batch's
+        // threads will re-register, so the table stays O(active threads).
+        self.granted.clear();
+        self.eligible_batch_no = self.stats.batches_formed;
         let pre_mark_idx = self.obs_events.len();
         let marked = self.mark(queue, now);
         // Only batches that actually open count: a formation attempt that
@@ -322,17 +318,24 @@ impl ParBsScheduler {
             if self.observing {
                 // Summarize the Marked events just pushed and slot the
                 // BatchFormed announcement in front of them, so downstream
-                // sinks see the batch before its members.
+                // sinks see the batch before its members. Sort-and-run-length
+                // aggregation: O(k log k) in the k marked requests, however
+                // sparse the thread ids.
+                let mut marked_threads: Vec<usize> = self.obs_events[pre_mark_idx..]
+                    .iter()
+                    .filter_map(|e| match e {
+                        Event::Marked { thread, .. } => Some(*thread),
+                        _ => None,
+                    })
+                    .collect();
+                marked_threads.sort_unstable();
                 let mut per_thread: Vec<(usize, u32)> = Vec::new();
-                for e in &self.obs_events[pre_mark_idx..] {
-                    if let Event::Marked { thread, .. } = e {
-                        match per_thread.iter_mut().find(|(t, _)| t == thread) {
-                            Some((_, n)) => *n += 1,
-                            None => per_thread.push((*thread, 1)),
-                        }
+                for thread in marked_threads {
+                    match per_thread.last_mut() {
+                        Some((t, n)) if *t == thread => *n += 1,
+                        _ => per_thread.push((thread, 1)),
                     }
                 }
-                per_thread.sort_unstable();
                 self.obs_events.insert(
                     pre_mark_idx,
                     Event::BatchFormed {
@@ -819,6 +822,35 @@ mod tests {
         events.clear();
         s.drain_events(&mut events);
         assert!(events.is_empty(), "no events while not observing");
+    }
+
+    #[test]
+    fn batch_formed_per_thread_handles_sparse_thread_ids() {
+        // Open-loop flow sources produce thread ids like 40_000 next to 0;
+        // the per-thread batch summary must aggregate them in O(active)
+        // without materializing anything dense, and still report ascending.
+        let mut s = ParBsScheduler::new(ParBsConfig::default());
+        s.set_observing(true);
+        let ch = channel();
+        let mut q = vec![
+            req(0, 40_000, 0, 1),
+            req(1, 0, 1, 1),
+            req(2, 7, 2, 1),
+            req(3, 0, 3, 1),
+            req(4, 40_000, 4, 1),
+        ];
+        s.pre_schedule(&mut q, &view(&ch, 0));
+        let mut events = Vec::new();
+        s.drain_events(&mut events);
+        let Event::BatchFormed { marked, ref per_thread, .. } = events[0] else {
+            panic!("first event is the batch announcement");
+        };
+        assert_eq!(marked, 5);
+        assert_eq!(per_thread, &[(0, 2), (7, 1), (40_000, 2)]);
+        // Ranks are likewise keyed sparsely: every queued thread got one.
+        assert_ne!(s.rank_of(ThreadId(40_000)), u32::MAX);
+        assert_ne!(s.rank_of(ThreadId(0)), u32::MAX);
+        assert_eq!(s.rank_of(ThreadId(39_999)), u32::MAX, "untouched id holds no state");
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Sparse per-thread state storage for schedulers that must scale past a
+//! handful of closed-loop cores.
+//!
+//! Every scheduler in this workspace keeps some per-thread state — PAR-BS
+//! ranks and mark budgets, ATLAS attained-service totals, BLISS blacklist
+//! bits, STFM interference estimates, NFQ share weights. The historical
+//! representation was a dense `Vec` indexed by `ThreadId`, grown with
+//! `resize(thread.0 + 1, default)`: correct for 4–16 contiguous core ids,
+//! but catastrophic for a datacenter-flow frontend where one requester with
+//! id 50 000 forces a 50 001-entry allocation and every "iterate all
+//! threads" loop to scan 50 001 slots.
+//!
+//! [`ThreadTable`] replaces that pattern with a hashed map plus a sorted
+//! activity index:
+//!
+//! * point operations ([`ThreadTable::get`], [`ThreadTable::get_mut`],
+//!   [`ThreadTable::get_or_default`], [`ThreadTable::contains`]) are O(1)
+//!   expected — a hash lookup, independent of the largest id ever seen;
+//! * iteration ([`ThreadTable::iter_active`],
+//!   [`ThreadTable::for_each_mut`]) visits **only registered threads, in
+//!   ascending id order** — the same visiting order as a dense
+//!   `for t in 0..len` loop restricted to the ids that actually exist, so a
+//!   migrated scheduler makes byte-identical decisions;
+//! * idle requesters can be dropped ([`ThreadTable::retire`],
+//!   [`ThreadTable::retain`]) so long-running open-loop simulations do not
+//!   accumulate state for every flow that ever existed.
+//!
+//! Registration (first insert of a new id) pays an O(log n) search plus an
+//! O(n) shift of the activity index; it happens once per thread lifetime,
+//! not per decision, so the per-cycle scheduler cost stays O(active
+//! threads) — the property the flow frontend's 10 000-requester sweeps
+//! rely on.
+
+use std::collections::HashMap;
+
+use crate::ThreadId;
+
+/// A sparse map from [`ThreadId`] to per-thread scheduler state `T`.
+///
+/// Point lookups hash; iteration walks a sorted index of registered ids so
+/// the visiting order is deterministic (ascending id) regardless of
+/// insertion order or hasher seed.
+///
+/// # Examples
+///
+/// ```
+/// use parbs_dram::{ThreadId, ThreadTable};
+///
+/// let mut loads: ThreadTable<u32> = ThreadTable::new();
+/// *loads.get_or_default(ThreadId(40_000)) += 3;
+/// *loads.get_or_default(ThreadId(7)) += 1;
+/// assert_eq!(loads.len(), 2); // not 40_001
+/// let seen: Vec<(usize, u32)> =
+///     loads.iter_active().map(|(t, &v)| (t.0, v)).collect();
+/// assert_eq!(seen, [(7, 1), (40_000, 3)]); // ascending id order
+/// assert_eq!(loads.retire(ThreadId(40_000)), Some(3));
+/// assert_eq!(loads.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTable<T> {
+    entries: HashMap<usize, T>,
+    /// Registered thread ids, ascending. Kept in lockstep with `entries`.
+    order: Vec<usize>,
+}
+
+impl<T> ThreadTable<T> {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadTable { entries: HashMap::new(), order: Vec::new() }
+    }
+
+    /// Number of registered threads (ids holding state), **not** the
+    /// largest id.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if no thread holds state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// True if `thread` is registered.
+    #[must_use]
+    pub fn contains(&self, thread: ThreadId) -> bool {
+        self.entries.contains_key(&thread.0)
+    }
+
+    /// The state of `thread`, if registered.
+    #[must_use]
+    pub fn get(&self, thread: ThreadId) -> Option<&T> {
+        self.entries.get(&thread.0)
+    }
+
+    /// Mutable state of `thread`, if registered. Never registers.
+    #[must_use]
+    pub fn get_mut(&mut self, thread: ThreadId) -> Option<&mut T> {
+        self.entries.get_mut(&thread.0)
+    }
+
+    /// Registers `thread` with `value`, returning the previous state if it
+    /// was already registered.
+    pub fn insert(&mut self, thread: ThreadId, value: T) -> Option<T> {
+        let old = self.entries.insert(thread.0, value);
+        if old.is_none() {
+            let at = self.order.partition_point(|&id| id < thread.0);
+            self.order.insert(at, thread.0);
+        }
+        old
+    }
+
+    /// Removes `thread` from the table, returning its state — the
+    /// retire-on-idle hook for open-loop sources whose requesters come and
+    /// go.
+    pub fn retire(&mut self, thread: ThreadId) -> Option<T> {
+        let old = self.entries.remove(&thread.0);
+        if old.is_some() {
+            let at = self.order.partition_point(|&id| id < thread.0);
+            debug_assert_eq!(self.order.get(at), Some(&thread.0));
+            self.order.remove(at);
+        }
+        old
+    }
+
+    /// Drops every entry (O(registered), not O(max id)).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Registered thread ids, ascending.
+    #[must_use]
+    pub fn ids(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Iterates registered threads in ascending id order — the sparse
+    /// equivalent of `for t in 0..len` over a dense table, so migrated
+    /// schedulers keep their visiting order (and therefore their
+    /// tie-breaks) bit-for-bit.
+    pub fn iter_active(&self) -> impl Iterator<Item = (ThreadId, &T)> + '_ {
+        self.order.iter().map(|&id| {
+            (ThreadId(id), self.entries.get(&id).expect("order and entries stay in lockstep"))
+        })
+    }
+
+    /// Calls `f` for every registered thread in ascending id order with
+    /// mutable access to its state.
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(ThreadId, &mut T)) {
+        for &id in &self.order {
+            f(ThreadId(id), self.entries.get_mut(&id).expect("order and entries stay in lockstep"));
+        }
+    }
+
+    /// Keeps only the entries for which `f` returns true (ascending id
+    /// order) — bulk retirement for idle-sweep policies.
+    pub fn retain(&mut self, mut f: impl FnMut(ThreadId, &mut T) -> bool) {
+        let entries = &mut self.entries;
+        self.order.retain(|&id| {
+            let keep =
+                f(ThreadId(id), entries.get_mut(&id).expect("order and entries stay in lockstep"));
+            if !keep {
+                entries.remove(&id);
+            }
+            keep
+        });
+    }
+}
+
+impl<T: Default> ThreadTable<T> {
+    /// Mutable state of `thread`, registering it with `T::default()` on
+    /// first sight — the sparse replacement for
+    /// `vec.resize(thread.0 + 1, default); &mut vec[thread.0]`, except only
+    /// the touched id is materialized.
+    pub fn get_or_default(&mut self, thread: ThreadId) -> &mut T {
+        if !self.entries.contains_key(&thread.0) {
+            let at = self.order.partition_point(|&id| id < thread.0);
+            self.order.insert(at, thread.0);
+        }
+        self.entries.entry(thread.0).or_default()
+    }
+}
+
+impl<T> FromIterator<(ThreadId, T)> for ThreadTable<T> {
+    fn from_iter<I: IntoIterator<Item = (ThreadId, T)>>(iter: I) -> Self {
+        let mut table = ThreadTable::new();
+        for (thread, value) in iter {
+            table.insert(thread, value);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_ops_register_only_touched_ids() {
+        let mut t: ThreadTable<u64> = ThreadTable::new();
+        assert!(t.is_empty());
+        *t.get_or_default(ThreadId(1 << 20)) = 9;
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(ThreadId(1 << 20)), Some(&9));
+        assert_eq!(t.get(ThreadId(0)), None);
+        assert!(!t.contains(ThreadId(5)));
+    }
+
+    #[test]
+    fn iteration_is_ascending_regardless_of_insertion_order() {
+        let mut t: ThreadTable<i32> = ThreadTable::new();
+        for id in [900, 3, 40_000, 0, 17] {
+            t.insert(ThreadId(id), id as i32);
+        }
+        let ids: Vec<usize> = t.iter_active().map(|(t, _)| t.0).collect();
+        assert_eq!(ids, [0, 3, 17, 900, 40_000]);
+        assert_eq!(t.ids(), [0, 3, 17, 900, 40_000]);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut t: ThreadTable<&str> = ThreadTable::new();
+        assert_eq!(t.insert(ThreadId(4), "a"), None);
+        assert_eq!(t.insert(ThreadId(4), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn retire_removes_and_returns_state() {
+        let mut t: ThreadTable<u8> = ThreadTable::new();
+        t.insert(ThreadId(2), 20);
+        t.insert(ThreadId(7), 70);
+        assert_eq!(t.retire(ThreadId(2)), Some(20));
+        assert_eq!(t.retire(ThreadId(2)), None);
+        assert_eq!(t.ids(), [7]);
+    }
+
+    #[test]
+    fn for_each_mut_and_retain_walk_ascending() {
+        let mut t: ThreadTable<u32> = ThreadTable::new();
+        for id in [5, 1, 9] {
+            t.insert(ThreadId(id), 0);
+        }
+        let mut seen = Vec::new();
+        t.for_each_mut(|id, v| {
+            *v = id.0 as u32;
+            seen.push(id.0);
+        });
+        assert_eq!(seen, [1, 5, 9]);
+        t.retain(|id, _| id.0 != 5);
+        assert_eq!(t.ids(), [1, 9]);
+        assert_eq!(t.get(ThreadId(5)), None);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut t: ThreadTable<u8> = (0..10).map(|i| (ThreadId(i * 100), 1)).collect();
+        assert_eq!(t.len(), 10);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.iter_active().next().is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Model-based validation of [`ThreadTable`]: every operation sequence must
+//! leave the sparse table observably identical to a dense
+//! `Vec<Option<T>>` reference model indexed by thread id, for ids spanning
+//! the full sparse range the flow frontend produces (up to `1 << 20`).
+
+use parbs_dram::{ThreadId, ThreadTable};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One operation against both the table and the reference model.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `insert(id, value)`.
+    Insert(usize, u64),
+    /// `*get_or_default(id) += value`.
+    Bump(usize, u64),
+    /// `retire(id)`.
+    Retire(usize),
+    /// `retain(|_, v| *v % 2 == 0)` — bulk idle sweep.
+    RetainEven,
+    /// `clear()`.
+    Clear,
+}
+
+/// Thread ids cluster at small values (the closed-loop regime) but reach
+/// `1 << 20` (the open-loop flow regime), so collisions and true sparsity
+/// are both exercised.
+fn sparse_id() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        4 => 0usize..16,
+        2 => 0usize..1024,
+        1 => 0usize..(1 << 20),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (sparse_id(), any::<u64>()).prop_map(|(id, v)| Op::Insert(id, v)),
+        4 => (sparse_id(), 0u64..100).prop_map(|(id, v)| Op::Bump(id, v)),
+        3 => sparse_id().prop_map(Op::Retire),
+        1 => Just(Op::RetainEven),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// The dense reference: `slots[id]` is `Some(state)` iff `id` is
+/// registered. Grown with the historical `resize(id + 1, None)` pattern.
+#[derive(Default)]
+struct DenseModel {
+    slots: Vec<Option<u64>>,
+}
+
+impl DenseModel {
+    fn slot(&mut self, id: usize) -> &mut Option<u64> {
+        if id >= self.slots.len() {
+            self.slots.resize(id + 1, None);
+        }
+        &mut self.slots[id]
+    }
+
+    /// Registered (id, state) pairs in ascending id order — what a dense
+    /// `for t in 0..len` scheduler loop observes.
+    fn active(&self) -> Vec<(usize, u64)> {
+        self.slots.iter().enumerate().filter_map(|(id, s)| s.map(|v| (id, v))).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table_matches_dense_model(ops in vec(op(), 0..120)) {
+        let mut table: ThreadTable<u64> = ThreadTable::new();
+        let mut model = DenseModel::default();
+        for op in &ops {
+            match *op {
+                Op::Insert(id, v) => {
+                    let old = table.insert(ThreadId(id), v);
+                    prop_assert_eq!(old, model.slot(id).replace(v));
+                }
+                Op::Bump(id, v) => {
+                    *table.get_or_default(ThreadId(id)) =
+                        table.get(ThreadId(id)).copied().unwrap_or_default().wrapping_add(v);
+                    let slot = model.slot(id);
+                    *slot = Some(slot.unwrap_or_default().wrapping_add(v));
+                }
+                Op::Retire(id) => {
+                    prop_assert_eq!(table.retire(ThreadId(id)), model.slot(id).take());
+                }
+                Op::RetainEven => {
+                    table.retain(|_, v| *v % 2 == 0);
+                    for slot in &mut model.slots {
+                        if slot.is_some_and(|v| v % 2 != 0) {
+                            *slot = None;
+                        }
+                    }
+                }
+                Op::Clear => {
+                    table.clear();
+                    model.slots.clear();
+                }
+            }
+            // Observational equivalence after every step. The full dense
+            // scan is O(max id), so it runs per-step only while the model
+            // is small; past that, the cheap invariants still run and the
+            // full sweep is deferred to the end of the sequence.
+            if model.slots.len() <= 4096 {
+                let active = model.active();
+                prop_assert_eq!(table.len(), active.len());
+                let iterated: Vec<(usize, u64)> =
+                    table.iter_active().map(|(t, &v)| (t.0, v)).collect();
+                prop_assert_eq!(&iterated, &active);
+            } else {
+                prop_assert_eq!(table.is_empty(), table.ids().is_empty());
+                prop_assert!(table.ids().windows(2).all(|w| w[0] < w[1]), "ids stay sorted");
+            }
+        }
+        // Full observational equivalence at the end of the sequence.
+        let active = model.active();
+        prop_assert_eq!(table.len(), active.len());
+        let iterated: Vec<(usize, u64)> = table.iter_active().map(|(t, &v)| (t.0, v)).collect();
+        prop_assert_eq!(&iterated, &active);
+        let ids: Vec<usize> = active.iter().map(|&(id, _)| id).collect();
+        prop_assert_eq!(table.ids(), ids.as_slice());
+        for &(id, v) in &active {
+            prop_assert_eq!(table.get(ThreadId(id)), Some(&v));
+            prop_assert!(table.contains(ThreadId(id)));
+        }
+        // `for_each_mut` visits exactly the registered set, ascending.
+        let mut visited = Vec::new();
+        table.for_each_mut(|t, v| visited.push((t.0, *v)));
+        prop_assert_eq!(visited, model.active());
+    }
+}

@@ -1,0 +1,194 @@
+//! Flow-level metrics for open-loop experiments: flow completion time
+//! (FCT) and slowdown-versus-isolation.
+//!
+//! Open-loop traffic breaks the closed-loop metrics story — there is no
+//! IPC, no weighted speedup, no "run alone and compare" second simulation
+//! per flow. The datacenter-standard substitutes are:
+//!
+//! * **FCT percentiles** — how long flows take end to end, tail included;
+//! * **slowdown** — FCT divided by an *isolation estimate* of the same
+//!   flow's FCT on an unloaded memory system, and the fraction of flows
+//!   whose slowdown exceeds a threshold (`slowdown_rate`).
+//!
+//! The caller supplies the isolation estimate per flow (this crate stays
+//! dependency-free and knows nothing about DRAM timing); the simulator uses
+//! a self-calibrating proxy documented in `DESIGN.md`.
+
+use crate::LatencyHistogram;
+
+/// Fixed-point scale for recording slowdowns in a [`LatencyHistogram`]
+/// (which holds integers): a slowdown of 1.0 is stored as 1000.
+const SLOWDOWN_SCALE: f64 = 1000.0;
+
+/// Accumulates per-flow records into FCT and slowdown distributions.
+///
+/// Mergeable across worker shards like every other metric in this crate;
+/// merging two trackers built with different thresholds is a logic error
+/// and panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowMetrics {
+    /// FCT distribution, in cycles.
+    fct: LatencyHistogram,
+    /// Slowdown distribution, in milli-slowdowns (×1000).
+    slowdown_milli: LatencyHistogram,
+    /// Flows whose slowdown exceeded the threshold.
+    slowed: u64,
+    /// Threshold in milli-slowdowns.
+    threshold_milli: u64,
+}
+
+impl FlowMetrics {
+    /// Creates a tracker counting flows slowed by more than
+    /// `slowdown_threshold` (e.g. `2.0` = "took over twice its isolated
+    /// FCT").
+    #[must_use]
+    pub fn new(slowdown_threshold: f64) -> Self {
+        FlowMetrics {
+            fct: LatencyHistogram::new(),
+            slowdown_milli: LatencyHistogram::new(),
+            slowed: 0,
+            threshold_milli: (slowdown_threshold.max(1.0) * SLOWDOWN_SCALE) as u64,
+        }
+    }
+
+    /// Records one finished flow: its measured FCT and the estimate of its
+    /// FCT on an unloaded system. Slowdown clamps below at 1.0 — an
+    /// estimate is allowed to be slightly optimistic or pessimistic.
+    pub fn record(&mut self, fct: u64, isolated_fct: u64) {
+        self.fct.record(fct);
+        let slowdown = (fct as f64 / isolated_fct.max(1) as f64).max(1.0);
+        let milli = (slowdown * SLOWDOWN_SCALE) as u64;
+        self.slowdown_milli.record(milli);
+        if milli > self.threshold_milli {
+            self.slowed += 1;
+        }
+    }
+
+    /// Flows recorded so far.
+    #[must_use]
+    pub fn flows(&self) -> u64 {
+        self.fct.count()
+    }
+
+    /// Folds another shard's records into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two trackers were built with different slowdown
+    /// thresholds.
+    pub fn merge(&mut self, other: &FlowMetrics) {
+        assert_eq!(self.threshold_milli, other.threshold_milli, "threshold mismatch in merge");
+        self.fct.merge(&other.fct);
+        self.slowdown_milli.merge(&other.slowdown_milli);
+        self.slowed += other.slowed;
+    }
+
+    /// Snapshots the distributions into a report row.
+    #[must_use]
+    pub fn summary(&self) -> FlowSummary {
+        let n = self.flows();
+        FlowSummary {
+            flows: n,
+            fct_p50: self.fct.percentile(0.50),
+            fct_p95: self.fct.percentile(0.95),
+            fct_p99: self.fct.percentile(0.99),
+            fct_mean: self.fct.mean(),
+            slowdown_p50: self.slowdown_milli.percentile(0.50) as f64 / SLOWDOWN_SCALE,
+            slowdown_p99: self.slowdown_milli.percentile(0.99) as f64 / SLOWDOWN_SCALE,
+            slowdown_rate: if n == 0 { 0.0 } else { self.slowed as f64 / n as f64 },
+        }
+    }
+}
+
+impl Default for FlowMetrics {
+    /// Threshold 2.0: a flow counts as slowed once it takes more than twice
+    /// its isolated FCT.
+    fn default() -> Self {
+        FlowMetrics::new(2.0)
+    }
+}
+
+/// One report row of flow-level results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSummary {
+    /// Flows measured.
+    pub flows: u64,
+    /// Median FCT, cycles.
+    pub fct_p50: u64,
+    /// 95th-percentile FCT, cycles.
+    pub fct_p95: u64,
+    /// 99th-percentile (tail) FCT, cycles.
+    pub fct_p99: u64,
+    /// Mean FCT, cycles.
+    pub fct_mean: f64,
+    /// Median slowdown versus isolation.
+    pub slowdown_p50: f64,
+    /// Tail slowdown versus isolation.
+    pub slowdown_p99: f64,
+    /// Fraction of flows slowed past the tracker's threshold.
+    pub slowdown_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut m = FlowMetrics::new(2.0);
+        // 90 flows at slowdown 1.0, 10 at slowdown 8.0.
+        for _ in 0..90 {
+            m.record(100, 100);
+        }
+        for _ in 0..10 {
+            m.record(800, 100);
+        }
+        let s = m.summary();
+        assert_eq!(s.flows, 100);
+        assert!((s.slowdown_rate - 0.1).abs() < 1e-12);
+        assert!(s.fct_p99 >= 512, "tail picks up the slow flows: {}", s.fct_p99);
+        assert!(s.slowdown_p50 < 2.0 && s.slowdown_p99 > 2.0);
+        assert!(s.fct_mean > 100.0 && s.fct_mean < 800.0);
+    }
+
+    #[test]
+    fn slowdown_clamps_at_one() {
+        let mut m = FlowMetrics::default();
+        m.record(50, 100); // faster than "isolated": clamps, doesn't count
+        let s = m.summary();
+        assert_eq!(s.slowdown_rate, 0.0);
+        assert!((s.slowdown_p50 - 1.0).abs() < 0.5, "bucketed near 1.0");
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let mut a = FlowMetrics::new(2.0);
+        let mut b = FlowMetrics::new(2.0);
+        let mut whole = FlowMetrics::new(2.0);
+        for i in 0..200u64 {
+            let (fct, iso) = (50 + i * 7, 60);
+            if i % 2 == 0 {
+                a.record(fct, iso);
+            } else {
+                b.record(fct, iso);
+            }
+            whole.record(fct, iso);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold mismatch")]
+    fn merge_rejects_mismatched_thresholds() {
+        let mut a = FlowMetrics::new(2.0);
+        a.merge(&FlowMetrics::new(3.0));
+    }
+
+    #[test]
+    fn empty_summary_is_all_zeros() {
+        let s = FlowMetrics::default().summary();
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.slowdown_rate, 0.0);
+    }
+}

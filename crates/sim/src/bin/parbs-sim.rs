@@ -12,6 +12,9 @@
 //! parbs-sim mapping-sweep [n]           geometry/mapping ablation (paper §6)
 //! parbs-sim zoo-sweep [n]               seven schedulers × n mixed
 //!                                       CPU/accelerator workloads
+//! parbs-sim flow-sweep [n]              open-loop flow frontend: schedulers ×
+//!                                       requester scales {16, 1024, n}, FCT
+//!                                       percentiles + slowdown-vs-isolation
 //!
 //! options: --target <instructions>   per-thread run length (default 30000)
 //!          --seed <seed>             workload seed (default 42)
@@ -33,6 +36,13 @@
 //!          --trace-sched <name>      scheduler for the observed run
 //!                                    (FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS|
 //!                                    BLISS|ATLAS, default PAR-BS)
+//!
+//! flow-sweep options:
+//!          --sched <name>            run one scheduler instead of the zoo
+//!          --flow-rate <n>           mean flow arrivals per kilocycle (2)
+//!          --flow-size-max <n>       bounded-Pareto size cap, requests (256)
+//!          --check-invariants        protocol checker + scheduler invariant
+//!                                    audit on every controller
 //! ```
 //!
 //! Every evaluation command fans its plan across `--jobs` worker threads
@@ -44,7 +54,8 @@ use std::time::Instant;
 use parbs_dram::MappingPolicy;
 use parbs_sim::{experiments, Harness, ObserveOptions, SchedulerKind, SimConfig, TraceFormat};
 use parbs_workloads::{
-    all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, MixSpec,
+    all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, BoundedPareto,
+    FlowConfig, MixSpec,
 };
 
 /// Looks up the value of `flag`. A missing flag is `None`; a flag that is
@@ -277,6 +288,10 @@ fn print_available() {
     println!("  zoo-sweep [n]      all seven schedulers (paper five + BLISS + ATLAS) over");
     println!("                     the accel case study + n mixed CPU/accelerator mixes,");
     println!("                     with fairness split by agent class");
+    println!("  flow-sweep [n]     open-loop datacenter-flow frontend: schedulers x");
+    println!("                     requester scales 16/1024/n, FCT percentiles and");
+    println!("                     slowdown-vs-isolation (--sched, --flow-rate,");
+    println!("                     --flow-size-max, --check-invariants)");
     println!("  (more sweeps — marking-cap, batching, ranking, priorities — are");
     println!("   regenerated by the parbs-bench binaries: fig11..fig14, table3, table4)");
     println!("\noptions: --target N   --seed N   --jobs N (default: all cores)");
@@ -506,10 +521,91 @@ fn main() {
             }
             print_run_summary(start, sweep.job_count(), jobs, &harness);
         }
+        Some("flow-sweep") => {
+            let n = count_arg(&args, "flow-sweep", 4096);
+            let mut cfg = SimConfig { seed, ..SimConfig::for_cores(4) };
+            shape.apply(&mut cfg);
+            let rate_per_kcycle = value_of(&args, "--flow-rate").unwrap_or(2);
+            let size_max = value_of(&args, "--flow-size-max").unwrap_or(256).max(2);
+            let flows = FlowConfig {
+                arrival_rate: rate_per_kcycle as f64 / 1000.0,
+                size: BoundedPareto { alpha: 1.2, min: 2, max: size_max },
+                seed,
+                ..FlowConfig::default()
+            };
+            let check = args.iter().any(|a| a == "--check-invariants");
+            let schedulers = match str_value_of(&args, "--sched") {
+                None => SchedulerKind::zoo_seven(),
+                Some(s) => vec![sched_by_name(s).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scheduler '{s}'; expected \
+                         FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS|BLISS|ATLAS"
+                    );
+                    std::process::exit(2);
+                })],
+            };
+            let mut scales: Vec<usize> = vec![16, 1024, n];
+            scales.sort_unstable();
+            scales.dedup();
+            println!(
+                "open-loop flow sweep: {} scheduler(s) x scales {:?}, \
+                 rate {}/kcycle, sizes 2..={}{}",
+                schedulers.len(),
+                scales,
+                rate_per_kcycle,
+                size_max,
+                if check { ", invariants checked" } else { "" }
+            );
+            let start = Instant::now();
+            let rows = parbs_sim::run_flow_sweep(&cfg, &schedulers, &scales, &flows, check, jobs);
+            println!(
+                "{:10} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                "scheduler",
+                "flows",
+                "fct-p50",
+                "fct-p95",
+                "fct-p99",
+                "sd-p50",
+                "sd-p99",
+                "sd-rate",
+                "backlog"
+            );
+            let mut violations = 0;
+            for r in &rows {
+                let s = &r.summary;
+                println!(
+                    "{:10} {:>6} {:>9} {:>9} {:>9} {:>8.2} {:>8.2} {:>8.3} {:>8}{}",
+                    r.scheduler,
+                    r.requesters,
+                    s.fct_p50,
+                    s.fct_p95,
+                    s.fct_p99,
+                    s.slowdown_p50,
+                    s.slowdown_p99,
+                    s.slowdown_rate,
+                    r.drive.peak_backlog,
+                    if r.drive.timed_out { " (timed out)" } else { "" }
+                );
+                violations += r.drive.invariant_violations;
+            }
+            println!(
+                "{} flow run(s) in {:.2}s (jobs={})",
+                rows.len(),
+                start.elapsed().as_secs_f64(),
+                jobs
+            );
+            if check {
+                if violations > 0 {
+                    eprintln!("{violations} invariant violation(s)");
+                    std::process::exit(1);
+                }
+                println!("invariants: OK ({} run(s) checked)", rows.len());
+            }
+        }
         _ => {
             eprintln!(
                 "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n] \
-                 | mapping-sweep [n] | zoo-sweep [n]> \
+                 | mapping-sweep [n] | zoo-sweep [n] | flow-sweep [n]> \
                  [--target N] [--seed N] [--jobs N] \
                  [--ranks N] [--mapping row|line] [--no-xor] \
                  [--trace-out F] [--trace-format chrome|jsonl] [--check-invariants] \

@@ -1,0 +1,309 @@
+//! Open-loop driver: couples any [`RequestSource`] to the DRAM controllers
+//! without cores, windows, or instruction streams in the loop.
+//!
+//! Where [`crate::System`] interleaves cores and controllers cycle by cycle
+//! (a core holds a miss back while the controller's buffer is full), this
+//! driver implements the [`RequestSource`] backpressure contract: the
+//! source emits on its own schedule and the driver buffers what the memory
+//! system cannot yet accept, in per-channel FIFOs so one saturated channel
+//! never blocks arrivals headed elsewhere. That is the behaviour an
+//! open-loop experiment needs — arrival times are workload facts, not
+//! consequences of memory performance — and `peak_backlog` reports how
+//! deep the resulting queues got.
+//!
+//! Flow-level metrics need an "isolated FCT" per flow. Rather than run a
+//! second simulation per flow (the closed-loop alone-baseline trick does
+//! not scale to tens of thousands of requesters), the driver uses a
+//! self-calibrating proxy: `(size - 1) * request_gap + min observed read
+//! latency`, i.e. the flow's own issue schedule plus the best latency the
+//! memory system demonstrated in this very run. The proxy is optimistic
+//! (the minimum is near-unloaded latency), which makes slowdowns slight
+//! over-estimates — consistent across schedulers, which is what a
+//! comparison needs. See `DESIGN.md` for the full argument.
+
+use std::collections::{HashMap, VecDeque};
+
+use parbs_dram::{Controller, LineAddr, Request, RequestKind, ThreadId};
+use parbs_metrics::{FlowMetrics, FlowSummary, LatencyHistogram};
+use parbs_obs::{downcast_sink, InvariantSink};
+use parbs_workloads::{FlowConfig, FlowSource, RequestSource};
+
+use crate::executor::scope_map;
+use crate::{SchedulerKind, SimConfig};
+
+/// One buffered request: decoded address plus the source's token.
+struct Buffered {
+    thread: ThreadId,
+    addr: LineAddr,
+    kind: RequestKind,
+    token: u64,
+}
+
+/// Outcome of driving one [`RequestSource`] to exhaustion.
+#[derive(Debug, Clone)]
+pub struct SourceDriveResult {
+    /// Cycles elapsed when the drive stopped.
+    pub cycles: u64,
+    /// True if `max_cycles` hit before the source drained.
+    pub timed_out: bool,
+    /// Reads the memory system completed.
+    pub reads_completed: u64,
+    /// Read latency distribution merged over all channels.
+    pub read_latency: LatencyHistogram,
+    /// Deepest total (all-channel) driver-side backlog observed.
+    pub peak_backlog: usize,
+    /// Protocol/scheduler invariant violations observed (always 0 unless
+    /// invariant checking was requested).
+    pub invariant_violations: usize,
+}
+
+/// Drives `source` against fresh controllers built from `cfg` until the
+/// source is exhausted and every buffered/in-flight request has completed,
+/// or `cfg.max_cycles` elapses.
+///
+/// With `check_invariants`, every controller runs the DRAM protocol
+/// checker **and** an [`InvariantSink`] auditing scheduler events; the
+/// violation count lands in the result (the protocol checker itself panics
+/// on violation, as elsewhere in the crate).
+///
+/// # Panics
+///
+/// Panics if the DRAM configuration is invalid, or on a protocol timing
+/// violation when `check_invariants` is set.
+pub fn drive_source(
+    cfg: &SimConfig,
+    scheduler: &SchedulerKind,
+    source: &mut dyn RequestSource,
+    check_invariants: bool,
+) -> SourceDriveResult {
+    let mut controllers: Vec<Controller> = (0..cfg.dram.channels())
+        .map(|_| {
+            if check_invariants || cfg.check_protocol {
+                Controller::with_checker(cfg.dram.clone(), scheduler.build(cfg))
+            } else {
+                Controller::new(cfg.dram.clone(), scheduler.build(cfg))
+            }
+        })
+        .collect();
+    if check_invariants {
+        for ctrl in &mut controllers {
+            ctrl.scheduler_mut().set_observing(true);
+            ctrl.set_event_sink(Box::new(InvariantSink::new()));
+        }
+    }
+    let mapper = cfg.dram.mapper();
+    let mut backlogs: Vec<VecDeque<Buffered>> =
+        (0..controllers.len()).map(|_| VecDeque::new()).collect();
+    let mut inflight: HashMap<u64, u64> = HashMap::new();
+    let mut completions = Vec::new();
+    let mut emitted = Vec::new();
+    let mut next_request: u64 = 0;
+    let mut peak_backlog = 0usize;
+    let mut now = 0u64;
+    let mut timed_out = false;
+
+    loop {
+        for ctrl in &mut controllers {
+            ctrl.tick(now, &mut completions);
+        }
+        for c in completions.drain(..) {
+            if c.kind == RequestKind::Read {
+                if let Some(token) = inflight.remove(&c.request.0) {
+                    source.on_complete(token, now);
+                }
+            }
+        }
+        source.poll(now, &mut emitted);
+        for r in emitted.drain(..) {
+            let addr = mapper.decode(r.line);
+            backlogs[addr.channel].push_back(Buffered {
+                thread: r.thread,
+                addr,
+                kind: r.kind,
+                token: r.token,
+            });
+        }
+        for (ch, backlog) in backlogs.iter_mut().enumerate() {
+            let ctrl = &mut controllers[ch];
+            while let Some(front) = backlog.front() {
+                let ok = match front.kind {
+                    RequestKind::Read => ctrl.can_accept_read(),
+                    RequestKind::Write => ctrl.can_accept_write(),
+                };
+                if !ok {
+                    break;
+                }
+                let b = backlog.pop_front().expect("front exists");
+                let req = Request::new(next_request, b.thread, b.addr, b.kind, now);
+                ctrl.try_enqueue(req).expect("capacity was checked");
+                if b.kind == RequestKind::Read {
+                    inflight.insert(next_request, b.token);
+                }
+                next_request += 1;
+            }
+        }
+        peak_backlog = peak_backlog.max(backlogs.iter().map(VecDeque::len).sum());
+        now += 1;
+        let drained = backlogs.iter().all(VecDeque::is_empty) && inflight.is_empty();
+        if source.exhausted() && drained {
+            break;
+        }
+        if now >= cfg.max_cycles {
+            timed_out = true;
+            break;
+        }
+    }
+
+    let mut read_latency = LatencyHistogram::new();
+    let mut reads_completed = 0;
+    for ctrl in &controllers {
+        read_latency.merge(&ctrl.stats().read_latency);
+        reads_completed += ctrl.stats().reads_completed;
+    }
+    let mut invariant_violations = 0;
+    if check_invariants {
+        for ctrl in &mut controllers {
+            let Some(sink) = ctrl.take_event_sink() else { continue };
+            if let Ok(inv) = downcast_sink::<InvariantSink>(sink) {
+                invariant_violations += inv.violations().len();
+            }
+        }
+    }
+    SourceDriveResult {
+        cycles: now,
+        timed_out,
+        reads_completed,
+        read_latency,
+        peak_backlog,
+        invariant_violations,
+    }
+}
+
+/// Result of one open-loop flow experiment.
+#[derive(Debug, Clone)]
+pub struct FlowRunResult {
+    /// Scheduler display name.
+    pub scheduler: &'static str,
+    /// Thread-id space / total flows spawned over the run.
+    pub requesters: usize,
+    /// Flows that fully completed (== `requesters` unless timed out).
+    pub completed: usize,
+    /// Flow-completion-time and slowdown distributions.
+    pub summary: FlowSummary,
+    /// Underlying drive outcome (cycles, read latency, backlog, checks).
+    pub drive: SourceDriveResult,
+}
+
+/// Runs one scheduler against one [`FlowSource`] configuration and reduces
+/// the completed flows to FCT/slowdown metrics.
+///
+/// # Panics
+///
+/// Propagates the panics of [`drive_source`].
+#[must_use]
+pub fn run_flow(
+    cfg: &SimConfig,
+    scheduler: &SchedulerKind,
+    flows: &FlowConfig,
+    check_invariants: bool,
+) -> FlowRunResult {
+    let mut source = FlowSource::new(*flows);
+    let drive = drive_source(cfg, scheduler, &mut source, check_invariants);
+    let completed = source.take_completed();
+    // Self-calibrating isolation proxy: the best read latency this run
+    // demonstrated stands in for unloaded latency.
+    let base_latency = if drive.read_latency.count() == 0 { 1 } else { drive.read_latency.min() };
+    let mut metrics = FlowMetrics::default();
+    for f in &completed {
+        let isolated = (f.size - 1) * flows.request_gap.max(1) + base_latency;
+        metrics.record(f.fct(), isolated);
+    }
+    FlowRunResult {
+        scheduler: scheduler.name(),
+        requesters: flows.requesters,
+        completed: completed.len(),
+        summary: metrics.summary(),
+        drive,
+    }
+}
+
+/// Runs the cross product of `schedulers` × `scales` (requester counts),
+/// fanned over `jobs` worker threads. Each cell is fully independent —
+/// fresh controllers, fresh source — so results are identical at every
+/// `jobs` level.
+///
+/// # Panics
+///
+/// Propagates the panics of [`drive_source`].
+#[must_use]
+pub fn run_flow_sweep(
+    cfg: &SimConfig,
+    schedulers: &[SchedulerKind],
+    scales: &[usize],
+    flows: &FlowConfig,
+    check_invariants: bool,
+    jobs: usize,
+) -> Vec<FlowRunResult> {
+    let cells: Vec<(SchedulerKind, usize)> =
+        schedulers.iter().flat_map(|s| scales.iter().map(move |&n| (s.clone(), n))).collect();
+    scope_map(&cells, jobs, |(sched, n)| {
+        let fc = FlowConfig { requesters: *n, ..*flows };
+        run_flow(cfg, sched, &fc, check_invariants)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbs_workloads::BoundedPareto;
+
+    fn tiny_flows(requesters: usize) -> FlowConfig {
+        FlowConfig {
+            requesters,
+            arrival_rate: 0.05,
+            size: BoundedPareto { alpha: 1.2, min: 2, max: 16 },
+            request_gap: 4,
+            line_space: 1 << 16,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn flow_run_completes_all_flows() {
+        let cfg = SimConfig::for_cores(4);
+        let r = run_flow(&cfg, &SchedulerKind::FrFcfs, &tiny_flows(48), false);
+        assert!(!r.drive.timed_out);
+        assert_eq!(r.completed, 48);
+        assert_eq!(r.summary.flows, 48);
+        assert!(r.summary.slowdown_p50 >= 1.0);
+        assert!(r.drive.reads_completed >= 48 * 2, "every flow issued ≥ min-size reads");
+    }
+
+    #[test]
+    fn invariant_checked_run_is_clean() {
+        let cfg = SimConfig::for_cores(4);
+        let r = run_flow(&cfg, &SchedulerKind::ParBs(Default::default()), &tiny_flows(24), true);
+        assert!(!r.drive.timed_out);
+        assert_eq!(r.drive.invariant_violations, 0);
+    }
+
+    #[test]
+    fn closed_loop_source_drives_through_the_same_loop() {
+        use parbs_workloads::{by_name, ClosedLoopSource, SyntheticStream};
+        let cfg = SimConfig { target_instructions: 2_000, ..SimConfig::for_cores(4) };
+        let streams: Vec<Box<dyn parbs_cpu::InstructionStream>> = (0..4)
+            .map(|i| {
+                Box::new(SyntheticStream::new(
+                    by_name("mcf").unwrap(),
+                    cfg.geometry(),
+                    cfg.seed,
+                    i as u64,
+                )) as Box<dyn parbs_cpu::InstructionStream>
+            })
+            .collect();
+        let mut src = ClosedLoopSource::new(cfg.core, streams, cfg.target_instructions);
+        let r = drive_source(&cfg, &SchedulerKind::FrFcfs, &mut src, false);
+        assert!(!r.timed_out, "closed-loop source drains through the open-loop driver");
+        assert!(r.reads_completed > 0);
+    }
+}

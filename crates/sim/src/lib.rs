@@ -41,6 +41,7 @@
 mod config;
 mod executor;
 pub mod experiments;
+mod flow;
 mod harness;
 mod observe;
 mod plan;
@@ -50,6 +51,7 @@ mod system;
 
 pub use config::SimConfig;
 pub use executor::default_jobs;
+pub use flow::{drive_source, run_flow, run_flow_sweep, FlowRunResult, SourceDriveResult};
 pub use harness::{AloneKey, CacheStats, Harness, MixEvaluation};
 pub use observe::{run_observed, ChannelReport, ObserveOptions, ObservedRun, TraceFormat};
 pub use plan::{EvalJob, EvalOverrides, EvalPlan};
