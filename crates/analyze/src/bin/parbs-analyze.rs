@@ -3,6 +3,7 @@
 //! ```text
 //! parbs-analyze check-timing [--depth N] [--ranks R] [--banks B] [--rows W]
 //! parbs-analyze check-keys   [--scheduler all|FCFS|FR-FCFS|NFQ|STFM|PAR-BS|BLISS|ATLAS]
+//! parbs-analyze check-spec   <file|prelude:invariants|prelude:qos>
 //! parbs-analyze report       [--depth N]
 //! ```
 //!
@@ -10,9 +11,11 @@
 //! geometry (defaults: depth 6, 2 banks/rank, 4 rows, both a 1-rank and a
 //! 2-rank channel when `--ranks` is omitted). `check-keys` validates the
 //! declared priority-key layouts of the shipped schedulers against their
-//! implementations. `report` runs both at a modest depth and prints a
-//! summary of the rule table and key layouts. Every failure exits non-zero,
-//! so all three are CI-gateable.
+//! implementations. `check-spec` compiles a [`parbs_monitor`] spec and
+//! prints its streams, triggers, and lints — a compile error exits non-zero
+//! with its `line:col: message` position. `report` runs the checkers at a
+//! modest depth and prints a summary of the rule table and key layouts.
+//! Every failure exits non-zero, so all subcommands are CI-gateable.
 
 use std::process::ExitCode;
 
@@ -69,6 +72,39 @@ fn check_keys(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn check_spec(args: &[String]) -> Result<(), String> {
+    let Some(arg) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(
+            "usage: parbs-analyze check-spec <file|prelude:invariants|prelude:qos>".to_owned()
+        );
+    };
+    let (label, spec) = if let Some(name) = arg.strip_prefix("prelude:") {
+        let spec = parbs_monitor::prelude::by_name(name).ok_or_else(|| {
+            format!(
+                "check-spec: unknown prelude spec `{name}` (expected one of: {})",
+                parbs_monitor::prelude::NAMES.join(", ")
+            )
+        })?;
+        (arg.clone(), spec)
+    } else {
+        let src = std::fs::read_to_string(arg)
+            .map_err(|e| format!("check-spec: cannot read {arg}: {e}"))?;
+        let spec = parbs_monitor::Spec::compile(&src).map_err(|e| format!("{arg}:{e}"))?;
+        (arg.clone(), spec)
+    };
+    println!("check-spec: {label}: {}", spec.describe());
+    for s in spec.streams() {
+        println!("  stream  {s}");
+    }
+    for (name, sev) in spec.triggers() {
+        println!("  trigger {name} [{sev}]");
+    }
+    for lint in spec.lints() {
+        println!("  warning: {lint}");
+    }
+    Ok(())
+}
+
 fn report(args: &[String]) -> Result<(), String> {
     println!("timing-rule table: {} rules", TIMING_RULES.len());
     for rule in TIMING_RULES {
@@ -100,9 +136,10 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check-timing") => check_timing(&args[1..]),
         Some("check-keys") => check_keys(&args[1..]),
+        Some("check-spec") => check_spec(&args[1..]),
         Some("report") => report(&args[1..]),
         other => Err(format!(
-            "usage: parbs-analyze <check-timing|check-keys|report> [options]\n\
+            "usage: parbs-analyze <check-timing|check-keys|check-spec|report> [options]\n\
              (got {other:?})"
         )),
     };

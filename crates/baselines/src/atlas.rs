@@ -123,15 +123,6 @@ impl AtlasScheduler {
         self.threads.get(t).map_or(0, |s| s.total)
     }
 
-    /// The attained-service totals of threads 0..`n` as a dense vector —
-    /// the pre-`ThreadTable` representation.
-    #[deprecated(note = "iterate sparse per-thread state via `attained_service` per thread of \
-                         interest instead; a dense vector is O(max thread id)")]
-    #[must_use]
-    pub fn dense_service_totals(&self, n: usize) -> Vec<u64> {
-        (0..n).map(|t| self.attained_service(ThreadId(t))).collect()
-    }
-
     fn ensure_thread(&mut self, t: ThreadId) -> bool {
         if self.threads.contains(t) {
             return false;

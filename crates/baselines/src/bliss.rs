@@ -115,15 +115,6 @@ impl BlissScheduler {
     pub fn blacklist_len(&self) -> usize {
         self.blacklisted.len()
     }
-
-    /// Blacklist membership of threads 0..`n` as a dense vector — the
-    /// pre-`ThreadTable` representation.
-    #[deprecated(note = "use `is_blacklisted` per thread of interest instead; a dense membership \
-                         vector is O(max thread id)")]
-    #[must_use]
-    pub fn dense_blacklist(&self, n: usize) -> Vec<bool> {
-        (0..n).map(|t| self.is_blacklisted(ThreadId(t))).collect()
-    }
 }
 
 impl Default for BlissScheduler {

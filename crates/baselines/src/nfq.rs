@@ -119,17 +119,14 @@ impl NfqScheduler {
                 < self.cfg.tras_threshold
     }
 
-    fn weight(&self, thread: ThreadId) -> f64 {
+    /// The share weight of a thread (1.0 unless overridden).
+    #[must_use]
+    pub fn thread_weight(&self, thread: ThreadId) -> f64 {
         self.weights.get(thread).copied().unwrap_or(1.0)
     }
 
-    /// Share weights of threads 0..`n` as a dense vector — the
-    /// pre-`ThreadTable` representation.
-    #[deprecated(note = "query per-thread weights individually instead; a dense weight vector is \
-                         O(max thread id)")]
-    #[must_use]
-    pub fn dense_weights(&self, n: usize) -> Vec<f64> {
-        (0..n).map(|t| self.weight(ThreadId(t))).collect()
+    fn weight(&self, thread: ThreadId) -> f64 {
+        self.thread_weight(thread)
     }
 
     /// The virtual finish time assigned to a queued request (for tests).

@@ -129,17 +129,6 @@ impl StfmScheduler {
         self.threads.get(t).map_or(1.0, ThreadState::slowdown)
     }
 
-    /// Slowdown estimates of threads 0..`n` as a dense vector — the
-    /// pre-`ThreadTable` representation.
-    #[deprecated(
-        note = "use `slowdown_estimate` per thread of interest instead; a dense slowdown \
-                         vector is O(max thread id)"
-    )]
-    #[must_use]
-    pub fn dense_slowdown_estimates(&self, n: usize) -> Vec<f64> {
-        (0..n).map(|t| self.slowdown_estimate(ThreadId(t))).collect()
-    }
-
     /// The thread being prioritized by fairness mode, if any.
     #[must_use]
     pub fn fairness_mode_thread(&self) -> Option<ThreadId> {

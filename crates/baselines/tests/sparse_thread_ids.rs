@@ -121,8 +121,7 @@ fn stfm_fairness_mode_targets_a_sparse_thread() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_dense_shims_reconstruct_dense_views() {
+fn per_thread_accessors_reconstruct_dense_views() {
     let mut atlas = AtlasScheduler::new();
     let ch = Channel::new(8, TimingParams::ddr2_800());
     let mut q = vec![req(0, 2, 0, 1)];
@@ -130,7 +129,7 @@ fn deprecated_dense_shims_reconstruct_dense_views() {
     atlas.on_command(&column_cmd(&q[0]), &q[0], 0);
     // Long-term totals fold in the current quantum's service at rollover.
     atlas.pre_schedule(&mut q, &SchedView { channel: &ch, now: 1_000_000 });
-    let totals = atlas.dense_service_totals(4);
+    let totals: Vec<u64> = (0..4).map(|t| atlas.attained_service(ThreadId(t))).collect();
     assert_eq!(totals.len(), 4);
     assert!(totals[2] > 0 && totals[3] == 0);
 
@@ -139,12 +138,15 @@ fn deprecated_dense_shims_reconstruct_dense_views() {
     for _ in 0..4 {
         bliss.on_command(&column_cmd(&r), &r, 0);
     }
-    assert_eq!(bliss.dense_blacklist(3), vec![false, true, false]);
+    let blacklist: Vec<bool> = (0..3).map(|t| bliss.is_blacklisted(ThreadId(t))).collect();
+    assert_eq!(blacklist, vec![false, true, false]);
 
     let mut nfq = NfqScheduler::new();
     nfq.set_thread_weight(ThreadId(1), 4.0);
-    assert_eq!(nfq.dense_weights(3), vec![1.0, 4.0, 1.0]);
+    let weights: Vec<f64> = (0..3).map(|t| nfq.thread_weight(ThreadId(t))).collect();
+    assert_eq!(weights, vec![1.0, 4.0, 1.0]);
 
     let stfm = StfmScheduler::new();
-    assert_eq!(stfm.dense_slowdown_estimates(2), vec![1.0, 1.0]);
+    let slowdowns: Vec<f64> = (0..2).map(|t| stfm.slowdown_estimate(ThreadId(t))).collect();
+    assert_eq!(slowdowns, vec![1.0, 1.0]);
 }

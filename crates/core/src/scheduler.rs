@@ -148,15 +148,6 @@ impl ParBsScheduler {
         self.ranks.get(thread).copied().unwrap_or(u32::MAX)
     }
 
-    /// The ranks of threads 0..`n` as a dense vector, `u32::MAX` for
-    /// unranked threads — the pre-`ThreadTable` representation.
-    #[deprecated(note = "iterate sparse ranks via `rank_of` per queued thread instead; a dense \
-                         rank vector is O(max thread id)")]
-    #[must_use]
-    pub fn dense_ranks(&self, n: usize) -> Vec<u32> {
-        (0..n).map(|t| self.rank_of(ThreadId(t))).collect()
-    }
-
     fn priority_of(&self, thread: usize) -> ThreadPriority {
         self.priorities.get(ThreadId(thread)).copied().unwrap_or_default()
     }

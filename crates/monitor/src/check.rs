@@ -1,0 +1,602 @@
+//! Name resolution and type checking: [`ADecl`] list → [`SpecIr`].
+//!
+//! Two passes. Pass 1 registers every stream name (inputs and states share
+//! one namespace) and resolves event kinds. Pass 2 walks declarations in
+//! order, resolving expressions against the event kind of the input each
+//! arm fires on — a bare name resolves to an event **field first**, then to
+//! a 0-key state stream (field shadows state), so `cap` means the payload
+//! field inside a `batch_formed` arm and the hold elsewhere.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::ast::{ADecl, AExpr, AInit, BinOp, Sp, UnOp};
+use crate::fields::{self, EventKind, Ty, ALL_KINDS};
+use crate::ir::{
+    Action, Expr, InputDef, Part, Removal, SpecIr, StateDef, StateKind, Step, TriggerDef,
+};
+use crate::lex::lex;
+use crate::parse::Parser;
+use crate::SpecError;
+
+/// Compiles spec source to IR.
+pub(crate) fn compile(src: &str) -> Result<SpecIr, SpecError> {
+    let decls = Parser::new(lex(src, 1)?).spec()?;
+    Checker::default().run(decls)
+}
+
+/// Pass-1 metadata for one state stream; `ty` stays `None` for a hold with
+/// no `init` until its own declaration is checked.
+struct StateMeta {
+    name: String,
+    arity: usize,
+    ty: Option<Ty>,
+    kind: StateKind,
+    /// True for maps and counters (the only `size()`-able streams).
+    sizeable: bool,
+    len_lint: Option<u64>,
+}
+
+#[derive(Default)]
+struct Checker {
+    inputs: Vec<InputDef>,
+    input_names: HashMap<String, usize>,
+    states: Vec<StateMeta>,
+    state_names: HashMap<String, usize>,
+    steps: Vec<Step>,
+    removals: Vec<Removal>,
+    triggers: Vec<TriggerDef>,
+    read_states: HashSet<usize>,
+    used_inputs: HashSet<usize>,
+}
+
+fn err(line: u32, col: u32, message: impl Into<String>) -> SpecError {
+    SpecError::at(line, col, message)
+}
+
+impl Checker {
+    fn run(mut self, decls: Vec<ADecl>) -> Result<SpecIr, SpecError> {
+        self.declare(&decls)?;
+        for decl in &decls {
+            self.resolve_decl(decl)?;
+        }
+        let lints = self.lints();
+        let states = self
+            .states
+            .into_iter()
+            .map(|m| StateDef {
+                name: m.name,
+                arity: m.arity,
+                ty: m.ty.unwrap_or(Ty::Int),
+                kind: m.kind,
+            })
+            .collect();
+        Ok(SpecIr {
+            inputs: self.inputs,
+            states,
+            steps: self.steps,
+            removals: self.removals,
+            triggers: self.triggers,
+            lints,
+        })
+    }
+
+    /// Pass 1: register every name; resolve event kinds and window shapes.
+    fn declare(&mut self, decls: &[ADecl]) -> Result<(), SpecError> {
+        for decl in decls {
+            match decl {
+                ADecl::Input { name, kind, .. } => {
+                    self.fresh(name)?;
+                    let Some(kind_id) = EventKind::parse(&kind.node) else {
+                        let known: Vec<&str> = ALL_KINDS.iter().map(|k| k.name()).collect();
+                        return Err(err(
+                            kind.line,
+                            kind.col,
+                            format!(
+                                "unknown event kind '{}' (expected one of {})",
+                                kind.node,
+                                known.join(", ")
+                            ),
+                        ));
+                    };
+                    self.input_names.insert(name.node.clone(), self.inputs.len());
+                    self.inputs.push(InputDef {
+                        name: name.node.clone(),
+                        kind: kind_id,
+                        guard: None,
+                    });
+                }
+                ADecl::Map { name, keys, .. } => {
+                    self.add_state(
+                        name,
+                        keys.len(),
+                        Some(Ty::Int),
+                        StateKind::Table { default: 0 },
+                        true,
+                        None,
+                    )?;
+                }
+                ADecl::Counter { name, keys, .. } => {
+                    self.add_state(
+                        name,
+                        keys.len(),
+                        Some(Ty::Int),
+                        StateKind::Table { default: 0 },
+                        true,
+                        None,
+                    )?;
+                }
+                ADecl::Hold { name, init, .. } => {
+                    let (ty, default) = match init.as_ref().map(|i| i.node) {
+                        Some(AInit::Int(n)) => (Some(Ty::Int), n),
+                        Some(AInit::Bool(b)) => (Some(Ty::Bool), i64::from(b)),
+                        None => (None, 0),
+                    };
+                    self.add_state(name, 0, ty, StateKind::Table { default }, false, None)?;
+                }
+                ADecl::Window { name, keys, len, tumbling, .. } => {
+                    if len.node <= 0 {
+                        return Err(err(
+                            len.line,
+                            len.col,
+                            format!("window '{}' length must be positive", name.node),
+                        ));
+                    }
+                    let cycles = u64::try_from(len.node).expect("length was checked positive");
+                    let kind = if *tumbling {
+                        StateKind::Tumbling { len: cycles }
+                    } else {
+                        StateKind::Sliding { len: cycles }
+                    };
+                    self.add_state(name, keys.len(), Some(Ty::Int), kind, false, Some(cycles))?;
+                }
+                ADecl::Trigger { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn fresh(&mut self, name: &Sp<String>) -> Result<(), SpecError> {
+        if self.input_names.contains_key(&name.node) || self.state_names.contains_key(&name.node) {
+            return Err(err(name.line, name.col, format!("duplicate stream name '{}'", name.node)));
+        }
+        Ok(())
+    }
+
+    fn add_state(
+        &mut self,
+        name: &Sp<String>,
+        arity: usize,
+        ty: Option<Ty>,
+        kind: StateKind,
+        sizeable: bool,
+        len_lint: Option<u64>,
+    ) -> Result<(), SpecError> {
+        self.fresh(name)?;
+        self.state_names.insert(name.node.clone(), self.states.len());
+        self.states.push(StateMeta {
+            name: name.node.clone(),
+            arity,
+            ty,
+            kind,
+            sizeable,
+            len_lint,
+        });
+        Ok(())
+    }
+
+    /// Resolves an `on <input>` target, marking the input used.
+    fn input_idx(&mut self, name: &Sp<String>) -> Result<usize, SpecError> {
+        if let Some(&i) = self.input_names.get(&name.node) {
+            self.used_inputs.insert(i);
+            return Ok(i);
+        }
+        if self.state_names.contains_key(&name.node) {
+            return Err(err(
+                name.line,
+                name.col,
+                format!("'{}' is not an input stream", name.node),
+            ));
+        }
+        Err(err(name.line, name.col, format!("unknown input '{}'", name.node)))
+    }
+
+    /// Pass 2: resolve one declaration's expressions and emit IR.
+    fn resolve_decl(&mut self, decl: &ADecl) -> Result<(), SpecError> {
+        match decl {
+            ADecl::Input { name, guard, .. } => {
+                if let Some(g) = guard {
+                    let idx = self.input_names[&name.node];
+                    let kind = self.inputs[idx].kind;
+                    let (ge, ty) = self.resolve(g, kind)?;
+                    if ty != Ty::Bool {
+                        return Err(err(
+                            g.line,
+                            g.col,
+                            format!("input guard must be Bool, found {}", ty.name()),
+                        ));
+                    }
+                    self.inputs[idx].guard = Some(ge);
+                }
+            }
+            ADecl::Map { name, keys, arms, removes } => {
+                let state = self.state_names[&name.node];
+                for arm in arms {
+                    let input = self.input_idx(&arm.input)?;
+                    let kind = self.inputs[input].kind;
+                    let rkeys = self.resolve_keys(keys, kind)?;
+                    let (value, ty) = self.resolve(&arm.value, kind)?;
+                    if ty != Ty::Int {
+                        return Err(err(
+                            arm.value.line,
+                            arm.value.col,
+                            format!("map value must be Int, found {}", ty.name()),
+                        ));
+                    }
+                    self.steps
+                        .push(Step { input, action: Action::Set { state, keys: rkeys, value } });
+                }
+                for target in removes {
+                    let input = self.input_idx(target)?;
+                    let kind = self.inputs[input].kind;
+                    let rkeys = self.resolve_keys(keys, kind)?;
+                    self.removals.push(Removal::Entry { input, state, keys: rkeys });
+                }
+            }
+            ADecl::Counter { name, keys, arms, resets } => {
+                let state = self.state_names[&name.node];
+                for arm in arms {
+                    let input = self.input_idx(&arm.input)?;
+                    let kind = self.inputs[input].kind;
+                    let rkeys = self.resolve_keys(keys, kind)?;
+                    let (value, ty) = self.resolve(&arm.value, kind)?;
+                    if ty != Ty::Int {
+                        return Err(err(
+                            arm.value.line,
+                            arm.value.col,
+                            format!("counter delta must be Int, found {}", ty.name()),
+                        ));
+                    }
+                    self.steps.push(Step {
+                        input,
+                        action: Action::Add { state, keys: rkeys, value, neg: arm.neg },
+                    });
+                }
+                for target in resets {
+                    let input = self.input_idx(target)?;
+                    self.removals.push(Removal::Clear { input, state });
+                }
+            }
+            ADecl::Hold { name, arms, .. } => {
+                let state = self.state_names[&name.node];
+                for arm in arms {
+                    let input = self.input_idx(&arm.input)?;
+                    let kind = self.inputs[input].kind;
+                    let (value, ty) = self.resolve(&arm.value, kind)?;
+                    match self.states[state].ty {
+                        None => self.states[state].ty = Some(ty),
+                        Some(expected) if expected != ty => {
+                            return Err(err(
+                                arm.value.line,
+                                arm.value.col,
+                                format!(
+                                    "hold '{}' is {}, found {}",
+                                    name.node,
+                                    expected.name(),
+                                    ty.name()
+                                ),
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                    self.steps.push(Step {
+                        input,
+                        action: Action::Set { state, keys: Vec::new(), value },
+                    });
+                }
+            }
+            ADecl::Window { name, keys, sum, input, .. } => {
+                let state = self.state_names[&name.node];
+                let input = self.input_idx(input)?;
+                let kind = self.inputs[input].kind;
+                let rkeys = self.resolve_keys(keys, kind)?;
+                let value = match sum {
+                    None => Expr::Int(1),
+                    Some(e) => {
+                        let (ve, ty) = self.resolve(e, kind)?;
+                        if ty != Ty::Int {
+                            return Err(err(
+                                e.line,
+                                e.col,
+                                format!("window sum must be Int, found {}", ty.name()),
+                            ));
+                        }
+                        ve
+                    }
+                };
+                self.steps.push(Step { input, action: Action::Push { state, keys: rkeys, value } });
+            }
+            ADecl::Trigger { severity, name, input, cond, message } => {
+                let input = self.input_idx(input)?;
+                let kind = self.inputs[input].kind;
+                let (ce, ty) = self.resolve(cond, kind)?;
+                if ty != Ty::Bool {
+                    return Err(err(
+                        cond.line,
+                        cond.col,
+                        format!("trigger condition must be Bool, found {}", ty.name()),
+                    ));
+                }
+                let parts = match message {
+                    Some(template) => self.template(template, kind)?,
+                    None => vec![Part::Lit(name.node.clone())],
+                };
+                let trigger = self.triggers.len();
+                self.triggers.push(TriggerDef {
+                    severity: *severity,
+                    name: name.node.clone(),
+                    cond: ce,
+                    message: parts,
+                });
+                self.steps.push(Step { input, action: Action::Fire { trigger } });
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_keys(
+        &mut self,
+        keys: &[Sp<AExpr>],
+        kind: EventKind,
+    ) -> Result<Vec<Expr>, SpecError> {
+        keys.iter()
+            .map(|k| {
+                let (ke, ty) = self.resolve(k, kind)?;
+                if ty != Ty::Int {
+                    return Err(err(
+                        k.line,
+                        k.col,
+                        format!("stream keys must be Int, found {}", ty.name()),
+                    ));
+                }
+                Ok(ke)
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn resolve(&mut self, e: &Sp<AExpr>, kind: EventKind) -> Result<(Expr, Ty), SpecError> {
+        match &e.node {
+            AExpr::Int(n) => Ok((Expr::Int(*n), Ty::Int)),
+            AExpr::Bool(b) => Ok((Expr::Bool(*b), Ty::Bool)),
+            AExpr::Name(n) => {
+                if let Some((f, ty)) = fields::lookup(kind, n) {
+                    return Ok((Expr::Field(f), ty));
+                }
+                if let Some(&si) = self.state_names.get(n) {
+                    let (arity, ty) = (self.states[si].arity, self.states[si].ty);
+                    if arity != 0 {
+                        return Err(err(e.line, e.col, format!("'{n}' expects {arity} key(s)")));
+                    }
+                    let Some(ty) = ty else {
+                        return Err(err(
+                            e.line,
+                            e.col,
+                            format!(
+                                "hold '{n}' is read before its type is known (declare it \
+                                 earlier or give it an 'init')"
+                            ),
+                        ));
+                    };
+                    self.read_states.insert(si);
+                    return Ok((Expr::Read { state: si, keys: Vec::new() }, ty));
+                }
+                if self.input_names.contains_key(n) {
+                    return Err(err(
+                        e.line,
+                        e.col,
+                        format!("'{n}' is an input stream, not a value"),
+                    ));
+                }
+                Err(err(
+                    e.line,
+                    e.col,
+                    format!("unknown name '{n}' on event kind '{}'", kind.name()),
+                ))
+            }
+            AExpr::Index(n, keys) => {
+                let Some(&si) = self.state_names.get(n) else {
+                    if fields::lookup(kind, n).is_some() {
+                        return Err(err(
+                            e.line,
+                            e.col,
+                            format!("'{n}' is an event field, not a keyed stream"),
+                        ));
+                    }
+                    return Err(err(e.line, e.col, format!("unknown stream '{n}'")));
+                };
+                let (arity, ty) = (self.states[si].arity, self.states[si].ty);
+                if arity != keys.len() {
+                    return Err(err(
+                        e.line,
+                        e.col,
+                        format!("'{n}' expects {arity} key(s), got {}", keys.len()),
+                    ));
+                }
+                self.read_states.insert(si);
+                let rkeys = self.resolve_keys(keys, kind)?;
+                Ok((Expr::Read { state: si, keys: rkeys }, ty.unwrap_or(Ty::Int)))
+            }
+            AExpr::Size(name) => {
+                let Some(&si) = self.state_names.get(&name.node) else {
+                    return Err(err(
+                        name.line,
+                        name.col,
+                        format!("unknown stream '{}'", name.node),
+                    ));
+                };
+                if !self.states[si].sizeable || self.states[si].arity == 0 {
+                    return Err(err(
+                        name.line,
+                        name.col,
+                        format!(
+                            "size() expects a keyed map or counter, '{}' is not one",
+                            name.node
+                        ),
+                    ));
+                }
+                self.read_states.insert(si);
+                Ok((Expr::Size(si), Ty::Int))
+            }
+            AExpr::Un(op, inner) => {
+                let (ie, ty) = self.resolve(inner, kind)?;
+                match op {
+                    UnOp::Not if ty != Ty::Bool => Err(err(
+                        e.line,
+                        e.col,
+                        format!("'!' expects a Bool operand, found {}", ty.name()),
+                    )),
+                    UnOp::Neg if ty != Ty::Int => Err(err(
+                        e.line,
+                        e.col,
+                        format!("unary '-' expects an Int operand, found {}", ty.name()),
+                    )),
+                    _ => Ok((Expr::Un(*op, Box::new(ie)), ty)),
+                }
+            }
+            AExpr::Bin(op, lhs, rhs) => {
+                let (le, lty) = self.resolve(lhs, kind)?;
+                let (re, rty) = self.resolve(rhs, kind)?;
+                let expr = Expr::Bin(*op, Box::new(le), Box::new(re));
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        if lty != Ty::Int || rty != Ty::Int {
+                            let bad = if lty == Ty::Int { rty } else { lty };
+                            return Err(err(
+                                e.line,
+                                e.col,
+                                format!(
+                                    "'{}' expects Int operands, found {}",
+                                    op.glyph(),
+                                    bad.name()
+                                ),
+                            ));
+                        }
+                        Ok((expr, Ty::Int))
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if lty != Ty::Int || rty != Ty::Int {
+                            let bad = if lty == Ty::Int { rty } else { lty };
+                            return Err(err(
+                                e.line,
+                                e.col,
+                                format!(
+                                    "'{}' expects Int operands, found {}",
+                                    op.glyph(),
+                                    bad.name()
+                                ),
+                            ));
+                        }
+                        Ok((expr, Ty::Bool))
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if lty != rty {
+                            return Err(err(
+                                e.line,
+                                e.col,
+                                format!("cannot compare {} with {}", lty.name(), rty.name()),
+                            ));
+                        }
+                        Ok((expr, Ty::Bool))
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if lty != Ty::Bool || rty != Ty::Bool {
+                            let bad = if lty == Ty::Bool { rty } else { lty };
+                            return Err(err(
+                                e.line,
+                                e.col,
+                                format!(
+                                    "'{}' expects Bool operands, found {}",
+                                    op.glyph(),
+                                    bad.name()
+                                ),
+                            ));
+                        }
+                        Ok((expr, Ty::Bool))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits a message template into literal and `{expr}` parts; hole
+    /// errors are re-reported at the template string's position.
+    fn template(&mut self, s: &Sp<String>, kind: EventKind) -> Result<Vec<Part>, SpecError> {
+        let wrap = |inner: SpecError| {
+            err(s.line, s.col, format!("in message template: {}", inner.message()))
+        };
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        let mut chars = s.node.chars();
+        while let Some(c) = chars.next() {
+            if c != '{' {
+                lit.push(c);
+                continue;
+            }
+            let mut hole = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(err(s.line, s.col, "unterminated '{' in message template")),
+                    Some('}') => break,
+                    Some(c) => hole.push(c),
+                }
+            }
+            if !lit.is_empty() {
+                parts.push(Part::Lit(std::mem::take(&mut lit)));
+            }
+            let aexpr = (|| {
+                let mut parser = Parser::new(lex(&hole, 1)?);
+                let aexpr = parser.expr()?;
+                if !parser.at_eof() {
+                    return Err(SpecError::at(1, 1, "trailing tokens after expression"));
+                }
+                Ok(aexpr)
+            })()
+            .map_err(wrap)?;
+            let (expr, ty) = self.resolve(&aexpr, kind).map_err(wrap)?;
+            parts.push(Part::Expr(expr, ty));
+        }
+        if !lit.is_empty() {
+            parts.push(Part::Lit(lit));
+        }
+        Ok(parts)
+    }
+
+    /// Non-fatal observations for `check-spec`.
+    fn lints(&self) -> Vec<String> {
+        let mut lints = Vec::new();
+        if self.triggers.is_empty() {
+            lints.push("spec declares no triggers; it can never raise an alarm".to_owned());
+        }
+        for (i, input) in self.inputs.iter().enumerate() {
+            if !self.used_inputs.contains(&i) {
+                lints.push(format!("input '{}' is never used", input.name));
+            }
+        }
+        for (i, state) in self.states.iter().enumerate() {
+            if !self.read_states.contains(&i) {
+                lints.push(format!("stream '{}' is never read", state.name));
+            }
+            if let Some(len) = state.len_lint {
+                if len >= 1_000_000 && matches!(state.kind, StateKind::Sliding { .. }) {
+                    lints.push(format!(
+                        "window '{}' spans {len} cycles; sliding windows buffer every \
+                         event in the span, consider a tumbling window",
+                        state.name
+                    ));
+                }
+            }
+        }
+        lints
+    }
+}

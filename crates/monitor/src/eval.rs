@@ -1,0 +1,358 @@
+//! The incremental evaluator: a [`Monitor`] instantiates a compiled
+//! [`Spec`](crate::Spec) and consumes events as a `parbs_obs::EventSink`,
+//! so it drops into every simulator entry point that takes a sink.
+//!
+//! Per event, evaluation is two-phase (the order is load-bearing for
+//! verdict identity with `InvariantSink` — see `ir.rs`):
+//!
+//! 1. match inputs against **pre-update** state (guards),
+//! 2. run updates and triggers interleaved in declaration order,
+//! 3. run removals and resets last.
+//!
+//! All keyed state is sparse: hash tables keyed by the evaluated key
+//! tuples, so cost scales with *active* threads/banks/requests, never with
+//! the configured maximum.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use parbs_obs::{Event, EventSink};
+
+use crate::ast::{BinOp, Severity, UnOp};
+use crate::fields::{self, EventKind, Ty};
+use crate::ir::{Action, Expr, Part, Removal, StateDef, StateKind};
+use crate::Spec;
+
+/// One raised trigger instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alarm {
+    /// Severity declared by the trigger.
+    pub severity: Severity,
+    /// The trigger's quoted name.
+    pub name: String,
+    /// Cycle of the event that fired the trigger.
+    pub at: u64,
+    /// The thread the firing event concerns, when it names exactly one
+    /// (used to compare verdicts against `InvariantSink` violations).
+    pub thread: Option<usize>,
+    /// Rendered message template.
+    pub message: String,
+}
+
+impl std::fmt::Display for Alarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} cycle {}: {}", self.severity, self.name, self.at, self.message)
+    }
+}
+
+/// Sliding-window state for one key: the retained events and their total.
+#[derive(Debug, Default)]
+struct SlideBuf {
+    buf: VecDeque<(u64, i64)>,
+    total: i64,
+}
+
+/// Runtime storage for one state stream.
+#[derive(Debug)]
+enum Cell {
+    Table { map: HashMap<Vec<i64>, i64>, default: i64 },
+    Sliding { len: u64, per_key: HashMap<Vec<i64>, SlideBuf> },
+    Tumbling { len: u64, per_key: HashMap<Vec<i64>, (u64, i64)> },
+}
+
+impl Cell {
+    fn new(def: &StateDef) -> Cell {
+        match def.kind {
+            StateKind::Table { default } => Cell::Table { map: HashMap::new(), default },
+            StateKind::Sliding { len } => Cell::Sliding { len, per_key: HashMap::new() },
+            StateKind::Tumbling { len } => Cell::Tumbling { len, per_key: HashMap::new() },
+        }
+    }
+}
+
+/// Drops sliding-window entries outside `(now - len, now]`.
+fn prune(s: &mut SlideBuf, len: u64, now: u64) {
+    while let Some(&(t, v)) = s.buf.front() {
+        if t.saturating_add(len) <= now {
+            s.total = s.total.wrapping_sub(v);
+            s.buf.pop_front();
+        } else {
+            break;
+        }
+    }
+}
+
+fn read_cell(cell: &mut Cell, keys: &[i64], now: u64) -> i64 {
+    match cell {
+        Cell::Table { map, default } => map.get(keys).copied().unwrap_or(*default),
+        Cell::Sliding { len, per_key } => per_key.get_mut(keys).map_or(0, |s| {
+            prune(s, *len, now);
+            s.total
+        }),
+        Cell::Tumbling { len, per_key } => {
+            per_key
+                .get(keys)
+                .map_or(0, |&(bucket, total)| if now / *len == bucket { total } else { 0 })
+        }
+    }
+}
+
+fn eval_keys(keys: &[Expr], event: &Event, at: u64, cells: &mut [Cell]) -> Vec<i64> {
+    keys.iter().map(|k| eval(k, event, at, cells)).collect()
+}
+
+/// Evaluates an expression to `i64` (booleans as 0/1). Reads may prune
+/// sliding windows, hence `&mut` cells.
+fn eval(e: &Expr, event: &Event, at: u64, cells: &mut [Cell]) -> i64 {
+    match e {
+        Expr::Int(n) => *n,
+        Expr::Bool(b) => i64::from(*b),
+        Expr::Field(f) => fields::value(event, *f),
+        Expr::Read { state, keys } => {
+            let k = eval_keys(keys, event, at, cells);
+            read_cell(&mut cells[*state], &k, at)
+        }
+        Expr::Size(state) => match &cells[*state] {
+            Cell::Table { map, .. } => i64::try_from(map.len()).unwrap_or(i64::MAX),
+            Cell::Sliding { .. } | Cell::Tumbling { .. } => 0,
+        },
+        Expr::Un(UnOp::Not, a) => i64::from(eval(a, event, at, cells) == 0),
+        Expr::Un(UnOp::Neg, a) => eval(a, event, at, cells).wrapping_neg(),
+        Expr::Bin(BinOp::And, a, b) => {
+            if eval(a, event, at, cells) == 0 {
+                0
+            } else {
+                i64::from(eval(b, event, at, cells) != 0)
+            }
+        }
+        Expr::Bin(BinOp::Or, a, b) => {
+            if eval(a, event, at, cells) != 0 {
+                1
+            } else {
+                i64::from(eval(b, event, at, cells) != 0)
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let x = eval(a, event, at, cells);
+            let y = eval(b, event, at, cells);
+            match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                BinOp::Mod => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+                BinOp::Lt => i64::from(x < y),
+                BinOp::Le => i64::from(x <= y),
+                BinOp::Gt => i64::from(x > y),
+                BinOp::Ge => i64::from(x >= y),
+                BinOp::Eq => i64::from(x == y),
+                BinOp::Ne => i64::from(x != y),
+                BinOp::And | BinOp::Or => unreachable!("short-circuited above"),
+            }
+        }
+    }
+}
+
+/// An online evaluator for one compiled spec over one event stream.
+///
+/// Implements [`EventSink`], so it attaches anywhere an `InvariantSink` or
+/// `JsonlSink` does: `run_observed`, the flow driver, sweeps, or offline
+/// replay of a recorded JSONL trace.
+#[derive(Debug)]
+pub struct Monitor {
+    spec: Spec,
+    cells: Vec<Cell>,
+    matched: Vec<bool>,
+    alarms: Vec<Alarm>,
+    counts: Vec<u64>,
+    /// Total events observed.
+    pub events: u64,
+}
+
+impl Monitor {
+    /// Creates a fresh evaluator for `spec`.
+    #[must_use]
+    pub fn new(spec: &Spec) -> Monitor {
+        let ir = spec.ir();
+        Monitor {
+            spec: spec.clone(),
+            cells: ir.states.iter().map(Cell::new).collect(),
+            matched: vec![false; ir.inputs.len()],
+            alarms: Vec::new(),
+            counts: vec![0; ir.triggers.len()],
+            events: 0,
+        }
+    }
+
+    /// The alarms raised so far, in firing order.
+    #[must_use]
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// True when no **error**-severity alarm has fired (warnings are
+    /// advisory and do not fail the verdict).
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.alarms.iter().all(|a| a.severity != Severity::Error)
+    }
+
+    /// Per-trigger firing counts, in declaration order.
+    #[must_use]
+    pub fn trigger_counts(&self) -> Vec<(&str, Severity, u64)> {
+        self.spec
+            .ir()
+            .triggers
+            .iter()
+            .zip(&self.counts)
+            .map(|(t, &n)| (t.name.as_str(), t.severity, n))
+            .collect()
+    }
+
+    /// One-line verdict for CLI output.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let errors = self.alarms.iter().filter(|a| a.severity == Severity::Error).count();
+        let warns = self.alarms.len() - errors;
+        if self.alarms.is_empty() {
+            format!("{} events monitored, 0 alarms", self.events)
+        } else {
+            format!(
+                "{} events monitored, {} ALARM(S) ({errors} error, {warns} warn)",
+                self.events,
+                self.alarms.len()
+            )
+        }
+    }
+}
+
+impl EventSink for Monitor {
+    fn record(&mut self, event: &Event) {
+        self.events += 1;
+        let spec = self.spec.clone();
+        let ir = spec.ir();
+        let kind = EventKind::of(event);
+        let at = event.at();
+
+        for (slot, input) in self.matched.iter_mut().zip(&ir.inputs) {
+            *slot = input.kind == kind;
+        }
+        // Guards see pre-update state; evaluated after the kind screen so
+        // off-kind events never touch guard expressions.
+        for (i, input) in ir.inputs.iter().enumerate() {
+            if self.matched[i] {
+                if let Some(guard) = &input.guard {
+                    self.matched[i] = eval(guard, event, at, &mut self.cells) != 0;
+                }
+            }
+        }
+
+        for step in &ir.steps {
+            if !self.matched[step.input] {
+                continue;
+            }
+            match &step.action {
+                Action::Set { state, keys, value } => {
+                    let v = eval(value, event, at, &mut self.cells);
+                    let k = eval_keys(keys, event, at, &mut self.cells);
+                    if let Cell::Table { map, .. } = &mut self.cells[*state] {
+                        map.insert(k, v);
+                    }
+                }
+                Action::Add { state, keys, value, neg } => {
+                    let mut v = eval(value, event, at, &mut self.cells);
+                    if *neg {
+                        v = v.wrapping_neg();
+                    }
+                    let k = eval_keys(keys, event, at, &mut self.cells);
+                    if let Cell::Table { map, .. } = &mut self.cells[*state] {
+                        let slot = map.entry(k).or_insert(0);
+                        *slot = slot.wrapping_add(v);
+                    }
+                }
+                Action::Push { state, keys, value } => {
+                    let v = eval(value, event, at, &mut self.cells);
+                    let k = eval_keys(keys, event, at, &mut self.cells);
+                    match &mut self.cells[*state] {
+                        Cell::Sliding { len, per_key } => {
+                            let s = per_key.entry(k).or_default();
+                            prune(s, *len, at);
+                            s.buf.push_back((at, v));
+                            s.total = s.total.wrapping_add(v);
+                        }
+                        Cell::Tumbling { len, per_key } => {
+                            let bucket = at / *len;
+                            let slot = per_key.entry(k).or_insert((bucket, 0));
+                            if slot.0 != bucket {
+                                *slot = (bucket, 0);
+                            }
+                            slot.1 = slot.1.wrapping_add(v);
+                        }
+                        Cell::Table { .. } => {}
+                    }
+                }
+                Action::Fire { trigger } => {
+                    let def = &ir.triggers[*trigger];
+                    if eval(&def.cond, event, at, &mut self.cells) == 0 {
+                        continue;
+                    }
+                    let mut message = String::new();
+                    for part in &def.message {
+                        match part {
+                            Part::Lit(s) => message.push_str(s),
+                            Part::Expr(e, ty) => {
+                                let v = eval(e, event, at, &mut self.cells);
+                                match ty {
+                                    Ty::Bool => {
+                                        message.push_str(if v != 0 { "true" } else { "false" });
+                                    }
+                                    Ty::Int => message.push_str(&v.to_string()),
+                                }
+                            }
+                        }
+                    }
+                    self.counts[*trigger] += 1;
+                    self.alarms.push(Alarm {
+                        severity: def.severity,
+                        name: def.name.clone(),
+                        at,
+                        thread: fields::thread_of(event),
+                        message,
+                    });
+                }
+            }
+        }
+
+        for removal in &ir.removals {
+            match removal {
+                Removal::Entry { input, state, keys } => {
+                    if self.matched[*input] {
+                        let k = eval_keys(keys, event, at, &mut self.cells);
+                        if let Cell::Table { map, .. } = &mut self.cells[*state] {
+                            map.remove(&k);
+                        }
+                    }
+                }
+                Removal::Clear { input, state } => {
+                    if self.matched[*input] {
+                        if let Cell::Table { map, .. } = &mut self.cells[*state] {
+                            map.clear();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline replay: run a compiled spec over a recorded JSONL event trace
+//! (as written by `parbs_obs::JsonlSink`) and return the finished monitor.
+//!
+//! Because the evaluator consumes the same `Event` values online and
+//! offline, replaying a trace yields the **same verdicts** as monitoring
+//! the live run that produced it — the workspace identity test and the CI
+//! `monitor-smoke` job both diff the two.
+
+use parbs_obs::{parse_jsonl, EventSink};
+
+use crate::{Monitor, Spec};
+
+/// A malformed line in a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 1-based line number of the malformed record.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Replays a JSONL trace through a fresh monitor for `spec`.
+///
+/// Blank lines are skipped; events are fed in file order.
+///
+/// # Errors
+///
+/// Returns the first malformed line, with its 1-based line number.
+pub fn replay_jsonl(spec: &Spec, text: &str) -> Result<Monitor, ReplayError> {
+    let events =
+        parse_jsonl(text).map_err(|(line, e)| ReplayError { line, message: e.to_string() })?;
+    let mut monitor = spec.monitor();
+    for event in &events {
+        monitor.record(event);
+    }
+    Ok(monitor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_matches_online_feeding() {
+        let spec = crate::prelude::invariants();
+        let trace = "\
+{\"type\":\"enqueued\",\"at\":0,\"req\":1,\"thread\":0,\"write\":false,\"rank\":0,\"bank\":0,\"row\":5}
+{\"type\":\"marked\",\"at\":1,\"req\":1,\"thread\":0,\"rank\":0,\"bank\":0}
+{\"type\":\"command_issued\",\"at\":2,\"req\":2,\"thread\":1,\"cmd\":\"RD\",\"rank\":0,\"bank\":0,\"row\":5,\"col\":0,\"marked\":false}
+";
+        let monitor = replay_jsonl(&spec, trace).unwrap();
+        assert_eq!(monitor.events, 3);
+        assert_eq!(monitor.alarms().len(), 1);
+        assert_eq!(monitor.alarms()[0].name, "marked-first");
+        assert_eq!(monitor.alarms()[0].at, 2);
+        assert_eq!(monitor.alarms()[0].thread, Some(1));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_their_number() {
+        let spec = crate::prelude::invariants();
+        let err = replay_jsonl(&spec, "\n{\"type\":\"nope\"}\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+    }
+}

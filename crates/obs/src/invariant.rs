@@ -65,6 +65,10 @@ pub struct Violation {
     pub rule: InvariantRule,
     /// Cycle of the offending event.
     pub at: u64,
+    /// The thread the offending event concerns, when the rule names one
+    /// (MarkedFirst: the serviced thread; MarkingCap: the over-marked
+    /// thread; batch-level rules carry `None`).
+    pub thread: Option<usize>,
     /// Human-readable description of what went wrong.
     pub message: String,
     /// The offending event plus up to `WINDOW` (24) preceding events,
@@ -134,9 +138,9 @@ impl InvariantSink {
         }
     }
 
-    fn report(&mut self, rule: InvariantRule, at: u64, message: String) {
+    fn report(&mut self, rule: InvariantRule, at: u64, thread: Option<usize>, message: String) {
         let window: Vec<Event> = self.window.iter().cloned().collect();
-        self.violations.push(Violation { rule, at, message, window });
+        self.violations.push(Violation { rule, at, thread, message, window });
     }
 
     fn check_command(&mut self, event: &Event) {
@@ -164,6 +168,7 @@ impl InvariantSink {
             self.report(
                 InvariantRule::MarkedFirst,
                 *at,
+                Some(*thread),
                 format!(
                     "unmarked read req {request} (thread {thread}) serviced at bank {bank} row {row} \
                      while marked read req {blocked_id} (thread {b_thread}) to bank {b_bank} row {row} was queued"
@@ -201,6 +206,7 @@ impl EventSink for InvariantSink {
                         self.report(
                             InvariantRule::BatchExclusive,
                             *at,
+                            None,
                             format!(
                                 "batch {id} formed while {outstanding} marked request(s) of the \
                                  previous batch were still outstanding"
@@ -223,6 +229,7 @@ impl EventSink for InvariantSink {
                         self.report(
                             InvariantRule::MarkingCap,
                             *at,
+                            Some(*thread),
                             format!(
                                 "thread {thread} has {used} marked requests at bank {bank}, \
                                  exceeding Marking-Cap {cap}"
@@ -239,6 +246,7 @@ impl EventSink for InvariantSink {
                     self.report(
                         InvariantRule::RankOrder,
                         *at,
+                        None,
                         format!(
                             "batch {batch} ranking is not a permutation of 0..{}",
                             entries.len()
@@ -253,6 +261,7 @@ impl EventSink for InvariantSink {
                             self.report(
                                 InvariantRule::RankOrder,
                                 *at,
+                                None,
                                 format!(
                                     "batch {batch}: thread {} (max {}, total {}) ranked above \
                                      thread {} (max {}, total {}) — not shortest-job-first",
@@ -360,6 +369,7 @@ mod tests {
         assert_eq!(sink.violations().len(), 1);
         let v = &sink.violations()[0];
         assert_eq!(v.rule, InvariantRule::MarkedFirst);
+        assert_eq!(v.thread, Some(1), "carries the serviced thread");
         assert!(v.message.contains("req 2"));
         assert!(!v.window.is_empty(), "violation carries its event window");
         assert_eq!(v.window.last(), Some(&read_cmd(2, 1, 0, 5, false)));
@@ -391,6 +401,7 @@ mod tests {
         ]);
         assert_eq!(sink.violations().len(), 1);
         assert_eq!(sink.violations()[0].rule, InvariantRule::MarkingCap);
+        assert_eq!(sink.violations()[0].thread, Some(0));
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod chrome;
 mod counter;
 mod event;
 mod invariant;
+mod json;
 mod jsonl;
 mod sink;
 
@@ -43,5 +44,6 @@ pub use chrome::ChromeTraceSink;
 pub use counter::{BankCounters, CounterSink, ThreadCounters};
 pub use event::{CmdKind, Event, RankEntry, ServiceClass};
 pub use invariant::{InvariantRule, InvariantSink, Violation};
+pub use json::{parse_jsonl, ParseEventError};
 pub use jsonl::JsonlSink;
 pub use sink::{downcast_sink, CollectSink, EventSink, FanoutSink};

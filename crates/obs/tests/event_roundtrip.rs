@@ -1,0 +1,129 @@
+//! Property test: every [`Event`] variant serializes to JSONL and parses
+//! back **losslessly** — `Event::from_json(&e.to_json()) == e` for arbitrary
+//! field values. Offline replay (`parbs-sim monitor --replay`) relies on
+//! this: a silently dropped or zeroed field would skew monitor verdicts
+//! without any error.
+
+use parbs_obs::{CmdKind, Event, RankEntry, ServiceClass};
+use proptest::prelude::*;
+
+/// Draws one arbitrary event covering all 13 variants; `pick` selects the
+/// variant, the remaining integers seed the fields (split by simple
+/// mixing so every field varies independently of the others).
+#[allow(clippy::too_many_lines)]
+fn build_event(pick: u8, a: u64, b: u64, c: u64, d: u64, flags: u8, len: usize) -> Event {
+    let thread = (b % 70_000) as usize;
+    let rank = (c % 4) as usize;
+    let bank = (c / 4 % 16) as usize;
+    let write = flags & 1 != 0;
+    match pick % 13 {
+        0 => Event::Enqueued { at: a, request: b, thread, write, rank, bank, row: d },
+        1 => Event::Marked { at: a, request: b, thread, rank, bank },
+        2 => Event::BatchFormed {
+            at: a,
+            id: b,
+            marked: (c % u64::from(u32::MAX)) as u32,
+            cap: if flags & 2 != 0 { Some((d % 64) as u32) } else { None },
+            exclusive: flags & 4 != 0,
+            per_thread: (0..len).map(|i| (i * 7 + thread, (d % 9) as u32 + i as u32)).collect(),
+        },
+        3 => Event::BatchDrained { at: a, id: b, formed_at: d },
+        4 => Event::RankComputed {
+            at: a,
+            batch: b,
+            max_total: flags & 2 != 0,
+            entries: (0..len)
+                .map(|i| RankEntry {
+                    thread: thread + i,
+                    rank: i as u32,
+                    max_bank_load: (c % 1000) as u32 + i as u32,
+                    total_load: (d % 1000) as u32 + i as u32,
+                })
+                .collect(),
+        },
+        5 => Event::CommandIssued {
+            at: a,
+            request: b,
+            thread,
+            kind: match flags >> 1 & 3 {
+                0 => CmdKind::Activate,
+                1 => CmdKind::Read,
+                2 => CmdKind::Write,
+                _ => CmdKind::Precharge,
+            },
+            rank,
+            bank,
+            row: d,
+            col: c,
+            marked: flags & 1 != 0,
+            service: match flags >> 3 & 3 {
+                0 => None,
+                1 => Some(ServiceClass::Hit),
+                2 => Some(ServiceClass::Closed),
+                _ => Some(ServiceClass::Conflict),
+            },
+            data_end: if flags & 32 != 0 { Some(d.wrapping_add(40)) } else { None },
+        },
+        6 => Event::Completed { at: a, request: b, thread, write, arrival: c, finish: d },
+        7 => Event::WriteDrain { at: a, start: flags & 2 != 0, queued: (c % 256) as u32 },
+        8 => Event::Refresh { at: a, rank },
+        9 => Event::BusSample {
+            at: a,
+            busy_banks: (b % 64) as u32,
+            queued_reads: (c % 512) as u32,
+            queued_writes: (d % 512) as u32,
+        },
+        10 => Event::BlacklistSet { at: a, thread, consecutive: (c % 64) as u32 },
+        11 => Event::BlacklistCleared { at: a, cleared: (c % 64) as u32 },
+        _ => Event::QuantumRolled {
+            at: a,
+            quantum: b,
+            ranking: (0..len).map(|i| (thread + i, i as u32, d.wrapping_add(i as u64))).collect(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2_000))]
+    #[test]
+    fn every_event_round_trips_losslessly(
+        pick in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        d in any::<u64>(),
+        flags in any::<u8>(),
+        len in 0usize..5,
+    ) {
+        let event = build_event(pick, a, b, c, d, flags, len);
+        let json = event.to_json();
+        prop_assert!(!json.contains('\n'), "JSONL records are single-line: {json}");
+        let parsed = Event::from_json(&json);
+        prop_assert_eq!(parsed, Ok(event), "payload: {}", json);
+    }
+
+    #[test]
+    fn jsonl_documents_round_trip_line_by_line(
+        seed in any::<u64>(),
+        count in 1usize..20,
+    ) {
+        use parbs_obs::{parse_jsonl, EventSink, JsonlSink};
+        let events: Vec<Event> = (0..count)
+            .map(|i| {
+                let x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+                build_event((x % 13) as u8, x, x >> 7, x >> 13, x >> 23, (x >> 31) as u8,
+                            (x % 4) as usize)
+            })
+            .collect();
+        let mut sink = JsonlSink::to_vec();
+        for e in &events {
+            sink.record(e);
+        }
+        let text = sink.into_string();
+        let parsed = match parse_jsonl(&text) {
+            Ok(p) => p,
+            Err((line, e)) => return Err(TestCaseError::Fail(format!("line {line}: {e}"))),
+        };
+        prop_assert_eq!(parsed, events);
+    }
+}

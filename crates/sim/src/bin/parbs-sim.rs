@@ -15,6 +15,8 @@
 //! parbs-sim flow-sweep [n]              open-loop flow frontend: schedulers ×
 //!                                       requester scales {16, 1024, n}, FCT
 //!                                       percentiles + slowdown-vs-isolation
+//! parbs-sim monitor --spec <spec>       replay a JSONL event trace through a
+//!            --replay <trace.jsonl>     monitor spec, offline
 //!
 //! options: --target <instructions>   per-thread run length (default 30000)
 //!          --seed <seed>             workload seed (default 42)
@@ -36,6 +38,13 @@
 //!          --trace-sched <name>      scheduler for the observed run
 //!                                    (FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS|
 //!                                    BLISS|ATLAS, default PAR-BS)
+//!          --spec <spec>             attach a monitor compiled from a spec
+//!                                    file, or prelude:invariants /
+//!                                    prelude:qos; exit 1 on error alarms
+//!          --monitor-report          print the per-trigger fire counts
+//!
+//! `--spec` also works on zoo-sweep (observed re-runs print a trigger table
+//! per scheduler) and flow-sweep (alarm totals per run).
 //!
 //! flow-sweep options:
 //!          --sched <name>            run one scheduler instead of the zoo
@@ -52,6 +61,7 @@
 use std::time::Instant;
 
 use parbs_dram::MappingPolicy;
+use parbs_monitor::Spec;
 use parbs_sim::{experiments, Harness, ObserveOptions, SchedulerKind, SimConfig, TraceFormat};
 use parbs_workloads::{
     all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, BoundedPareto,
@@ -108,6 +118,37 @@ fn sched_by_name(name: &str) -> Option<SchedulerKind> {
     }
 }
 
+/// Resolves a `--spec` argument: `prelude:<name>` for a built-in spec,
+/// anything else is a path to a spec file. Compile errors are hard errors
+/// with the `line:col: message` position.
+fn load_spec(arg: &str) -> Spec {
+    if let Some(name) = arg.strip_prefix("prelude:") {
+        return parbs_monitor::prelude::by_name(name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown prelude spec '{name}'; expected one of: {}",
+                parbs_monitor::prelude::NAMES.join(", ")
+            );
+            std::process::exit(2);
+        });
+    }
+    let src = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        eprintln!("cannot read spec {arg}: {e}");
+        std::process::exit(2);
+    });
+    match Spec::compile(&src) {
+        Ok(spec) => {
+            for lint in spec.lints() {
+                eprintln!("{arg}: warning: {lint}");
+            }
+            spec
+        }
+        Err(e) => {
+            eprintln!("{arg}:{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The DRAM-shape flags (`--ranks`, `--mapping`, `--no-xor`), applied to
 /// every command's base configuration.
 #[derive(Clone, Copy)]
@@ -155,12 +196,16 @@ struct ObserveArgs {
     format: TraceFormat,
     check: bool,
     sched: SchedulerKind,
+    spec: Option<Spec>,
+    monitor_report: bool,
 }
 
 fn observe_args(args: &[String]) -> Option<ObserveArgs> {
     let out = str_value_of(args, "--trace-out").map(str::to_owned);
     let check = args.iter().any(|a| a == "--check-invariants");
-    if out.is_none() && !check {
+    let spec = str_value_of(args, "--spec").map(load_spec);
+    let monitor_report = args.iter().any(|a| a == "--monitor-report");
+    if out.is_none() && !check && spec.is_none() {
         return None;
     }
     let format = match str_value_of(args, "--trace-format") {
@@ -179,7 +224,7 @@ fn observe_args(args: &[String]) -> Option<ObserveArgs> {
             std::process::exit(2);
         }),
     };
-    Some(ObserveArgs { out, format, check, sched })
+    Some(ObserveArgs { out, format, check, sched, spec, monitor_report })
 }
 
 /// Runs `mix` once with sinks attached, writes the trace, prints the
@@ -194,8 +239,11 @@ fn run_observed_cli(
     let mut cfg =
         SimConfig { target_instructions: target, seed, ..SimConfig::for_cores(mix.cores()) };
     shape.apply(&mut cfg);
-    let opts =
-        ObserveOptions { check_invariants: oa.check, trace: oa.out.as_ref().map(|_| oa.format) };
+    let opts = ObserveOptions {
+        check_invariants: oa.check,
+        trace: oa.out.as_ref().map(|_| oa.format),
+        spec: oa.spec.clone(),
+    };
     let start = Instant::now();
     let obs = parbs_sim::run_observed(cfg, mix, &oa.sched, &opts);
     println!(
@@ -226,7 +274,74 @@ fn run_observed_cli(
         }
         println!("invariants: OK ({} channel(s) checked)", obs.invariants.len());
     }
+    if oa.spec.is_some() {
+        let mut errors = false;
+        for rep in &obs.monitors {
+            println!("channel {}: {}", rep.channel, rep.summary);
+            for a in &rep.alarms {
+                println!("{a}");
+            }
+            if oa.monitor_report {
+                for (name, sev, count) in &rep.trigger_counts {
+                    println!("  trigger {name} [{sev}]: {count} fire(s)");
+                }
+            }
+            errors |= !rep.ok;
+        }
+        if errors {
+            eprintln!("{} monitor alarm(s)", obs.alarm_count);
+            std::process::exit(1);
+        }
+        println!("monitor: OK ({} channel(s) monitored)", obs.monitors.len());
+    }
     println!("observed in {:.2}s", start.elapsed().as_secs_f64());
+}
+
+/// Re-runs every (scheduler, mix) cell of the zoo observed with `spec`
+/// attached and prints the per-trigger fire counts summed over channels —
+/// the measured "which scheduler trips which trigger where" table.
+fn zoo_trigger_table(
+    mixes: &[parbs_workloads::MixSpec],
+    target: u64,
+    seed: u64,
+    shape: &ShapeArgs,
+    spec: &Spec,
+) {
+    let triggers = spec.triggers();
+    print!("{:10} {:12}", "scheduler", "mix");
+    for (name, _) in &triggers {
+        print!(" {name:>16}");
+    }
+    println!(" {:>7}", "events");
+    for sched in SchedulerKind::zoo_seven() {
+        for mix in mixes {
+            let mut cfg = SimConfig {
+                target_instructions: target,
+                seed,
+                ..SimConfig::for_cores(mix.cores())
+            };
+            shape.apply(&mut cfg);
+            let opts = ObserveOptions { spec: Some(spec.clone()), ..Default::default() };
+            let obs = parbs_sim::run_observed(cfg, mix, &sched, &opts);
+            let mut counts = vec![0u64; triggers.len()];
+            let mut events = 0u64;
+            for rep in &obs.monitors {
+                events += rep.events;
+                for (i, (name, _)) in triggers.iter().enumerate() {
+                    for (n, _, k) in &rep.trigger_counts {
+                        if n == name {
+                            counts[i] += k;
+                        }
+                    }
+                }
+            }
+            print!("{:10} {:12}", sched.name(), mix.name);
+            for c in &counts {
+                print!(" {c:>16}");
+            }
+            println!(" {events:>7}");
+        }
+    }
 }
 
 fn print_evals(evals: &[parbs_sim::MixEvaluation]) {
@@ -520,6 +635,10 @@ fn main() {
                 );
             }
             print_run_summary(start, sweep.job_count(), jobs, &harness);
+            if let Some(spec_arg) = str_value_of(&args, "--spec") {
+                let spec = load_spec(spec_arg);
+                zoo_trigger_table(&mixes, target, seed, &shape, &spec);
+            }
         }
         Some("flow-sweep") => {
             let n = count_arg(&args, "flow-sweep", 4096);
@@ -534,6 +653,7 @@ fn main() {
                 ..FlowConfig::default()
             };
             let check = args.iter().any(|a| a == "--check-invariants");
+            let spec = str_value_of(&args, "--spec").map(load_spec);
             let schedulers = match str_value_of(&args, "--sched") {
                 None => SchedulerKind::zoo_seven(),
                 Some(s) => vec![sched_by_name(s).unwrap_or_else(|| {
@@ -557,7 +677,15 @@ fn main() {
                 if check { ", invariants checked" } else { "" }
             );
             let start = Instant::now();
-            let rows = parbs_sim::run_flow_sweep(&cfg, &schedulers, &scales, &flows, check, jobs);
+            let rows = parbs_sim::run_flow_sweep(
+                &cfg,
+                &schedulers,
+                &scales,
+                &flows,
+                check,
+                spec.as_ref(),
+                jobs,
+            );
             println!(
                 "{:10} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
                 "scheduler",
@@ -571,6 +699,7 @@ fn main() {
                 "backlog"
             );
             let mut violations = 0;
+            let mut alarms = 0;
             for r in &rows {
                 let s = &r.summary;
                 println!(
@@ -587,6 +716,7 @@ fn main() {
                     if r.drive.timed_out { " (timed out)" } else { "" }
                 );
                 violations += r.drive.invariant_violations;
+                alarms += r.drive.monitor_alarms;
             }
             println!(
                 "{} flow run(s) in {:.2}s (jobs={})",
@@ -601,15 +731,56 @@ fn main() {
                 }
                 println!("invariants: OK ({} run(s) checked)", rows.len());
             }
+            if spec.is_some() {
+                if alarms > 0 {
+                    eprintln!("{alarms} monitor alarm(s)");
+                    std::process::exit(1);
+                }
+                println!("monitor: OK ({} run(s) monitored)", rows.len());
+            }
+        }
+        Some("monitor") => {
+            let Some(spec_arg) = str_value_of(&args, "--spec") else {
+                eprintln!("usage: parbs-sim monitor --spec <file|prelude:name> --replay <jsonl>");
+                std::process::exit(2);
+            };
+            let Some(trace_path) = str_value_of(&args, "--replay") else {
+                eprintln!("usage: parbs-sim monitor --spec <file|prelude:name> --replay <jsonl>");
+                std::process::exit(2);
+            };
+            let spec = load_spec(spec_arg);
+            let text = std::fs::read_to_string(trace_path).unwrap_or_else(|e| {
+                eprintln!("cannot read trace {trace_path}: {e}");
+                std::process::exit(2);
+            });
+            let mon = match parbs_monitor::replay_jsonl(&spec, &text) {
+                Ok(mon) => mon,
+                Err(e) => {
+                    eprintln!("{trace_path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!("{}", mon.summary());
+            for a in mon.alarms() {
+                println!("{a}");
+            }
+            for (name, sev, count) in mon.trigger_counts() {
+                println!("  trigger {name} [{sev}]: {count} fire(s)");
+            }
+            if !mon.ok() {
+                std::process::exit(1);
+            }
         }
         _ => {
             eprintln!(
                 "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n] \
-                 | mapping-sweep [n] | zoo-sweep [n] | flow-sweep [n]> \
+                 | mapping-sweep [n] | zoo-sweep [n] | flow-sweep [n] \
+                 | monitor --spec S --replay F> \
                  [--target N] [--seed N] [--jobs N] \
                  [--ranks N] [--mapping row|line] [--no-xor] \
                  [--trace-out F] [--trace-format chrome|jsonl] [--check-invariants] \
-                 [--trace-sched S]  (or --list to enumerate mixes/sweeps)"
+                 [--trace-sched S] [--spec S] [--monitor-report] \
+                 (or --list to enumerate mixes/sweeps)"
             );
             std::process::exit(2);
         }

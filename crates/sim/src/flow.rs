@@ -25,7 +25,8 @@ use std::collections::{HashMap, VecDeque};
 
 use parbs_dram::{Controller, LineAddr, Request, RequestKind, ThreadId};
 use parbs_metrics::{FlowMetrics, FlowSummary, LatencyHistogram};
-use parbs_obs::{downcast_sink, InvariantSink};
+use parbs_monitor::{Monitor, Spec};
+use parbs_obs::{downcast_sink, FanoutSink, InvariantSink};
 use parbs_workloads::{FlowConfig, FlowSource, RequestSource};
 
 use crate::executor::scope_map;
@@ -55,6 +56,8 @@ pub struct SourceDriveResult {
     /// Protocol/scheduler invariant violations observed (always 0 unless
     /// invariant checking was requested).
     pub invariant_violations: usize,
+    /// Monitor alarms observed (always 0 unless a spec was given).
+    pub monitor_alarms: usize,
 }
 
 /// Drives `source` against fresh controllers built from `cfg` until the
@@ -64,7 +67,9 @@ pub struct SourceDriveResult {
 /// With `check_invariants`, every controller runs the DRAM protocol
 /// checker **and** an [`InvariantSink`] auditing scheduler events; the
 /// violation count lands in the result (the protocol checker itself panics
-/// on violation, as elsewhere in the crate).
+/// on violation, as elsewhere in the crate). With `spec`, every controller
+/// additionally runs a [`parbs_monitor`] monitor compiled from the spec and
+/// the alarm count lands in `monitor_alarms`.
 ///
 /// # Panics
 ///
@@ -75,6 +80,7 @@ pub fn drive_source(
     scheduler: &SchedulerKind,
     source: &mut dyn RequestSource,
     check_invariants: bool,
+    spec: Option<&Spec>,
 ) -> SourceDriveResult {
     let mut controllers: Vec<Controller> = (0..cfg.dram.channels())
         .map(|_| {
@@ -85,10 +91,17 @@ pub fn drive_source(
             }
         })
         .collect();
-    if check_invariants {
+    if check_invariants || spec.is_some() {
         for ctrl in &mut controllers {
             ctrl.scheduler_mut().set_observing(true);
-            ctrl.set_event_sink(Box::new(InvariantSink::new()));
+            let mut fan = FanoutSink::new();
+            if check_invariants {
+                fan.push(Box::new(InvariantSink::new()));
+            }
+            if let Some(spec) = spec {
+                fan.push(Box::new(spec.monitor()));
+            }
+            ctrl.set_event_sink(Box::new(fan));
         }
     }
     let mapper = cfg.dram.mapper();
@@ -161,11 +174,20 @@ pub fn drive_source(
         reads_completed += ctrl.stats().reads_completed;
     }
     let mut invariant_violations = 0;
-    if check_invariants {
-        for ctrl in &mut controllers {
-            let Some(sink) = ctrl.take_event_sink() else { continue };
-            if let Ok(inv) = downcast_sink::<InvariantSink>(sink) {
-                invariant_violations += inv.violations().len();
+    let mut monitor_alarms = 0;
+    for ctrl in &mut controllers {
+        let Some(sink) = ctrl.take_event_sink() else { continue };
+        let Ok(fan) = downcast_sink::<FanoutSink>(sink) else { continue };
+        for child in fan.into_sinks() {
+            let child = match downcast_sink::<InvariantSink>(child) {
+                Ok(inv) => {
+                    invariant_violations += inv.violations().len();
+                    continue;
+                }
+                Err(child) => child,
+            };
+            if let Ok(mon) = downcast_sink::<Monitor>(child) {
+                monitor_alarms += mon.alarms().len();
             }
         }
     }
@@ -176,6 +198,7 @@ pub fn drive_source(
         read_latency,
         peak_backlog,
         invariant_violations,
+        monitor_alarms,
     }
 }
 
@@ -206,9 +229,10 @@ pub fn run_flow(
     scheduler: &SchedulerKind,
     flows: &FlowConfig,
     check_invariants: bool,
+    spec: Option<&Spec>,
 ) -> FlowRunResult {
     let mut source = FlowSource::new(*flows);
-    let drive = drive_source(cfg, scheduler, &mut source, check_invariants);
+    let drive = drive_source(cfg, scheduler, &mut source, check_invariants, spec);
     let completed = source.take_completed();
     // Self-calibrating isolation proxy: the best read latency this run
     // demonstrated stands in for unloaded latency.
@@ -242,13 +266,14 @@ pub fn run_flow_sweep(
     scales: &[usize],
     flows: &FlowConfig,
     check_invariants: bool,
+    spec: Option<&Spec>,
     jobs: usize,
 ) -> Vec<FlowRunResult> {
     let cells: Vec<(SchedulerKind, usize)> =
         schedulers.iter().flat_map(|s| scales.iter().map(move |&n| (s.clone(), n))).collect();
     scope_map(&cells, jobs, |(sched, n)| {
         let fc = FlowConfig { requesters: *n, ..*flows };
-        run_flow(cfg, sched, &fc, check_invariants)
+        run_flow(cfg, sched, &fc, check_invariants, spec)
     })
 }
 
@@ -271,7 +296,7 @@ mod tests {
     #[test]
     fn flow_run_completes_all_flows() {
         let cfg = SimConfig::for_cores(4);
-        let r = run_flow(&cfg, &SchedulerKind::FrFcfs, &tiny_flows(48), false);
+        let r = run_flow(&cfg, &SchedulerKind::FrFcfs, &tiny_flows(48), false, None);
         assert!(!r.drive.timed_out);
         assert_eq!(r.completed, 48);
         assert_eq!(r.summary.flows, 48);
@@ -282,9 +307,17 @@ mod tests {
     #[test]
     fn invariant_checked_run_is_clean() {
         let cfg = SimConfig::for_cores(4);
-        let r = run_flow(&cfg, &SchedulerKind::ParBs(Default::default()), &tiny_flows(24), true);
+        let spec = parbs_monitor::prelude::invariants();
+        let r = run_flow(
+            &cfg,
+            &SchedulerKind::ParBs(Default::default()),
+            &tiny_flows(24),
+            true,
+            Some(&spec),
+        );
         assert!(!r.drive.timed_out);
         assert_eq!(r.drive.invariant_violations, 0);
+        assert_eq!(r.drive.monitor_alarms, 0);
     }
 
     #[test]
@@ -302,7 +335,7 @@ mod tests {
             })
             .collect();
         let mut src = ClosedLoopSource::new(cfg.core, streams, cfg.target_instructions);
-        let r = drive_source(&cfg, &SchedulerKind::FrFcfs, &mut src, false);
+        let r = drive_source(&cfg, &SchedulerKind::FrFcfs, &mut src, false, None);
         assert!(!r.timed_out, "closed-loop source drains through the open-loop driver");
         assert!(r.reads_completed > 0);
     }

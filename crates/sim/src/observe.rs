@@ -9,6 +9,7 @@
 //! batching rules hold per controller.
 
 use parbs_cpu::InstructionStream;
+use parbs_monitor::{Monitor, Spec};
 use parbs_obs::{
     downcast_sink, ChromeTraceSink, CounterSink, FanoutSink, InvariantSink, JsonlSink,
 };
@@ -48,12 +49,15 @@ impl TraceFormat {
 }
 
 /// What to observe during a [`run_observed`] run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ObserveOptions {
     /// Attach an [`InvariantSink`] to every channel.
     pub check_invariants: bool,
     /// Serialize channel 0's event stream in this format.
     pub trace: Option<TraceFormat>,
+    /// Attach a [`parbs_monitor`] monitor compiled from this spec to every
+    /// channel.
+    pub spec: Option<Spec>,
 }
 
 /// Invariant-check outcome of one channel.
@@ -65,6 +69,23 @@ pub struct ChannelReport {
     pub summary: String,
     /// Formatted violation reports (rule, cycle, message, event window).
     pub violations: Vec<String>,
+}
+
+/// Monitor outcome of one channel.
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// Channel index.
+    pub channel: usize,
+    /// One-line monitor summary (events monitored, alarms).
+    pub summary: String,
+    /// Formatted alarms (`[severity] name cycle N: message`).
+    pub alarms: Vec<String>,
+    /// Fire count per trigger: `(name, severity, count)`.
+    pub trigger_counts: Vec<(String, parbs_monitor::Severity, u64)>,
+    /// Events this channel's monitor processed.
+    pub events: u64,
+    /// True when no error-severity trigger fired on this channel.
+    pub ok: bool,
 }
 
 /// Everything collected from one observed run.
@@ -80,15 +101,23 @@ pub struct ObservedRun {
     pub invariants: Vec<ChannelReport>,
     /// Total violations over all channels.
     pub violation_count: usize,
+    /// Per-channel monitor reports (empty unless a spec was given).
+    pub monitors: Vec<MonitorReport>,
+    /// Total monitor alarms (warn + error) over all channels.
+    pub alarm_count: usize,
 }
 
 /// Builds the per-channel sink stack. Push order is the detach contract of
-/// [`detach`]: invariants first, then counters, then the trace serializer.
+/// [`detach`]: invariants first, then the monitor, then counters, then the
+/// trace serializer.
 fn attach(sys: &mut System, opts: &ObserveOptions) {
     for c in 0..sys.channels() {
         let mut fan = FanoutSink::new();
         if opts.check_invariants {
             fan.push(Box::new(InvariantSink::new()));
+        }
+        if let Some(spec) = &opts.spec {
+            fan.push(Box::new(spec.monitor()));
         }
         if c == 0 {
             fan.push(Box::new(CounterSink::new()));
@@ -112,6 +141,8 @@ fn detach(sys: &mut System, result: RunResult) -> ObservedRun {
         counters: String::new(),
         invariants: Vec::new(),
         violation_count: 0,
+        monitors: Vec::new(),
+        alarm_count: 0,
     };
     for c in 0..sys.channels() {
         let Some(sink) = sys.take_event_sink(c) else { continue };
@@ -124,6 +155,25 @@ fn detach(sys: &mut System, result: RunResult) -> ObservedRun {
                         channel: c,
                         summary: inv.summary(),
                         violations: inv.violations().iter().map(ToString::to_string).collect(),
+                    });
+                    continue;
+                }
+                Err(child) => child,
+            };
+            let child = match downcast_sink::<Monitor>(child) {
+                Ok(mon) => {
+                    out.alarm_count += mon.alarms().len();
+                    out.monitors.push(MonitorReport {
+                        channel: c,
+                        summary: mon.summary(),
+                        alarms: mon.alarms().iter().map(ToString::to_string).collect(),
+                        trigger_counts: mon
+                            .trigger_counts()
+                            .into_iter()
+                            .map(|(n, s, k)| (n.to_owned(), s, k))
+                            .collect(),
+                        events: mon.events,
+                        ok: mon.ok(),
                     });
                     continue;
                 }
@@ -193,7 +243,11 @@ mod tests {
     #[test]
     fn observed_parbs_run_is_clean_and_produces_a_trace() {
         let mix = case_study_1();
-        let opts = ObserveOptions { check_invariants: true, trace: Some(TraceFormat::Chrome) };
+        let opts = ObserveOptions {
+            check_invariants: true,
+            trace: Some(TraceFormat::Chrome),
+            spec: Some(parbs_monitor::prelude::invariants()),
+        };
         let obs = run_observed(
             quick_cfg(mix.cores()),
             &mix,
@@ -207,12 +261,18 @@ mod tests {
         assert!(trace.starts_with('{') && trace.contains("\"traceEvents\""));
         assert!(trace.contains("batch "), "batch spans present");
         assert!(obs.counters.contains("thread"), "counter summary: {}", obs.counters);
+        assert_eq!(obs.alarm_count, 0, "{:?}", obs.monitors);
+        assert!(!obs.monitors.is_empty(), "every channel reports a monitor");
+        assert!(obs.monitors.iter().all(|m| m.ok));
+        // Each channel's monitor carries the four invariant triggers.
+        assert_eq!(obs.monitors[0].trigger_counts.len(), 4);
     }
 
     #[test]
     fn jsonl_format_emits_one_object_per_line() {
         let mix = case_study_1();
-        let opts = ObserveOptions { check_invariants: false, trace: Some(TraceFormat::Jsonl) };
+        let opts =
+            ObserveOptions { check_invariants: false, trace: Some(TraceFormat::Jsonl), spec: None };
         let obs = run_observed(quick_cfg(mix.cores()), &mix, &SchedulerKind::FrFcfs, &opts);
         let trace = obs.trace.expect("jsonl trace requested");
         let mut lines = 0usize;

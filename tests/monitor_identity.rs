@@ -1,0 +1,225 @@
+//! Verdict identity: the declarative `prelude::invariants()` monitor spec
+//! reaches the same pass/violation verdicts — including the offending cycle
+//! and thread — as the hand-written [`InvariantSink`], online over live
+//! controller event streams and offline over a JSONL replay of the same
+//! trace.
+//!
+//! Pass-side identity runs the full seven-scheduler zoo over the paper case
+//! studies and random mixes; violation-side identity uses a deliberately
+//! broken batching scheduler (Rule 2 inverted) so both checkers have real
+//! violations to agree on, triple by triple.
+
+use parbs_dram::{
+    Controller, DramConfig, LineAddr, MemoryScheduler, Request, RequestKind, SchedView, ThreadId,
+};
+use parbs_monitor::{prelude, replay_jsonl, Spec};
+use parbs_obs::{downcast_sink, Event, FanoutSink, InvariantSink, JsonlSink};
+use parbs_sim::{run_observed, ObserveOptions, SchedulerKind, SimConfig, TraceFormat};
+use parbs_workloads::{case_study_1, case_study_2, case_study_3, random_mixes, MixSpec};
+
+/// The identity of one verdict: (rule/trigger name, offending cycle,
+/// offending thread). Both checkers reduce to this triple.
+type Verdict = (String, u64, Option<usize>);
+
+fn monitor_verdicts(mon: &parbs_monitor::Monitor) -> Vec<Verdict> {
+    let mut v: Vec<Verdict> =
+        mon.alarms().iter().map(|a| (a.name.clone(), a.at, a.thread)).collect();
+    v.sort();
+    v
+}
+
+fn sink_verdicts(sink: &InvariantSink) -> Vec<Verdict> {
+    let mut v: Vec<Verdict> =
+        sink.violations().iter().map(|x| (x.rule.name().to_owned(), x.at, x.thread)).collect();
+    v.sort();
+    v
+}
+
+fn assert_identical_and_clean(mix: &MixSpec, kind: &SchedulerKind, spec: &Spec) {
+    let cfg = SimConfig { target_instructions: 800, ..SimConfig::for_cores(mix.cores()) };
+    let opts = ObserveOptions {
+        check_invariants: true,
+        trace: Some(TraceFormat::Jsonl),
+        spec: Some(spec.clone()),
+    };
+    let obs = run_observed(cfg, mix, kind, &opts);
+    let label = format!("{} on '{}'", kind.name(), mix.name);
+    // Online: the sink and the monitor must reach the same (clean) verdict.
+    assert_eq!(obs.violation_count, 0, "{label}: sink violations: {:?}", obs.invariants);
+    assert_eq!(obs.alarm_count, 0, "{label}: monitor alarms: {:?}", obs.monitors);
+    assert_eq!(obs.invariants.len(), obs.monitors.len(), "{label}: both cover every channel");
+    // Offline: replaying channel 0's JSONL trace must reproduce channel 0's
+    // online verdict event for event.
+    let trace = obs.trace.expect("jsonl trace requested");
+    let replayed = replay_jsonl(spec, &trace).expect("round-trip trace replays");
+    let ch0 = obs.monitors.iter().find(|m| m.channel == 0).expect("channel 0 monitored");
+    assert_eq!(replayed.events, ch0.events, "{label}: replay saw the online event stream");
+    assert_eq!(monitor_verdicts(&replayed), Vec::<Verdict>::new(), "{label}: replay is clean");
+}
+
+#[test]
+fn zoo_verdicts_match_on_the_case_studies() {
+    let spec = prelude::invariants();
+    for kind in SchedulerKind::zoo_seven() {
+        for mix in [case_study_1(), case_study_2(), case_study_3()] {
+            assert_identical_and_clean(&mix, &kind, &spec);
+        }
+    }
+}
+
+#[test]
+fn zoo_verdicts_match_on_random_mixes() {
+    let spec = prelude::invariants();
+    for kind in SchedulerKind::zoo_seven() {
+        for mix in random_mixes(4, 2, 13) {
+            assert_identical_and_clean(&mix, &kind, &spec);
+        }
+    }
+}
+
+#[test]
+fn qos_spec_runs_clean_across_the_zoo() {
+    // The QoS prelude is advisory (warn-only); it must run everywhere
+    // without error-severity alarms and replay to the same trigger counts.
+    let spec = prelude::qos();
+    let mix = case_study_1();
+    for kind in SchedulerKind::zoo_seven() {
+        let cfg = SimConfig { target_instructions: 800, ..SimConfig::for_cores(mix.cores()) };
+        let opts = ObserveOptions {
+            check_invariants: false,
+            trace: Some(TraceFormat::Jsonl),
+            spec: Some(spec.clone()),
+        };
+        let obs = run_observed(cfg, &mix, &kind, &opts);
+        assert!(obs.monitors.iter().all(|m| m.ok), "{}: {:?}", kind.name(), obs.monitors);
+        let replayed = replay_jsonl(&spec, &obs.trace.expect("jsonl trace")).expect("replays");
+        let ch0 = obs.monitors.iter().find(|m| m.channel == 0).expect("channel 0");
+        let online: Vec<(String, parbs_monitor::Severity, u64)> = ch0.trigger_counts.clone();
+        let offline: Vec<(String, parbs_monitor::Severity, u64)> =
+            replayed.trigger_counts().into_iter().map(|(n, s, k)| (n.to_owned(), s, k)).collect();
+        assert_eq!(online, offline, "{}: trigger counts replay identically", kind.name());
+    }
+}
+
+/// A deliberately broken batching scheduler: it marks every even-id request
+/// (announcing the batch like PAR-BS does) but then *prioritizes unmarked
+/// requests*, inverting Rule 2 — same shape as the detector test in
+/// `obs_invariants.rs`, reused here so both checkers see real violations.
+#[derive(Default)]
+struct RuleTwoInverted {
+    observing: bool,
+    events: Vec<Event>,
+}
+
+impl MemoryScheduler for RuleTwoInverted {
+    fn name(&self) -> &str {
+        "broken"
+    }
+
+    fn pre_schedule(&mut self, queue: &mut [Request], view: &SchedView<'_>) -> bool {
+        let announce_at = self.events.len();
+        let mut marked = 0u32;
+        for r in queue.iter_mut() {
+            if !r.marked && r.id.0 % 2 == 0 {
+                r.marked = true;
+                marked += 1;
+                if self.observing {
+                    self.events.push(Event::Marked {
+                        at: view.now,
+                        request: r.id.0,
+                        thread: r.thread.0,
+                        rank: r.addr.bank / view.channel.banks_per_rank(),
+                        bank: r.addr.bank,
+                    });
+                }
+            }
+        }
+        if marked > 0 && self.observing {
+            self.events.insert(
+                announce_at,
+                Event::BatchFormed {
+                    at: view.now,
+                    id: 1,
+                    marked,
+                    cap: None,
+                    exclusive: false,
+                    per_thread: Vec::new(),
+                },
+            );
+        }
+        marked > 0
+    }
+
+    fn priority_key(&self, req: &Request, _view: &SchedView<'_>) -> u128 {
+        // Higher key = served first: unmarked requests win, ties oldest-first.
+        (u128::from(!req.marked) << 64) | u128::from(u64::MAX - req.id.0)
+    }
+
+    fn set_observing(&mut self, enabled: bool) {
+        self.observing = enabled;
+        if !enabled {
+            self.events.clear();
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.events);
+    }
+}
+
+#[test]
+fn broken_scheduler_verdicts_are_identical_online_and_offline() {
+    let spec = prelude::invariants();
+    let mut ctrl = Controller::new(DramConfig::default(), Box::new(RuleTwoInverted::default()));
+    let mut fan = FanoutSink::new();
+    fan.push(Box::new(InvariantSink::new()));
+    fan.push(Box::new(spec.monitor()));
+    fan.push(Box::new(JsonlSink::new(Vec::new())));
+    ctrl.set_event_sink(Box::new(fan));
+    // Three same-(bank,row) read pairs across threads: even ids get marked,
+    // odd ids do not, and the broken priority serves the unmarked ones first.
+    for id in 0..6u64 {
+        let addr = LineAddr { channel: 0, bank: (id / 2) as usize, row: 5, col: id };
+        ctrl.try_enqueue(Request::new(id, ThreadId(id as usize % 3), addr, RequestKind::Read, 0))
+            .unwrap();
+    }
+    let mut now = 0;
+    let done = ctrl.run_to_drain(&mut now, 1_000_000);
+    assert_eq!(done.len(), 6);
+
+    let sink = ctrl.take_event_sink().expect("sink attached above");
+    let Ok(fan) = downcast_sink::<FanoutSink>(sink) else { panic!("fanout attached") };
+    let mut sink_v = Vec::new();
+    let mut mon_v = Vec::new();
+    let mut trace = String::new();
+    for child in fan.into_sinks() {
+        let child = match downcast_sink::<InvariantSink>(child) {
+            Ok(inv) => {
+                sink_v = sink_verdicts(&inv);
+                continue;
+            }
+            Err(child) => child,
+        };
+        let child = match downcast_sink::<parbs_monitor::Monitor>(child) {
+            Ok(mon) => {
+                mon_v = monitor_verdicts(&mon);
+                continue;
+            }
+            Err(child) => child,
+        };
+        if let Ok(jsonl) = downcast_sink::<JsonlSink<Vec<u8>>>(child) {
+            trace = jsonl.into_string();
+        }
+    }
+
+    assert!(!sink_v.is_empty(), "the broken scheduler must trip the invariant sink");
+    assert!(
+        sink_v.iter().all(|(name, _, thread)| name == "marked-first" && thread.is_some()),
+        "rule-2 inversion produces marked-first verdicts with a thread: {sink_v:?}"
+    );
+    assert_eq!(sink_v, mon_v, "monitor and sink agree on every (rule, cycle, thread) triple");
+
+    // Offline replay of the same trace reproduces the same verdicts again.
+    let replayed = replay_jsonl(&spec, &trace).expect("trace replays");
+    assert_eq!(monitor_verdicts(&replayed), sink_v, "offline replay reaches the same verdicts");
+}

@@ -17,7 +17,7 @@ use parbs_workloads::{case_study_1, case_study_2, case_study_3, random_mixes, Mi
 
 fn assert_clean(mix: &MixSpec, kind: &SchedulerKind, target: u64) {
     let cfg = SimConfig { target_instructions: target, ..SimConfig::for_cores(mix.cores()) };
-    let opts = ObserveOptions { check_invariants: true, trace: None };
+    let opts = ObserveOptions { check_invariants: true, trace: None, spec: None };
     let obs = run_observed(cfg, mix, kind, &opts);
     assert_eq!(
         obs.violation_count,
@@ -201,7 +201,8 @@ fn jsonl_and_chrome_payloads_come_from_the_same_run_shape() {
     // chrome payload is JSON-shaped with per-bank and per-thread tracks.
     let mix = case_study_1();
     let cfg = SimConfig { target_instructions: 800, ..SimConfig::for_cores(mix.cores()) };
-    let opts = ObserveOptions { check_invariants: false, trace: Some(TraceFormat::Chrome) };
+    let opts =
+        ObserveOptions { check_invariants: false, trace: Some(TraceFormat::Chrome), spec: None };
     let obs = run_observed(cfg, &mix, &SchedulerKind::ParBs(Default::default()), &opts);
     let chrome = obs.trace.expect("chrome payload");
     assert!(chrome.contains("\"bank 0\"") && chrome.contains("\"thread 0\""), "named tracks");
