@@ -247,6 +247,22 @@ impl MemoryScheduler for AtlasScheduler {
         Some(&ATLAS_KEY_LAYOUT)
     }
 
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.threads);
+        w.u64(self.quantum_start);
+        w.u64(self.quanta_rolled);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        self.threads = r.get()?;
+        self.quantum_start = r.u64()?;
+        self.quanta_rolled = r.u64()?;
+        Ok(())
+    }
+
     fn set_observing(&mut self, enabled: bool) {
         self.observing = enabled;
         if !enabled {
@@ -265,6 +281,18 @@ impl MemoryScheduler for AtlasScheduler {
             .map(|(t, s)| format!("t{}:r{} as={}", t.0, s.rank, s.total))
             .collect();
         format!("ATLAS: quantum {} [{}]", self.quanta_rolled, ranks.join(" "))
+    }
+}
+
+impl parbs_snap::Snap for ThreadService {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.total);
+        w.u64(self.in_quantum);
+        w.u64(self.rank);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(ThreadService { total: r.u64()?, in_quantum: r.u64()?, rank: r.u64()? })
     }
 }
 

@@ -190,6 +190,26 @@ impl MemoryScheduler for BlissScheduler {
         Some(&BLISS_KEY_LAYOUT)
     }
 
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.blacklisted);
+        w.put(&self.last_serviced);
+        w.u32(self.streak);
+        w.u64(self.last_clear);
+        w.bool(self.dirty);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        self.blacklisted = r.get()?;
+        self.last_serviced = r.get()?;
+        self.streak = r.u32()?;
+        self.last_clear = r.u64()?;
+        self.dirty = r.bool()?;
+        Ok(())
+    }
+
     fn set_observing(&mut self, enabled: bool) {
         self.observing = enabled;
         if !enabled {

@@ -238,6 +238,54 @@ impl MemoryScheduler for NfqScheduler {
         let dl = |r: &Request| self.deadlines.get(&r.id).copied().unwrap_or(f64::MAX);
         hit_b.cmp(&hit_a).then_with(|| dl(a).total_cmp(&dl(b))).then_with(|| a.id.cmp(&b.id))
     }
+
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        // HashMap iteration order is nondeterministic; write both maps in
+        // ascending key order so the byte stream is canonical.
+        let mut clocks: Vec<((ThreadId, usize), f64)> =
+            self.clocks.iter().map(|(&k, &v)| (k, v)).collect();
+        clocks.sort_by_key(|&(k, _)| k);
+        w.seq(clocks.len());
+        for ((thread, bank), clock) in clocks {
+            w.usize(thread.0);
+            w.usize(bank);
+            w.f64(clock);
+        }
+        let mut deadlines: Vec<(RequestId, f64)> =
+            self.deadlines.iter().map(|(&k, &v)| (k, v)).collect();
+        deadlines.sort_by_key(|&(k, _)| k);
+        w.seq(deadlines.len());
+        for (id, dl) in deadlines {
+            w.u64(id.0);
+            w.f64(dl);
+        }
+        w.put(&self.weights);
+        w.u64(self.recent_banks);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        let n = r.seq()?;
+        let mut clocks = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let thread = ThreadId(r.usize()?);
+            let bank = r.usize()?;
+            clocks.insert((thread, bank), r.f64()?);
+        }
+        let n = r.seq()?;
+        let mut deadlines = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = RequestId(r.u64()?);
+            deadlines.insert(id, r.f64()?);
+        }
+        self.clocks = clocks;
+        self.deadlines = deadlines;
+        self.weights = r.get()?;
+        self.recent_banks = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! Snapshot benchmark of the execution backends: one fixed batch of
+//! independent systems run to completion under [`Scalar`], [`Lanes<2>`] and
+//! [`Lanes<4>`] on a single worker thread, wall clocks compared, outputs
+//! asserted byte-identical. Emits `BENCH_lane_sweep.json` in the working
+//! directory.
+//!
+//! Run with: `cargo run --release -p parbs-bench --bin lane_sweep`
+//! (`--quick` shrinks the per-thread instruction target for CI).
+//!
+//! The lane kernel interleaves N systems cycle by cycle, so its win comes
+//! from overlapping per-system stalls, not SIMD; on hosts where the
+//! interleaved working set falls out of cache the honest (possibly <1x)
+//! numbers are recorded rather than asserted, as with the other
+//! snapshot benchmarks.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use parbs_cpu::InstructionStream;
+use parbs_sim::{ExecBackend, Lanes, RunResult, Scalar, SchedulerKind, SimConfig, System};
+use parbs_workloads::{random_mixes, MixSpec};
+
+/// Builds the benchmark batch: `copies` independent 4-core systems cycling
+/// through a fixed set of random mixes, all sharing one DRAM shape (the
+/// lane-batchable case).
+fn batch(mixes: &[MixSpec], kind: &SchedulerKind, target: u64, copies: usize) -> Vec<System> {
+    (0..copies)
+        .map(|i| {
+            let mix = &mixes[i % mixes.len()];
+            let cfg =
+                SimConfig { target_instructions: target, ..SimConfig::for_cores(mix.cores()) };
+            let streams: Vec<Box<dyn InstructionStream>> = mix
+                .benchmarks
+                .iter()
+                .enumerate()
+                .map(|(core, b)| {
+                    Box::new(parbs_workloads::SyntheticStream::new(
+                        b,
+                        cfg.geometry(),
+                        cfg.seed,
+                        core as u64,
+                    )) as Box<dyn InstructionStream>
+                })
+                .collect();
+            System::new(cfg, streams, kind)
+        })
+        .collect()
+}
+
+struct Timed {
+    backend: &'static str,
+    wall_ms: f64,
+    rows_per_s: f64,
+    results: Vec<RunResult>,
+}
+
+fn timed(
+    name: &'static str,
+    backend: &dyn ExecBackend,
+    mixes: &[MixSpec],
+    kind: &SchedulerKind,
+    target: u64,
+    copies: usize,
+) -> Timed {
+    let systems = batch(mixes, kind, target, copies);
+    let start = Instant::now();
+    let results = backend.run_batch(systems);
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    Timed { backend: name, wall_ms, rows_per_s: copies as f64 / (wall_ms / 1_000.0), results }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target = if quick { 4_000 } else { 30_000 };
+    let copies = 12;
+    let mixes = random_mixes(4, 4, 42);
+    let kinds = [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::ParBs(Default::default()),
+        SchedulerKind::Atlas(Default::default()),
+    ];
+
+    let mut json =
+        String::from("{\n  \"benchmark\": \"lane_sweep\",\n  \"unit\": \"rows_per_s\",\n");
+    let _ = write!(
+        json,
+        "  \"batch\": \"{copies} systems, 4 mixes cycled (random_mixes(4, 4, 42), \
+         target {target})\",\n  \"jobs\": 1,\n  \"rows\": [\n"
+    );
+    let mut worst_lanes4_speedup = f64::INFINITY;
+    for (ki, kind) in kinds.iter().enumerate() {
+        let scalar = timed("scalar", &Scalar, &mixes, kind, target, copies);
+        let lanes2 = timed("lanes2", &Lanes::<2>, &mixes, kind, target, copies);
+        let lanes4 = timed("lanes4", &Lanes::<4>, &mixes, kind, target, copies);
+        for t in [&lanes2, &lanes4] {
+            assert_eq!(scalar.results, t.results, "{} diverged from scalar", t.backend);
+        }
+        let s2 = scalar.wall_ms / lanes2.wall_ms;
+        let s4 = scalar.wall_ms / lanes4.wall_ms;
+        worst_lanes4_speedup = worst_lanes4_speedup.min(s4);
+        for (i, (t, sp)) in [(&scalar, 1.0), (&lanes2, s2), (&lanes4, s4)].into_iter().enumerate() {
+            println!(
+                "{:8} {:7}: {:>8.1} ms, {:>7.2} rows/s, {:.2}x",
+                kind.name(),
+                t.backend,
+                t.wall_ms,
+                t.rows_per_s,
+                sp
+            );
+            let last = ki + 1 == kinds.len() && i == 2;
+            let _ = write!(
+                json,
+                "    {{\"scheduler\": \"{}\", \"backend\": \"{}\", \"wall_ms\": {:.1}, \
+                 \"rows_per_s\": {:.2}, \"speedup\": {:.2}}}{}",
+                kind.name(),
+                t.backend,
+                t.wall_ms,
+                t.rows_per_s,
+                sp,
+                if last { "\n" } else { ",\n" }
+            );
+        }
+    }
+    let target_met = worst_lanes4_speedup >= 1.5;
+    let _ = write!(
+        json,
+        "  ],\n  \"identical_output\": true,\n  \"worst_lanes4_speedup\": {worst_lanes4_speedup:.2},\n  \
+         \"lanes4_target\": 1.5,\n  \"lanes4_target_met\": {target_met}\n}}\n"
+    );
+    std::fs::write("BENCH_lane_sweep.json", &json).expect("write BENCH_lane_sweep.json");
+    println!("wrote BENCH_lane_sweep.json (worst Lanes<4> speedup {worst_lanes4_speedup:.2}x)");
+    if !target_met {
+        println!(
+            "note: Lanes<4> below the 1.5x target on this host — recorded honestly; \
+             the byte-identity assertions above did run"
+        );
+    }
+}

@@ -153,6 +153,30 @@ impl Default for ParBsConfig {
     }
 }
 
+impl parbs_snap::Snap for ThreadPriority {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        match *self {
+            ThreadPriority::Level1 => w.u8(0),
+            ThreadPriority::Level(x) => {
+                w.u8(1);
+                w.u8(x);
+            }
+            ThreadPriority::Opportunistic => w.u8(2),
+        }
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(ThreadPriority::Level1),
+            1 => Ok(ThreadPriority::Level(r.u8()?)),
+            2 => Ok(ThreadPriority::Opportunistic),
+            t => {
+                Err(parbs_snap::SnapError::BadTag { what: "thread priority", value: u64::from(t) })
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -469,6 +469,56 @@ impl MemoryScheduler for ParBsScheduler {
     fn drain_events(&mut self, out: &mut Vec<Event>) {
         out.append(&mut self.obs_events);
     }
+
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.ranks);
+        w.put(&self.priorities);
+        w.put(&self.granted);
+        w.u64(self.eligible_batch_no);
+        w.u64(self.batch_formed_at);
+        w.bool(self.batch_open);
+        w.put(&self.current_cap);
+        w.put(&self.last_static_marking);
+        w.put(&self.rng.state());
+        w.put(&self.stats);
+        w.usize(self.banks_per_rank);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        self.ranks = r.get()?;
+        self.priorities = r.get()?;
+        self.granted = r.get()?;
+        self.eligible_batch_no = r.u64()?;
+        self.batch_formed_at = r.u64()?;
+        self.batch_open = r.bool()?;
+        self.current_cap = r.get()?;
+        self.last_static_marking = r.get()?;
+        self.rng = StdRng::from_state(r.get()?);
+        self.stats = r.get()?;
+        self.banks_per_rank = r.usize()?;
+        Ok(())
+    }
+}
+
+impl parbs_snap::Snap for ParBsStats {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.batches_formed);
+        w.u64(self.requests_marked);
+        w.u64(self.total_batch_cycles);
+        w.u64(self.batches_completed);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(ParBsStats {
+            batches_formed: r.u64()?,
+            requests_marked: r.u64()?,
+            total_batch_cycles: r.u64()?,
+            batches_completed: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -373,6 +373,142 @@ impl Core {
     }
 }
 
+impl parbs_snap::Snap for MissId {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.0);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(MissId(r.u64()?))
+    }
+}
+
+impl parbs_snap::Snap for CoreStats {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.cycles);
+        w.u64(self.committed);
+        w.u64(self.mem_stall_cycles);
+        w.u64(self.dram_reads);
+        w.u64(self.dram_writes);
+        w.u64(self.merged_loads);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(CoreStats {
+            cycles: r.u64()?,
+            committed: r.u64()?,
+            mem_stall_cycles: r.u64()?,
+            dram_reads: r.u64()?,
+            dram_writes: r.u64()?,
+            merged_loads: r.u64()?,
+        })
+    }
+}
+
+impl parbs_snap::Snap for Slot {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        match *self {
+            Slot::Compute => w.u8(0),
+            Slot::Load { miss, done } => {
+                w.u8(1);
+                w.put(&miss);
+                w.bool(done);
+            }
+            Slot::Store => w.u8(2),
+        }
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(Slot::Compute),
+            1 => Ok(Slot::Load { miss: r.get()?, done: r.bool()? }),
+            2 => Ok(Slot::Store),
+            t => Err(parbs_snap::SnapError::BadTag { what: "window slot", value: u64::from(t) }),
+        }
+    }
+}
+
+impl parbs_snap::Snap for Miss {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.id);
+        w.u64(self.line);
+        w.bool(self.issued);
+        w.bool(self.completed);
+        w.u64(self.episode);
+        w.u32(self.waiters);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(Miss {
+            id: r.get()?,
+            line: r.u64()?,
+            issued: r.bool()?,
+            completed: r.bool()?,
+            episode: r.u64()?,
+            waiters: r.u32()?,
+        })
+    }
+}
+
+impl Core {
+    /// Serializes the core's mutable state: instruction window, miss table,
+    /// store queue, statistics, fetch lookahead, dependence-episode counter,
+    /// halt flag, and the instruction stream's own state. The configuration
+    /// is not written — a restored core is rebuilt from the same
+    /// [`CoreConfig`] and stream constructor first.
+    pub fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.window);
+        w.put(&self.misses);
+        w.u64(self.next_miss);
+        w.put(&self.store_queue);
+        w.put(&self.stats);
+        w.put(&self.lookahead);
+        w.u64(self.episode);
+        w.bool(self.halted);
+        self.stream.save_state(w);
+    }
+
+    /// Restores state captured by [`Core::save_state`] into a core built
+    /// with the same configuration and stream kind.
+    ///
+    /// # Errors
+    ///
+    /// [`parbs_snap::SnapError::Mismatch`] when the snapshot exceeds this
+    /// core's window or store-queue capacity; decoding errors propagate.
+    pub fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        let window: std::collections::VecDeque<Slot> = r.get()?;
+        if window.len() > self.cfg.window_size {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "core window occupancy",
+                expected: self.cfg.window_size as u64,
+                found: window.len() as u64,
+            });
+        }
+        let misses: Vec<Miss> = r.get()?;
+        let next_miss = r.u64()?;
+        let store_queue: std::collections::VecDeque<u64> = r.get()?;
+        if store_queue.len() > self.cfg.store_queue {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "core store-queue occupancy",
+                expected: self.cfg.store_queue as u64,
+                found: store_queue.len() as u64,
+            });
+        }
+        self.window = window;
+        self.misses = misses;
+        self.next_miss = next_miss;
+        self.store_queue = store_queue;
+        self.stats = r.get()?;
+        self.lookahead = r.get()?;
+        self.episode = r.u64()?;
+        self.halted = r.bool()?;
+        self.stream.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

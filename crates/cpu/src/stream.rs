@@ -30,6 +30,28 @@ pub enum Instr {
 pub trait InstructionStream {
     /// Produces the next instruction in program order.
     fn next_instr(&mut self) -> Instr;
+
+    /// Serializes the stream's mutable position/state for checkpointing.
+    /// Stateless (or purely positional) streams that never need restoring
+    /// may keep the default, which writes nothing.
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state captured by [`InstructionStream::save_state`] into a
+    /// freshly constructed stream of the same kind and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`parbs_snap::SnapError`] when the snapshot is truncated or
+    /// inconsistent with this stream's configuration.
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Replays a fixed instruction trace, looping at the end — useful for tests
@@ -58,6 +80,56 @@ impl InstructionStream for TraceStream {
         let i = self.trace[self.pos];
         self.pos = (self.pos + 1) % self.trace.len();
         i
+    }
+
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.usize(self.pos);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        let pos = r.usize()?;
+        if pos >= self.trace.len() {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "trace stream position",
+                expected: self.trace.len() as u64,
+                found: pos as u64,
+            });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+}
+
+impl parbs_snap::Snap for Instr {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        match *self {
+            Instr::Compute => w.u8(0),
+            Instr::Load(line) => {
+                w.u8(1);
+                w.u64(line);
+            }
+            Instr::DependentLoad(line) => {
+                w.u8(2);
+                w.u64(line);
+            }
+            Instr::Store(line) => {
+                w.u8(3);
+                w.u64(line);
+            }
+        }
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(Instr::Compute),
+            1 => Ok(Instr::Load(r.u64()?)),
+            2 => Ok(Instr::DependentLoad(r.u64()?)),
+            3 => Ok(Instr::Store(r.u64()?)),
+            t => Err(parbs_snap::SnapError::BadTag { what: "instruction", value: u64::from(t) }),
+        }
     }
 }
 

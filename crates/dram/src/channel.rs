@@ -276,6 +276,67 @@ impl Channel {
     }
 }
 
+impl Channel {
+    /// Serializes the channel's mutable state (bank state machines, bus and
+    /// per-rank timing windows). Geometry and timing parameters are **not**
+    /// written — a restored channel is rebuilt from the same configuration
+    /// first and [`Channel::restore_state`] validates the shape matches.
+    pub fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.banks);
+        w.u64(self.data_bus_free_at);
+        w.put(&self.last_data_rank.map(|r| r as u64));
+        w.u64(self.earliest_column);
+        w.put(&self.earliest_activate);
+        w.put(&self.recent_activates);
+        w.put(&self.refresh_until);
+    }
+
+    /// Restores state captured by [`Channel::save_state`] into a channel
+    /// built with the same constructor arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`parbs_snap::SnapError::Mismatch`] if the snapshot's bank or rank
+    /// count differs from this channel's shape; decoding errors propagate.
+    pub fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        let banks: Vec<Bank> = r.get()?;
+        if banks.len() != self.banks.len() {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "channel bank count",
+                expected: self.banks.len() as u64,
+                found: banks.len() as u64,
+            });
+        }
+        let data_bus_free_at = r.u64()?;
+        let last_data_rank: Option<u64> = r.get()?;
+        let earliest_column = r.u64()?;
+        let earliest_activate: Vec<u64> = r.get()?;
+        let recent_activates: Vec<Vec<u64>> = r.get()?;
+        let refresh_until: Vec<u64> = r.get()?;
+        if earliest_activate.len() != self.earliest_activate.len()
+            || recent_activates.len() != self.recent_activates.len()
+            || refresh_until.len() != self.refresh_until.len()
+        {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "channel rank count",
+                expected: self.refresh_until.len() as u64,
+                found: refresh_until.len() as u64,
+            });
+        }
+        self.banks = banks;
+        self.data_bus_free_at = data_bus_free_at;
+        self.last_data_rank = last_data_rank.map(|r| r as usize);
+        self.earliest_column = earliest_column;
+        self.earliest_activate = earliest_activate;
+        self.recent_activates = recent_activates;
+        self.refresh_until = refresh_until;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -764,6 +764,110 @@ impl Controller {
     }
 }
 
+impl parbs_snap::Snap for Completion {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.request);
+        w.put(&self.thread);
+        w.put(&self.kind);
+        w.u64(self.arrival);
+        w.u64(self.finish);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(Completion {
+            request: r.get()?,
+            thread: r.get()?,
+            kind: r.get()?,
+            arrival: r.u64()?,
+            finish: r.u64()?,
+        })
+    }
+}
+
+impl Controller {
+    /// True if this controller can be checkpointed: protocol checkers and
+    /// observability sinks hold state the snapshot format does not cover, so
+    /// their presence makes [`Controller::save_state`] and
+    /// [`Controller::restore_state`] fail with
+    /// [`parbs_snap::SnapError::Unsupported`].
+    #[must_use]
+    pub fn snapshot_supported(&self) -> bool {
+        self.checker.is_none() && self.sink.is_none()
+    }
+
+    /// Serializes the controller's mutable state: both request buffers,
+    /// in-flight completions, statistics, write-drain hysteresis, refresh
+    /// bookkeeping, channel timing windows and the scheduling policy's
+    /// internal state. Scratch caches (priority keys, selection buffers) are
+    /// excluded — they are rebuilt on demand after restore.
+    ///
+    /// # Errors
+    ///
+    /// [`parbs_snap::SnapError::Unsupported`] when a protocol checker or an
+    /// event sink is attached (see [`Controller::snapshot_supported`]).
+    pub fn save_state(&self, w: &mut parbs_snap::SnapWriter) -> Result<(), parbs_snap::SnapError> {
+        if !self.snapshot_supported() {
+            return Err(parbs_snap::SnapError::Unsupported(
+                "controller has a protocol checker or event sink attached",
+            ));
+        }
+        w.put(&self.reads);
+        w.put(&self.writes);
+        w.put(&self.pending);
+        w.put(&self.stats);
+        // HashSet iteration order is nondeterministic; canonicalize.
+        let mut touched: Vec<RequestId> = self.touched.iter().copied().collect();
+        touched.sort_unstable();
+        w.put(&touched);
+        w.bool(self.draining);
+        w.put(&self.last_refresh);
+        self.channel.save_state(w);
+        self.scheduler.save_state(w);
+        Ok(())
+    }
+
+    /// Restores state captured by [`Controller::save_state`] into a
+    /// controller built with the same configuration and scheduler kind. The
+    /// cached priority keys are invalidated, not restored: the first
+    /// scheduling slot after resume recomputes them from the restored
+    /// scheduler state, so the command stream continues bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`parbs_snap::SnapError::Unsupported`] when a checker or sink is
+    /// attached; decoding and shape-mismatch errors propagate.
+    pub fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        if !self.snapshot_supported() {
+            return Err(parbs_snap::SnapError::Unsupported(
+                "controller has a protocol checker or event sink attached",
+            ));
+        }
+        self.reads = r.get()?;
+        self.writes = r.get()?;
+        self.pending = r.get()?;
+        self.stats = r.get()?;
+        let touched: Vec<RequestId> = r.get()?;
+        self.touched = touched.into_iter().collect();
+        self.draining = r.bool()?;
+        let last_refresh: Vec<u64> = r.get()?;
+        if last_refresh.len() != self.last_refresh.len() {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "controller rank count",
+                expected: self.last_refresh.len() as u64,
+                found: last_refresh.len() as u64,
+            });
+        }
+        self.last_refresh = last_refresh;
+        self.channel.restore_state(r)?;
+        self.scheduler.restore_state(r)?;
+        self.read_keys_dirty = true;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

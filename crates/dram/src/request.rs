@@ -75,6 +75,67 @@ impl Request {
     }
 }
 
+impl parbs_snap::Snap for ThreadId {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.usize(self.0);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(ThreadId(r.usize()?))
+    }
+}
+
+impl parbs_snap::Snap for RequestId {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.0);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(RequestId(r.u64()?))
+    }
+}
+
+impl parbs_snap::Snap for RequestKind {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u8(match self {
+            RequestKind::Read => 0,
+            RequestKind::Write => 1,
+        });
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(RequestKind::Read),
+            1 => Ok(RequestKind::Write),
+            t => Err(parbs_snap::SnapError::BadTag { what: "request kind", value: u64::from(t) }),
+        }
+    }
+}
+
+impl parbs_snap::Snap for Request {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.id);
+        w.put(&self.thread);
+        w.put(&self.addr);
+        w.put(&self.kind);
+        w.u64(self.arrival);
+        w.bool(self.marked);
+        w.put(&self.priority_level);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(Request {
+            id: r.get()?,
+            thread: r.get()?,
+            addr: r.get()?,
+            kind: r.get()?,
+            arrival: r.u64()?,
+            marked: r.bool()?,
+            priority_level: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -169,6 +169,30 @@ pub trait MemoryScheduler {
     fn drain_events(&mut self, out: &mut Vec<parbs_obs::Event>) {
         let _ = out;
     }
+
+    /// Serializes the policy's mutable state for checkpointing. Stateless
+    /// policies (FR-FCFS, FCFS) write nothing — the default. Stateful
+    /// policies must write every field that influences future decisions
+    /// (virtual clocks, ranks, blacklists, RNG state) in a canonical order.
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state captured by [`MemoryScheduler::save_state`] into a
+    /// freshly configured policy of the same kind. The default (for
+    /// stateless policies) reads nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`parbs_snap::SnapError`] when the snapshot is truncated or
+    /// inconsistent with this policy's configuration.
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// The FCFS baseline: requests are serviced strictly in arrival order,

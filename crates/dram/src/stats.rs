@@ -159,6 +159,59 @@ impl ControllerStats {
     }
 }
 
+impl parbs_snap::Snap for BlpTracker {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.sum);
+        w.u64(self.samples);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(BlpTracker { sum: r.u64()?, samples: r.u64()? })
+    }
+}
+
+impl parbs_snap::Snap for ControllerStats {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.reads_received);
+        w.u64(self.writes_received);
+        w.u64(self.reads_completed);
+        w.u64(self.writes_completed);
+        w.u64(self.row_hits);
+        w.u64(self.row_closed);
+        w.u64(self.row_conflicts);
+        w.u64(self.commands_issued);
+        w.u64(self.refreshes);
+        w.u64(self.total_read_latency);
+        w.u64(self.worst_case_latency);
+        w.put(&self.blp);
+        w.put(&self.thread_blp);
+        w.put(&self.thread_read_categories);
+        w.put(&self.thread_worst_case);
+        w.put(&self.read_latency);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(ControllerStats {
+            reads_received: r.u64()?,
+            writes_received: r.u64()?,
+            reads_completed: r.u64()?,
+            writes_completed: r.u64()?,
+            row_hits: r.u64()?,
+            row_closed: r.u64()?,
+            row_conflicts: r.u64()?,
+            commands_issued: r.u64()?,
+            refreshes: r.u64()?,
+            total_read_latency: r.u64()?,
+            worst_case_latency: r.u64()?,
+            blp: r.get()?,
+            thread_blp: r.get()?,
+            thread_read_categories: r.get()?,
+            thread_worst_case: r.get()?,
+            read_latency: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,29 @@ impl<T> FromIterator<(ThreadId, T)> for ThreadTable<T> {
     }
 }
 
+impl<T: parbs_snap::Snap> parbs_snap::Snap for ThreadTable<T> {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        // `order` is sorted ascending and in lockstep with `entries`, so
+        // walking it gives a canonical, hasher-independent byte stream.
+        w.usize(self.order.len());
+        for &id in &self.order {
+            w.usize(id);
+            self.entries.get(&id).expect("order and entries stay in lockstep").save(w);
+        }
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        let len = r.seq()?;
+        let mut table = ThreadTable::new();
+        for _ in 0..len {
+            let id = r.usize()?;
+            let value = T::load(r)?;
+            table.insert(ThreadId(id), value);
+        }
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -130,6 +130,39 @@ impl Default for LatencyHistogram {
     }
 }
 
+impl parbs_snap::Snap for LatencyHistogram {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        // Sparse bucket encoding: most of the 64 buckets are empty in any
+        // real run, so write only (index, count) pairs.
+        let occupied: Vec<(usize, u64)> =
+            self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect();
+        w.put(&occupied);
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.max);
+        w.u64(self.min);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        let occupied: Vec<(usize, u64)> = r.get()?;
+        let mut h = LatencyHistogram::new();
+        for (i, c) in occupied {
+            if i >= h.buckets.len() {
+                return Err(parbs_snap::SnapError::BadTag {
+                    what: "histogram bucket index",
+                    value: i as u64,
+                });
+            }
+            h.buckets[i] = c;
+        }
+        h.count = r.u64()?;
+        h.sum = r.u64()?;
+        h.max = r.u64()?;
+        h.min = r.u64()?;
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,216 @@
+//! Execution backends: how a batch of independent systems is stepped.
+//!
+//! The cycle kernel is decomposed into [`System::begin_run`] /
+//! [`System::step_cycle`] / [`System::finish_run`]; a backend decides how
+//! many systems to thread through that loop at once. [`Scalar`] runs each
+//! system to completion in turn (byte-identical to [`System::run`] by
+//! construction). [`Lanes`]`<N>` steps up to `N` independent systems in
+//! lockstep, one cycle each per iteration — a structure-of-arrays sweep
+//! over sweep configurations — retiring each lane the cycle its run
+//! completes and refilling it from the batch queue, so a short job never
+//! holds the other lanes hostage.
+//!
+//! Because the lanes are *independent* systems (no state is shared between
+//! them), the per-system cycle sequence is identical whichever backend
+//! executes it: every backend produces byte-identical [`RunResult`]s, and
+//! the tests pin that down.
+
+use crate::{RunProgress, RunResult, System};
+
+/// A strategy for executing a batch of independent simulation runs.
+///
+/// Implementations must be pure executors: given the same systems in the
+/// same order they return the same results in the same order, regardless
+/// of internal interleaving.
+pub trait ExecBackend: Sync {
+    /// Number of systems stepped concurrently (1 for scalar execution).
+    fn lane_width(&self) -> usize;
+
+    /// Runs every system to completion and returns the results in input
+    /// order.
+    fn run_batch(&self, systems: Vec<System>) -> Vec<RunResult>;
+}
+
+/// The scalar backend: each system runs to completion in turn, exactly as
+/// [`System::run`] does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scalar;
+
+impl ExecBackend for Scalar {
+    fn lane_width(&self) -> usize {
+        1
+    }
+
+    fn run_batch(&self, systems: Vec<System>) -> Vec<RunResult> {
+        systems.into_iter().map(|mut sys| sys.run()).collect()
+    }
+}
+
+/// The many-lane backend: up to `N` independent systems advance in
+/// lockstep, one cycle per lane per iteration, with per-lane retirement
+/// and refill from the batch queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lanes<const N: usize>;
+
+/// One occupied lane: the batch index it will retire into, the system, and
+/// its run cursor.
+type Lane = (usize, System, RunProgress);
+
+impl<const N: usize> ExecBackend for Lanes<N> {
+    fn lane_width(&self) -> usize {
+        N
+    }
+
+    fn run_batch(&self, systems: Vec<System>) -> Vec<RunResult> {
+        assert!(N > 0, "a lane backend needs at least one lane");
+        let total = systems.len();
+        let mut results: Vec<Option<RunResult>> = (0..total).map(|_| None).collect();
+        let mut queue = systems.into_iter().enumerate();
+        let fill = |entry: Option<(usize, System)>| -> Option<Lane> {
+            entry.map(|(i, sys)| {
+                let progress = sys.begin_run();
+                (i, sys, progress)
+            })
+        };
+        let mut lanes: Vec<Option<Lane>> = (0..N).map(|_| fill(queue.next())).collect();
+        let mut live = lanes.iter().filter(|l| l.is_some()).count();
+        while live > 0 {
+            for lane in &mut lanes {
+                let Some((_, sys, progress)) = lane.as_mut() else { continue };
+                if sys.step_cycle(progress) {
+                    continue;
+                }
+                let (i, mut sys, progress) = lane.take().expect("lane was occupied");
+                results[i] = Some(sys.finish_run(progress));
+                *lane = fill(queue.next());
+                if lane.is_none() {
+                    live -= 1;
+                }
+            }
+        }
+        results.into_iter().map(|r| r.expect("every lane retired")).collect()
+    }
+}
+
+/// Runtime-selected backend (the `--lanes` CLI flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnyBackend {
+    /// One system at a time ([`Scalar`]).
+    #[default]
+    Scalar,
+    /// Two lockstep lanes ([`Lanes`]`<2>`).
+    Lanes2,
+    /// Four lockstep lanes ([`Lanes`]`<4>`).
+    Lanes4,
+}
+
+impl AnyBackend {
+    /// The backend for a lane count: 1 → scalar, 2/4 → lanes. Other widths
+    /// are not provided (lane structs are monomorphized per width).
+    #[must_use]
+    pub fn from_lanes(n: usize) -> Option<Self> {
+        match n {
+            1 => Some(AnyBackend::Scalar),
+            2 => Some(AnyBackend::Lanes2),
+            4 => Some(AnyBackend::Lanes4),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyBackend::Scalar => "scalar",
+            AnyBackend::Lanes2 => "lanes2",
+            AnyBackend::Lanes4 => "lanes4",
+        }
+    }
+}
+
+impl ExecBackend for AnyBackend {
+    fn lane_width(&self) -> usize {
+        match self {
+            AnyBackend::Scalar => Scalar.lane_width(),
+            AnyBackend::Lanes2 => Lanes::<2>.lane_width(),
+            AnyBackend::Lanes4 => Lanes::<4>.lane_width(),
+        }
+    }
+
+    fn run_batch(&self, systems: Vec<System>) -> Vec<RunResult> {
+        match self {
+            AnyBackend::Scalar => Scalar.run_batch(systems),
+            AnyBackend::Lanes2 => Lanes::<2>.run_batch(systems),
+            AnyBackend::Lanes4 => Lanes::<4>.run_batch(systems),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SchedulerKind, SimConfig};
+    use parbs_cpu::InstructionStream;
+    use parbs_workloads::{by_name, SyntheticStream};
+
+    fn quick_cfg(cores: usize) -> SimConfig {
+        SimConfig { target_instructions: 900, ..SimConfig::for_cores(cores) }
+    }
+
+    fn build(names: &[&str], kind: &SchedulerKind) -> System {
+        let cfg = quick_cfg(names.len());
+        let streams: Vec<Box<dyn InstructionStream>> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Box::new(SyntheticStream::new(
+                    by_name(n).unwrap(),
+                    cfg.geometry(),
+                    cfg.seed,
+                    i as u64,
+                )) as Box<dyn InstructionStream>
+            })
+            .collect();
+        System::new(cfg, streams, kind)
+    }
+
+    fn batch(kind: &SchedulerKind, copies: usize) -> Vec<System> {
+        let mixes = [
+            ["mcf", "libquantum", "lbm", "hmmer"],
+            ["libquantum", "mcf", "GemsFDTD", "xalancbmk"],
+            ["lbm", "lbm", "lbm", "lbm"],
+        ];
+        (0..copies).map(|i| build(&mixes[i % mixes.len()], kind)).collect()
+    }
+
+    #[test]
+    fn lanes_match_scalar_bit_for_bit() {
+        for kind in [SchedulerKind::FrFcfs, SchedulerKind::ParBs(Default::default())] {
+            let expected = Scalar.run_batch(batch(&kind, 5));
+            assert_eq!(Lanes::<2>.run_batch(batch(&kind, 5)), expected, "{}", kind.name());
+            assert_eq!(Lanes::<4>.run_batch(batch(&kind, 5)), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn partial_and_empty_batches_work_at_any_width() {
+        assert!(Lanes::<4>.run_batch(Vec::new()).is_empty());
+        let kind = SchedulerKind::FrFcfs;
+        for n in 1..=3 {
+            let expected = Scalar.run_batch(batch(&kind, n));
+            assert_eq!(Lanes::<4>.run_batch(batch(&kind, n)), expected, "batch of {n}");
+        }
+    }
+
+    #[test]
+    fn any_backend_parses_and_delegates() {
+        assert_eq!(AnyBackend::from_lanes(1), Some(AnyBackend::Scalar));
+        assert_eq!(AnyBackend::from_lanes(2), Some(AnyBackend::Lanes2));
+        assert_eq!(AnyBackend::from_lanes(4), Some(AnyBackend::Lanes4));
+        assert_eq!(AnyBackend::from_lanes(3), None);
+        assert_eq!(AnyBackend::Lanes4.lane_width(), 4);
+        let kind = SchedulerKind::FrFcfs;
+        let expected = Scalar.run_batch(batch(&kind, 2));
+        assert_eq!(AnyBackend::Lanes2.run_batch(batch(&kind, 2)), expected);
+    }
+}

@@ -7,6 +7,7 @@
 //! parbs-sim list                        list the 28 synthetic benchmarks
 //! parbs-sim sweep [n]                   n random 4-core mixes (default 10)
 //! parbs-sim trace <file> [file...]      run trace files (one per core)
+//! parbs-sim run <bench,bench,...>       one shared run, checkpointable
 //! parbs-sim --list                      enumerate available mixes and sweeps
 //!
 //! parbs-sim mapping-sweep [n]           geometry/mapping ablation (paper §6)
@@ -21,6 +22,23 @@
 //! options: --target <instructions>   per-thread run length (default 30000)
 //!          --seed <seed>             workload seed (default 42)
 //!          --jobs <n>                worker threads (default: all cores)
+//!          --lanes <1|2|4>           execution backend: scalar (1) or a
+//!                                    many-lane lockstep kernel stepping
+//!                                    2/4 shape-compatible plan jobs per
+//!                                    cycle; results are byte-identical
+//!
+//! Adding `--list` to an evaluation command (case-study, mix, sweep,
+//! mapping-sweep, zoo-sweep) prints the plan's jobs and which of them the
+//! chosen backend lane-batches vs runs scalar-fallback, without running.
+//!
+//! checkpointing (`run` only; one mix, one scheduler, one System):
+//!          --sched <name>            scheduler for the run (default PAR-BS)
+//!          --checkpoint-out <path>   write a checkpoint to <path>
+//!          --checkpoint-every <n>    ... every n cycles (default 1000000)
+//!          --resume <path>           restore state from a checkpoint and
+//!                                    continue; the blob must match the
+//!                                    system's config/scheduler/mix
+//!                                    fingerprint or the run hard-errors
 //!
 //! Malformed option values (`--jobs abc`, `--ranks -1`) are hard errors
 //! naming the offending flag, never silent fallbacks to defaults.
@@ -62,7 +80,10 @@ use std::time::Instant;
 
 use parbs_dram::MappingPolicy;
 use parbs_monitor::Spec;
-use parbs_sim::{experiments, Harness, ObserveOptions, SchedulerKind, SimConfig, TraceFormat};
+use parbs_sim::{
+    experiments, AnyBackend, EvalPlan, ExecBackend, Harness, ObserveOptions, SchedulerKind,
+    SimConfig, TraceFormat,
+};
 use parbs_workloads::{
     all_benchmarks, by_name, case_study_1, case_study_2, case_study_3, random_mixes, BoundedPareto,
     FlowConfig, MixSpec,
@@ -386,6 +407,42 @@ fn harness_for(cores: usize, target: u64, shape: &ShapeArgs) -> Harness {
     Harness::new(cfg)
 }
 
+/// Parses `--lanes` into a backend. Widths other than 1/2/4 are hard
+/// errors: the lane kernels are monomorphized per width, so an arbitrary
+/// count cannot be honoured and must not silently degrade to scalar.
+fn backend_arg(args: &[String]) -> AnyBackend {
+    match value_of(args, "--lanes") {
+        None => AnyBackend::Scalar,
+        Some(n) => AnyBackend::from_lanes(n as usize).unwrap_or_else(|| {
+            eprintln!("invalid value '{n}' for --lanes: expected 1, 2 or 4");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// The `--list` view of a plan under a backend: which jobs will be
+/// lane-batched together and which fall back to the scalar path (singleton
+/// shape groups, or everything when the backend is scalar).
+fn print_lane_plan(harness: &Harness, plan: &EvalPlan, backend: AnyBackend) {
+    let assignments = harness.lane_assignments(plan, backend.lane_width());
+    let batched = assignments.iter().filter(|a| a.is_some()).count();
+    println!(
+        "plan: {} job(s) under backend {} — {} lane-batched, {} scalar-fallback",
+        plan.len(),
+        backend.name(),
+        batched,
+        plan.len() - batched
+    );
+    println!("{:>4} {:16} {:10} execution", "job", "mix", "scheduler");
+    for (i, (job, a)) in plan.jobs().iter().zip(&assignments).enumerate() {
+        let how = match a {
+            Some(group) => format!("lane-batched (group {group})"),
+            None => "scalar-fallback".to_owned(),
+        };
+        println!("{:>4} {:16} {:10} {}", i, job.mix.name, job.kind.name(), how);
+    }
+}
+
 fn print_available() {
     println!("mixes (run with `parbs-sim case-study <n>` / `parbs-sim mix <a,b,c,d>`):");
     for (n, mix) in [(1, case_study_1()), (2, case_study_2()), (3, case_study_3())] {
@@ -410,6 +467,11 @@ fn print_available() {
     println!("  (more sweeps — marking-cap, batching, ranking, priorities — are");
     println!("   regenerated by the parbs-bench binaries: fig11..fig14, table3, table4)");
     println!("\noptions: --target N   --seed N   --jobs N (default: all cores)");
+    println!("backend: --lanes 1|2|4 (lockstep lane kernel; byte-identical results;");
+    println!("         add --list to an evaluation command to preview which jobs");
+    println!("         get lane-batched vs scalar-fallback)");
+    println!("ckpt:    run <a,b,c,d> --sched S --checkpoint-out F");
+    println!("         [--checkpoint-every N] [--resume F]");
     println!("shape:   --ranks N   --mapping row|line   --no-xor");
     println!(
         "observe: --trace-out F   --trace-format chrome|jsonl   --check-invariants   \
@@ -424,7 +486,13 @@ fn main() {
     let jobs =
         value_of(&args, "--jobs").map_or_else(parbs_sim::default_jobs, |v| (v as usize).max(1));
     let shape = ShapeArgs::parse(&args);
-    if args.iter().any(|a| a == "--list") {
+    let backend = backend_arg(&args);
+    let list_only = args.iter().any(|a| a == "--list");
+    let lane_listable = matches!(
+        args.first().map(String::as_str),
+        Some("case-study" | "mix" | "sweep" | "mapping-sweep" | "zoo-sweep")
+    );
+    if list_only && !lane_listable {
         print_available();
         return;
     }
@@ -445,9 +513,13 @@ fn main() {
             }
             let harness = harness_for(mix.cores(), target, &shape);
             let plan = experiments::compare_plan(&mix);
+            if list_only {
+                print_lane_plan(&harness, &plan, backend);
+                return;
+            }
             println!("case study {} ({} cores):", mix.name, mix.cores());
             let start = Instant::now();
-            print_evals(&harness.run_plan(&plan, jobs));
+            print_evals(&harness.run_plan_with(&plan, jobs, &backend));
             print_run_summary(start, plan.len(), jobs, &harness);
         }
         Some("mix") => {
@@ -469,8 +541,12 @@ fn main() {
             }
             let harness = harness_for(mix.cores(), target, &shape);
             let plan = experiments::compare_plan(&mix);
+            if list_only {
+                print_lane_plan(&harness, &plan, backend);
+                return;
+            }
             let start = Instant::now();
-            print_evals(&harness.run_plan(&plan, jobs));
+            print_evals(&harness.run_plan_with(&plan, jobs, &backend));
             print_run_summary(start, plan.len(), jobs, &harness);
         }
         Some("bench") => {
@@ -548,13 +624,131 @@ fn main() {
             }
             println!("cycles: {} (PAR-BS)", r.cycles);
         }
+        Some("run") => {
+            let Some(list) = args.get(1) else {
+                eprintln!("usage: parbs-sim run <bench,bench,...>");
+                std::process::exit(2);
+            };
+            let names: Vec<&str> = list.split(',').collect();
+            for n in &names {
+                if by_name(n).is_none() {
+                    eprintln!("unknown benchmark '{n}'; try `parbs-sim list`");
+                    std::process::exit(2);
+                }
+            }
+            let mix = MixSpec::from_names("custom", &names);
+            let sched = match str_value_of(&args, "--sched") {
+                None => SchedulerKind::ParBs(Default::default()),
+                Some(s) => sched_by_name(s).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scheduler '{s}'; expected \
+                         FCFS|FR-FCFS|NFQ|STFQ|STFM|PAR-BS|BLISS|ATLAS"
+                    );
+                    std::process::exit(2);
+                }),
+            };
+            // The checkpoint fingerprint label: the bench list itself, so a
+            // blob saved from one mix cannot restore into another.
+            let label = names.join(",");
+            let ckpt_out = str_value_of(&args, "--checkpoint-out");
+            let every = value_of(&args, "--checkpoint-every");
+            if every.is_some() && ckpt_out.is_none() {
+                eprintln!("--checkpoint-every requires --checkpoint-out");
+                std::process::exit(2);
+            }
+            let every = every.unwrap_or(1_000_000);
+            if every == 0 {
+                eprintln!("invalid value '0' for --checkpoint-every: expected at least 1");
+                std::process::exit(2);
+            }
+            let harness = harness_for(mix.cores(), target, &shape);
+            let mut sys = harness.shared_system(&mix, &sched, &Default::default());
+            let mut progress = match str_value_of(&args, "--resume") {
+                None => sys.begin_run(),
+                Some(path) => {
+                    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read checkpoint {path}: {e}");
+                        std::process::exit(2);
+                    });
+                    match sys.resume(&bytes, &label) {
+                        Ok(p) => {
+                            println!(
+                                "resumed from {path} at cycle {} ({} thread(s) still running)",
+                                p.cycles(),
+                                p.threads_remaining()
+                            );
+                            p
+                        }
+                        Err(e) => {
+                            eprintln!("cannot resume from {path}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            };
+            let save_to = |path: &str, sys: &parbs_sim::System, p: &parbs_sim::RunProgress| {
+                let blob = sys.save_checkpoint(p, &label).unwrap_or_else(|e| {
+                    eprintln!("cannot checkpoint: {e}");
+                    std::process::exit(2);
+                });
+                if let Err(e) = std::fs::write(path, &blob) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "checkpoint: wrote {} bytes to {path} at cycle {}",
+                    blob.len(),
+                    p.cycles()
+                );
+            };
+            let start = Instant::now();
+            let mut last_saved = progress.cycles();
+            while sys.step_cycle(&mut progress) {
+                if let Some(path) = ckpt_out {
+                    if progress.cycles() - last_saved >= every {
+                        save_to(path, &sys, &progress);
+                        last_saved = progress.cycles();
+                    }
+                }
+            }
+            if let Some(path) = ckpt_out {
+                save_to(path, &sys, &progress);
+            }
+            let r = sys.finish_run(progress);
+            println!(
+                "{:12} {:>7} {:>7} {:>6} {:>8} {:>6}",
+                "bench", "MCPI", "MPKI", "BLP", "AST/req", "RBhit"
+            );
+            for (b, t) in mix.benchmarks.iter().zip(&r.threads) {
+                println!(
+                    "{:12} {:>7.2} {:>7.1} {:>6.2} {:>8.0} {:>6.2}",
+                    b.name,
+                    t.mcpi(),
+                    t.mpki(),
+                    t.blp,
+                    t.ast_per_req(),
+                    t.read_hit_rate
+                );
+            }
+            println!(
+                "cycles: {} ({}){} in {:.2}s",
+                r.cycles,
+                sched.name(),
+                if r.timed_out { " (timed out)" } else { "" },
+                start.elapsed().as_secs_f64()
+            );
+        }
         Some("sweep") => {
             let n = count_arg(&args, "sweep", 10);
             let harness = harness_for(4, target, &shape);
             let mixes = random_mixes(4, n, seed);
             let sweep = experiments::sweep_plan(&mixes, &experiments::paper_five_labeled());
+            if list_only {
+                print_lane_plan(&harness, sweep.plan(), backend);
+                return;
+            }
             let start = Instant::now();
-            let rows = sweep.run(&harness, jobs);
+            let rows = sweep.run_with(&harness, jobs, &backend);
             println!(
                 "{:10} {:>10} {:>7} {:>7} {:>7} {:>8}",
                 "scheduler", "unfairness", "wspeed", "hspeed", "ast", "wc"
@@ -578,6 +772,10 @@ fn main() {
             let harness = harness_for(4, target, &shape);
             let mixes = random_mixes(4, n, seed);
             let sweep = experiments::mapping_sweep_plan(&mixes, harness.config().dram.geometry);
+            if list_only {
+                print_lane_plan(&harness, sweep.plan(), backend);
+                return;
+            }
             println!(
                 "geometry/mapping ablation: {} rows x {} mix(es) = {} jobs",
                 sweep.labels().len(),
@@ -585,7 +783,7 @@ fn main() {
                 sweep.job_count()
             );
             let start = Instant::now();
-            let rows = sweep.run(&harness, jobs);
+            let rows = sweep.run_with(&harness, jobs, &backend);
             println!(
                 "{:22} {:>10} {:>7} {:>7} {:>7} {:>8}",
                 "shape/scheduler", "unfairness", "wspeed", "hspeed", "ast", "wc"
@@ -610,13 +808,17 @@ fn main() {
             let mut mixes = vec![parbs_workloads::accel_case_study()];
             mixes.extend(parbs_workloads::cpu_accel_mixes(4, n, seed));
             let sweep = experiments::zoo_sweep_plan(&mixes);
+            if list_only {
+                print_lane_plan(&harness, sweep.plan(), backend);
+                return;
+            }
             println!(
                 "scheduler zoo: 7 schedulers x {} mixed CPU/accelerator mix(es) = {} jobs",
                 mixes.len(),
                 sweep.job_count()
             );
             let start = Instant::now();
-            let rows = experiments::zoo_rows(sweep.run(&harness, jobs), &mixes);
+            let rows = experiments::zoo_rows(sweep.run_with(&harness, jobs, &backend), &mixes);
             println!(
                 "{:10} {:>10} {:>12} {:>9} {:>11} {:>7} {:>7}",
                 "scheduler", "unfairness", "cpu-unfair", "cpu-max", "accel-max", "wspeed", "hspeed"
@@ -774,9 +976,10 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: parbs-sim <case-study 1|2|3 | mix a,b,c,d | bench name | list | sweep [n] \
-                 | mapping-sweep [n] | zoo-sweep [n] | flow-sweep [n] \
+                 | run a,b,c,d | mapping-sweep [n] | zoo-sweep [n] | flow-sweep [n] \
                  | monitor --spec S --replay F> \
-                 [--target N] [--seed N] [--jobs N] \
+                 [--target N] [--seed N] [--jobs N] [--lanes 1|2|4] \
+                 [--sched S] [--checkpoint-out F] [--checkpoint-every N] [--resume F] \
                  [--ranks N] [--mapping row|line] [--no-xor] \
                  [--trace-out F] [--trace-format chrome|jsonl] [--check-invariants] \
                  [--trace-sched S] [--spec S] [--monitor-report] \

@@ -38,6 +38,8 @@
 //! assert_eq!(rows[0].metrics.slowdowns.len(), 4);
 //! ```
 
+mod backend;
+mod checkpoint;
 mod config;
 mod executor;
 pub mod experiments;
@@ -49,6 +51,8 @@ mod runner;
 mod sched_kind;
 mod system;
 
+pub use backend::{AnyBackend, ExecBackend, Lanes, Scalar};
+pub use checkpoint::{CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::SimConfig;
 pub use executor::default_jobs;
 pub use flow::{drive_source, run_flow, run_flow_sweep, FlowRunResult, SourceDriveResult};
@@ -59,4 +63,4 @@ pub use observe::{
 pub use plan::{EvalJob, EvalOverrides, EvalPlan};
 pub use runner::Session;
 pub use sched_kind::SchedulerKind;
-pub use system::{RunResult, System, ThreadRunStats};
+pub use system::{RunProgress, RunResult, System, ThreadRunStats};

@@ -89,6 +89,73 @@ pub struct RunResult {
     pub read_latency: parbs_metrics::LatencyHistogram,
 }
 
+/// Cursor of an in-progress run: which threads have been snapshotted, the
+/// cycle about to execute, and whether the cycle cap fired. Produced by
+/// [`System::begin_run`], advanced by [`System::step_cycle`], and redeemed
+/// by [`System::finish_run`] — the seam that lets lane backends interleave
+/// several systems cycle-by-cycle and lets checkpointing freeze a run
+/// mid-flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProgress {
+    /// Per-thread instruction target the run was started with.
+    target: u64,
+    /// Per-thread snapshot, filled the cycle the thread hits the target.
+    snapshots: Vec<Option<ThreadRunStats>>,
+    /// Threads still short of the target.
+    remaining: usize,
+    /// The next cycle to execute.
+    now: u64,
+    /// Whether `max_cycles` fired before every thread finished.
+    timed_out: bool,
+}
+
+impl RunProgress {
+    /// Cycles executed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.now
+    }
+
+    /// Threads still short of their instruction target.
+    #[must_use]
+    pub fn threads_remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the cycle cap fired before every thread finished.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    pub(crate) fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.target);
+        w.put(&self.snapshots);
+        w.usize(self.remaining);
+        w.u64(self.now);
+        w.bool(self.timed_out);
+    }
+
+    pub(crate) fn load_state(
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<Self, parbs_snap::SnapError> {
+        let target = r.u64()?;
+        let snapshots: Vec<Option<ThreadRunStats>> = r.get()?;
+        let remaining = r.usize()?;
+        let now = r.u64()?;
+        let timed_out = r.bool()?;
+        let open = snapshots.iter().filter(|s| s.is_none()).count();
+        if remaining != open {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "run progress remaining-thread count",
+                expected: open as u64,
+                found: remaining as u64,
+            });
+        }
+        Ok(RunProgress { target, snapshots, remaining, now, timed_out })
+    }
+}
+
 /// A CMP system: one core per thread, one controller per DRAM channel.
 pub struct System {
     cfg: SimConfig,
@@ -209,29 +276,68 @@ impl System {
 
     /// Runs until every thread has committed `target_instructions` (or
     /// `max_cycles` elapse) and returns the per-thread snapshots.
+    ///
+    /// Equivalent to [`System::begin_run`] + [`System::step_cycle`] until
+    /// exhaustion + [`System::finish_run`] — the decomposition the lane
+    /// backends and checkpointing build on.
     pub fn run(&mut self) -> RunResult {
-        let target = self.cfg.target_instructions;
+        let mut progress = self.begin_run();
+        while self.step_cycle(&mut progress) {}
+        self.finish_run(progress)
+    }
+
+    /// Starts a run: the cursor a caller threads through
+    /// [`System::step_cycle`] calls until it returns `false`, then redeems
+    /// with [`System::finish_run`].
+    #[must_use]
+    pub fn begin_run(&self) -> RunProgress {
         let n = self.cores.len();
-        let mut snapshots: Vec<Option<ThreadRunStats>> = vec![None; n];
-        let mut remaining = n;
-        let mut now = 0u64;
-        let mut timed_out = false;
-        while remaining > 0 {
-            if now >= self.cfg.max_cycles {
-                timed_out = true;
-                break;
-            }
-            self.tick(now);
-            for (t, slot) in snapshots.iter_mut().enumerate() {
-                if slot.is_none() && self.cores[t].stats().committed >= target {
-                    *slot = Some(self.snapshot(t, now + 1));
-                    remaining -= 1;
-                }
-            }
-            now += 1;
+        RunProgress {
+            target: self.cfg.target_instructions,
+            snapshots: vec![None; n],
+            remaining: n,
+            now: 0,
+            timed_out: false,
         }
+    }
+
+    /// Advances the system by exactly one processor cycle, snapshotting any
+    /// thread that reached its instruction target this cycle. Returns `true`
+    /// while the run has more cycles to execute; once it returns `false`
+    /// (every thread snapshotted, or `max_cycles` reached) further calls are
+    /// no-ops and the caller redeems `progress` with
+    /// [`System::finish_run`].
+    pub fn step_cycle(&mut self, progress: &mut RunProgress) -> bool {
+        if progress.remaining == 0 || progress.timed_out {
+            return false;
+        }
+        if progress.now >= self.cfg.max_cycles {
+            progress.timed_out = true;
+            return false;
+        }
+        self.tick(progress.now);
+        for (t, slot) in progress.snapshots.iter_mut().enumerate() {
+            if slot.is_none() && self.cores[t].stats().committed >= progress.target {
+                *slot = Some(self.snapshot_at(t, progress.now + 1));
+                progress.remaining -= 1;
+            }
+        }
+        progress.now += 1;
+        progress.remaining > 0
+    }
+
+    /// Completes a run started with [`System::begin_run`], filling in
+    /// snapshots for threads that never reached the target and aggregating
+    /// system-wide statistics.
+    #[must_use]
+    pub fn finish_run(&mut self, mut progress: RunProgress) -> RunResult {
+        let n = self.cores.len();
+        let now = progress.now;
+        let timed_out = progress.timed_out;
         let threads: Vec<ThreadRunStats> = (0..n)
-            .map(|t| snapshots[t].take().unwrap_or_else(|| self.snapshot(t, now.max(1))))
+            .map(|t| {
+                progress.snapshots[t].take().unwrap_or_else(|| self.snapshot_at(t, now.max(1)))
+            })
             .collect();
         let (hits, total): (u64, u64) = self
             .controllers
@@ -255,7 +361,7 @@ impl System {
         }
     }
 
-    fn snapshot(&self, t: usize, cycles: u64) -> ThreadRunStats {
+    fn snapshot_at(&self, t: usize, cycles: u64) -> ThreadRunStats {
         let s = self.cores[t].stats();
         let (hits, total) = self
             .controllers
@@ -369,6 +475,110 @@ impl System {
             self.next_request += 1;
             self.cores[t].write_issued();
         }
+    }
+}
+
+impl System {
+    /// Whether every controller can be snapshotted (no protocol checker or
+    /// observability sink attached — both hold state outside the snapshot
+    /// format).
+    pub(crate) fn snapshot_supported(&self) -> bool {
+        self.controllers.iter().all(Controller::snapshot_supported)
+    }
+
+    /// FNV-1a digest over everything that must match for a snapshot to be
+    /// restorable into this system: the full configuration, the scheduler
+    /// on each channel, and the caller-supplied workload label.
+    pub(crate) fn state_fingerprint(&self, label: &str) -> u64 {
+        let mut fp = parbs_snap::Fingerprint::new();
+        fp.update_str(&format!("{:?}", self.cfg));
+        for c in &self.controllers {
+            fp.update_str(c.scheduler_name());
+        }
+        fp.update_str(label);
+        fp.digest()
+    }
+
+    /// Serializes the full mutable state of the system (cores, controllers,
+    /// routing tables, per-thread aggregates). Fails with
+    /// [`parbs_snap::SnapError::Unsupported`] when a controller has a
+    /// protocol checker or event sink attached.
+    pub(crate) fn save_state(
+        &self,
+        w: &mut parbs_snap::SnapWriter,
+    ) -> Result<(), parbs_snap::SnapError> {
+        w.u64(self.next_request);
+        let mut inflight: Vec<(u64, (usize, MissId))> =
+            self.inflight.iter().map(|(&k, &v)| (k, v)).collect();
+        inflight.sort_unstable_by_key(|&(k, _)| k);
+        w.put(&inflight);
+        w.put(&self.prev_stall);
+        w.put(&self.blp);
+        w.put(&self.thread_worst_case);
+        w.put(&self.completions);
+        for core in &self.cores {
+            core.save_state(w);
+        }
+        for ctrl in &self.controllers {
+            ctrl.save_state(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restores state saved by [`System::save_state`] into a freshly built
+    /// system of the same shape (same config, streams, and scheduler).
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        self.next_request = r.u64()?;
+        let inflight: Vec<(u64, (usize, MissId))> = r.get()?;
+        self.inflight = inflight.into_iter().collect();
+        let prev_stall: Vec<u64> = r.get()?;
+        if prev_stall.len() != self.cores.len() {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "system core count",
+                expected: self.cores.len() as u64,
+                found: prev_stall.len() as u64,
+            });
+        }
+        self.prev_stall = prev_stall;
+        self.blp = r.get()?;
+        self.thread_worst_case = r.get()?;
+        self.completions = r.get()?;
+        for core in &mut self.cores {
+            core.restore_state(r)?;
+        }
+        for ctrl in &mut self.controllers {
+            ctrl.restore_state(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl parbs_snap::Snap for ThreadRunStats {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.instructions);
+        w.u64(self.cycles);
+        w.u64(self.mem_stall_cycles);
+        w.u64(self.dram_reads);
+        w.u64(self.dram_writes);
+        w.f64(self.blp);
+        w.f64(self.read_hit_rate);
+        w.u64(self.worst_case_latency);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(ThreadRunStats {
+            instructions: r.u64()?,
+            cycles: r.u64()?,
+            mem_stall_cycles: r.u64()?,
+            dram_reads: r.u64()?,
+            dram_writes: r.u64()?,
+            blp: r.f64()?,
+            read_hit_rate: r.f64()?,
+            worst_case_latency: r.u64()?,
+        })
     }
 }
 

@@ -9,8 +9,10 @@ use parbs_obs::{downcast_sink, ChromeTraceSink};
 use parbs_sim::experiments::{
     paper_five_labeled, priority_weighted_plan, sweep_plan, zoo_sweep_plan,
 };
-use parbs_sim::{EvalJob, EvalPlan, Harness, SchedulerKind, SimConfig};
-use parbs_workloads::{accel_case_study, case_study_1, cpu_accel_mixes, random_mixes};
+use parbs_sim::{AnyBackend, EvalJob, EvalPlan, Harness, SchedulerKind, SimConfig};
+use parbs_workloads::{
+    accel_case_study, case_study_1, case_study_2, case_study_3, cpu_accel_mixes, random_mixes,
+};
 
 fn quick_cfg() -> SimConfig {
     SimConfig { target_instructions: 800, ..SimConfig::for_cores(4) }
@@ -129,6 +131,65 @@ fn chrome_trace_of_fig3_micro_example_is_byte_identical_across_jobs_levels() {
         ["\"bank 3\"", "\"thread 0\"", "\"thread 1\"", "\"batch 1\"", "\"rank\"", "process_name"]
     {
         assert!(golden.contains(needle), "golden trace lacks {needle}");
+    }
+}
+
+#[test]
+fn lane_backends_match_scalar_on_case_studies_under_all_seven_schedulers() {
+    // The tentpole guarantee: the many-lane lockstep kernel is an execution
+    // strategy, not a semantic change. Every case study under every zoo
+    // scheduler must produce the same rows whichever backend runs the plan.
+    let mixes = [case_study_1(), case_study_2(), case_study_3()];
+    let plan = EvalPlan::product(&mixes, &SchedulerKind::zoo_seven());
+    let scalar = Harness::new(quick_cfg()).run_plan(&plan, 2);
+    for backend in [AnyBackend::Scalar, AnyBackend::Lanes2, AnyBackend::Lanes4] {
+        let lanes = Harness::new(quick_cfg()).run_plan_with(&plan, 2, &backend);
+        assert_eq!(scalar, lanes, "{} diverged from run_plan", backend.name());
+        assert_eq!(format!("{scalar:?}"), format!("{lanes:?}"));
+    }
+}
+
+#[test]
+fn lane_batched_random_mix_sweep_is_identical_at_every_jobs_level() {
+    // Lane batching composes with the worker-thread executor: groups are
+    // collated in plan order, so jobs=1 and jobs=4 under Lanes<4> both
+    // reproduce the plain scalar run row for row.
+    let mixes = random_mixes(4, 3, 11);
+    let sweep = sweep_plan(&mixes, &paper_five_labeled());
+    let scalar = Harness::new(quick_cfg()).run_plan(sweep.plan(), 1);
+    for jobs in [1, 4] {
+        let rows = Harness::new(quick_cfg()).run_plan_with(sweep.plan(), jobs, &AnyBackend::Lanes4);
+        assert_eq!(scalar, rows, "Lanes<4> at jobs={jobs} diverged from scalar");
+    }
+}
+
+#[test]
+fn checkpoint_resume_matches_uninterrupted_run_through_the_harness_seam() {
+    // Save at an arbitrary mid-run cycle, rebuild the system from scratch,
+    // resume from the blob, and finish: the result must be byte-identical
+    // to the never-interrupted run, for every scheduler in the zoo.
+    let harness = Harness::new(quick_cfg());
+    let mix = case_study_1();
+    for kind in SchedulerKind::zoo_seven() {
+        let mut straight = harness.shared_system(&mix, &kind, &Default::default());
+        let expected = straight.run();
+
+        let mut first = harness.shared_system(&mix, &kind, &Default::default());
+        let mut progress = first.begin_run();
+        for _ in 0..3_000 {
+            if !first.step_cycle(&mut progress) {
+                break;
+            }
+        }
+        let blob = first.save_checkpoint(&progress, &mix.name).expect("checkpointable system");
+        drop(first);
+
+        let mut second = harness.shared_system(&mix, &kind, &Default::default());
+        let mut progress = second.resume(&blob, &mix.name).expect("fingerprint matches");
+        while second.step_cycle(&mut progress) {}
+        let resumed = second.finish_run(progress);
+        assert_eq!(expected, resumed, "{} diverged after resume", kind.name());
+        assert_eq!(format!("{expected:?}"), format!("{resumed:?}"));
     }
 }
 

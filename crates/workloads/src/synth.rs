@@ -262,6 +262,48 @@ impl InstructionStream for SyntheticStream {
             self.refill();
         }
     }
+
+    fn save_state(&self, w: &mut parbs_snap::SnapWriter) {
+        w.put(&self.rng.state());
+        w.put(&self.cursors);
+        w.put(&self.active);
+        w.put(&self.queue);
+        w.f64(self.gap_carry);
+        w.u64(self.episodes);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut parbs_snap::SnapReader<'_>,
+    ) -> Result<(), parbs_snap::SnapError> {
+        let rng_state: [u64; 4] = r.get()?;
+        let cursors: Vec<BankCursor> = r.get()?;
+        if cursors.len() != self.cursors.len() {
+            return Err(parbs_snap::SnapError::Mismatch {
+                what: "stream bank-cursor count",
+                expected: self.cursors.len() as u64,
+                found: cursors.len() as u64,
+            });
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.cursors = cursors;
+        self.active = r.get()?;
+        self.queue = r.get()?;
+        self.gap_carry = r.f64()?;
+        self.episodes = r.u64()?;
+        Ok(())
+    }
+}
+
+impl parbs_snap::Snap for BankCursor {
+    fn save(&self, w: &mut parbs_snap::SnapWriter) {
+        w.u64(self.row);
+        w.u64(self.col);
+    }
+
+    fn load(r: &mut parbs_snap::SnapReader<'_>) -> Result<Self, parbs_snap::SnapError> {
+        Ok(BankCursor { row: r.u64()?, col: r.u64()? })
+    }
 }
 
 #[cfg(test)]

@@ -136,6 +136,22 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words — checkpointing support for the
+        /// simulator (the real `rand` offers the same through serde).
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from previously captured state words; the
+        /// stream continues exactly where [`StdRng::state`] left it.
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
