@@ -1,26 +1,39 @@
 //! `parbs-analyze` — static-analysis CLI for the PAR-BS model.
 //!
 //! ```text
-//! parbs-analyze check-timing [--depth N] [--ranks R] [--banks B] [--rows W]
-//! parbs-analyze check-keys   [--scheduler all|FCFS|FR-FCFS|NFQ|STFM|PAR-BS|BLISS|ATLAS]
-//! parbs-analyze check-spec   <file|prelude:invariants|prelude:qos>
-//! parbs-analyze report       [--depth N]
+//! parbs-analyze check-timing   [--depth N] [--ranks R] [--banks B] [--rows W]
+//! parbs-analyze check-timing   --refresh [--ranks R] [--trefi-dc N] [--no-gating]
+//! parbs-analyze check-keys     [--scheduler all|FCFS|FR-FCFS|NFQ|STFM|PAR-BS|BLISS|ATLAS]
+//! parbs-analyze check-liveness [--scheduler all|NAME] [--banks B] [--rows W]
+//!                              [--queue Q] [--threads T] [--depth N] [--witness]
+//! parbs-analyze check-spec     <file|prelude:invariants|prelude:qos>
+//! parbs-analyze report         [--depth N]
 //! ```
 //!
 //! `check-timing` runs the differential bounded model checker on a tiny
 //! geometry (defaults: depth 6, 2 banks/rank, 4 rows, both a 1-rank and a
-//! 2-rank channel when `--ranks` is omitted). `check-keys` validates the
+//! 2-rank channel when `--ranks` is omitted); with `--refresh` it instead
+//! model-checks per-rank refresh scheduling against the `tREFI` deadline
+//! rule (`--no-gating` seeds the dropped-refresh bug and expects the
+//! checker to catch it at the minimal depth). `check-keys` validates the
 //! declared priority-key layouts of the shipped schedulers against their
-//! implementations. `check-spec` compiles a [`parbs_monitor`] spec and
-//! prints its streams, triggers, and lints — a compile error exits non-zero
-//! with its `line:col: message` position. `report` runs the checkers at a
-//! modest depth and prints a summary of the rule table and key layouts.
-//! Every failure exits non-zero, so all subcommands are CI-gateable.
+//! implementations. `check-liveness` exhaustively explores the
+//! controller+scheduler state space per scheduler and either proves the
+//! declared starvation bound (reporting the tightest one) or prints a
+//! minimal starvation lasso; a scheduler whose exploration contradicts its
+//! declared claim exits non-zero. `check-spec` compiles a [`parbs_monitor`]
+//! spec and prints its streams, triggers, and lints — a compile error exits
+//! non-zero with its `line:col: message` position. `report` runs the
+//! checkers at a modest depth and prints a summary of the rule table and
+//! key layouts. Every failure exits non-zero, so all subcommands are
+//! CI-gateable.
 
 use std::process::ExitCode;
 
 use parbs_analyze::{
-    check_scheduler_keys, run_differential, scheduler_by_name, McConfig, ALL_SCHEDULERS,
+    check_refresh, check_scheduler_keys, check_scheduler_liveness, run_differential,
+    scheduler_by_name, LivenessConfig, LivenessVerdict, McConfig, RefreshConfig, RefreshVerdict,
+    ALL_SCHEDULERS,
 };
 use parbs_dram::TIMING_RULES;
 
@@ -32,7 +45,81 @@ fn str_value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
+fn check_refresh_cmd(args: &[String]) -> Result<(), String> {
+    let gating = !args.iter().any(|a| a == "--no-gating");
+    let cfg = RefreshConfig {
+        ranks: value_of(args, "--ranks").unwrap_or(2) as usize,
+        t_refi_dc: value_of(args, "--trefi-dc").or(Some(32)),
+        gating,
+        ..RefreshConfig::default()
+    };
+    let report = check_refresh(&cfg).map_err(|e| format!("check-timing --refresh: {e}"))?;
+    println!("check-timing: {report}");
+    match (gating, report.verdict) {
+        // Gated refresh must be proven compliant; the seeded dropped-rule
+        // bug must be caught — anything else is a checker failure.
+        (true, RefreshVerdict::Proven) | (false, RefreshVerdict::Violated { .. }) => Ok(()),
+        (true, RefreshVerdict::Violated { depth }) => {
+            Err(format!("check-timing --refresh: gated controller misses tREFI at depth {depth}"))
+        }
+        (false, RefreshVerdict::Proven) => {
+            Err("check-timing --refresh: seeded dropped-refresh bug was NOT caught".to_owned())
+        }
+    }
+}
+
+fn check_liveness(args: &[String]) -> Result<(), String> {
+    let which = str_value_of(args, "--scheduler").unwrap_or("all");
+    let names: Vec<&str> = if which == "all" { ALL_SCHEDULERS.to_vec() } else { vec![which] };
+    let mut cfg = LivenessConfig::tiny();
+    if let Some(b) = value_of(args, "--banks") {
+        cfg.banks = b as usize;
+    }
+    if let Some(r) = value_of(args, "--rows") {
+        cfg.rows = r as u8;
+    }
+    if let Some(q) = value_of(args, "--queue") {
+        cfg.queue_capacity = q as usize;
+    }
+    if let Some(t) = value_of(args, "--threads") {
+        cfg.adversary_threads = t as usize;
+    }
+    if let Some(d) = value_of(args, "--depth") {
+        cfg.max_depth = Some(d as u32);
+    }
+    let show_witness = args.iter().any(|a| a == "--witness");
+    let mut failures = Vec::new();
+    for name in names {
+        let report =
+            check_scheduler_liveness(name, &cfg).map_err(|e| format!("check-liveness: {e}"))?;
+        println!("check-liveness: {report}");
+        let unbounded = matches!(report.verdict, LivenessVerdict::Unbounded);
+        if let Some(w) = report.witness.as_ref().filter(|_| show_witness || unbounded) {
+            for line in w.describe().lines() {
+                println!("  {line}");
+            }
+        }
+        if report.closed {
+            if !report.claim_verified() {
+                failures.push(format!("{name}: declared claim not verified ({report})"));
+            }
+        } else if cfg.max_depth.is_none() {
+            // Without an explicit --depth horizon, truncation means the
+            // state cap was exhausted — the proof attempt failed.
+            failures.push(format!("{name}: exploration hit the state cap before its fixpoint"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("check-liveness: {}", failures.join("; ")))
+    }
+}
+
 fn check_timing(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--refresh") {
+        return check_refresh_cmd(args);
+    }
     let depth = value_of(args, "--depth").unwrap_or(6) as u32;
     let rows = value_of(args, "--rows").unwrap_or(4);
     let ranks: Vec<usize> = match value_of(args, "--ranks") {
@@ -136,11 +223,12 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check-timing") => check_timing(&args[1..]),
         Some("check-keys") => check_keys(&args[1..]),
+        Some("check-liveness") => check_liveness(&args[1..]),
         Some("check-spec") => check_spec(&args[1..]),
         Some("report") => report(&args[1..]),
         other => Err(format!(
-            "usage: parbs-analyze <check-timing|check-keys|check-spec|report> [options]\n\
-             (got {other:?})"
+            "usage: parbs-analyze <check-timing|check-keys|check-liveness|check-spec|report> \
+             [options]\n(got {other:?})"
         )),
     };
     match result {

@@ -18,15 +18,38 @@
 //! * [`check_scheduler_keys`] — a key-contract analyzer that validates each
 //!   scheduler's declared [`parbs_dram::KeyLayout`] structurally and
 //!   cross-checks the packed `priority_key` bits, field semantics and
-//!   ordering against the scheduler's own `compare`.
+//!   ordering against the scheduler's own `compare`;
+//! * [`check_scheduler_liveness`] — a liveness model checker that, per
+//!   scheduler, either **proves** a concrete starvation bound ("every
+//!   enqueued request is serviced within K other services") by exhaustive
+//!   exploration of the controller+scheduler state space on a tiny
+//!   geometry, or emits a minimal lasso witness of unbounded starvation —
+//!   with a symmetry-reduction layer (quotient by the geometry's
+//!   automorphism group, see the `symmetry` module docs) that shrinks the
+//!   state space by an order of magnitude or more;
+//! * [`check_refresh`] — the same engine style pointed at the `tREFI`
+//!   deadline rule: per-rank refresh compliance is model-checked against
+//!   the rule table, and a dropped refresh rule is caught at the
+//!   analytically minimal counterexample depth.
 //!
-//! The `parbs-analyze` binary exposes all three as CI-runnable subcommands
-//! (`check-timing`, `check-keys`, `report`).
+//! The `parbs-analyze` binary exposes all of these as CI-runnable
+//! subcommands (`check-timing` — including `--refresh`, `check-keys`,
+//! `check-liveness`, `check-spec`, `report`).
 
 mod keycheck;
+mod liveness;
 mod mc;
 mod oracle;
+mod refresh;
+mod symmetry;
 
 pub use keycheck::{check_scheduler_keys, scheduler_by_name, KeyReport, ALL_SCHEDULERS};
+pub use liveness::{
+    check_contract, check_scheduler_liveness, LivenessConfig, LivenessReport, LivenessVerdict,
+    Move, Witness,
+};
 pub use mc::{run_differential, run_differential_with_rules, Disagreement, McConfig, McStats};
 pub use oracle::{TimingOracle, Verdict};
+pub use refresh::{
+    check_refresh, check_refresh_with_rules, RefreshConfig, RefreshReport, RefreshVerdict,
+};

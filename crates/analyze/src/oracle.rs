@@ -22,8 +22,8 @@
 //! a minimal command prefix.
 
 use parbs_dram::{
-    data_interval, CommandKind, EventClass, FromTime, RuleScope, TimingParams, TimingRule, ToTime,
-    DRAM_CYCLE, TIMING_RULES,
+    data_interval, CommandKind, EventClass, FromTime, RuleKind, RuleScope, TimingParams,
+    TimingRule, ToTime, DRAM_CYCLE, TIMING_RULES,
 };
 
 /// The oracle's answer for a candidate command.
@@ -190,7 +190,10 @@ impl TimingOracle {
         };
         let mut earliest = 0u64;
         for rule in &self.rules {
-            if !rule.to.matches(kind) {
+            // Deadline rules (tREFI) bound command *absence*; they never
+            // delay an issue, so the earliest-legal computation skips them
+            // (the refresh model checker handles them instead).
+            if rule.kind != RuleKind::MinSeparation || !rule.to.matches(kind) {
                 continue;
             }
             let Some(anchor) = self.anchor_of(rule, rank, bank) else { continue };
@@ -251,6 +254,17 @@ mod tests {
         assert_eq!(o.earliest_issue(CommandKind::Read, 0, 0, 5), Verdict::At(t.t_rcd));
         assert_eq!(o.earliest_issue(CommandKind::Read, 0, 0, 6), Verdict::Never, "wrong row");
         assert_eq!(o.earliest_issue(CommandKind::Precharge, 0, 0, 0), Verdict::At(t.t_ras));
+    }
+
+    #[test]
+    fn deadline_rules_do_not_delay_refresh() {
+        // The tREFI rule is a deadline (an upper bound on refresh absence),
+        // not a separation: a second refresh must be legal as soon as tRFC
+        // elapses, not tREFI.
+        let t = TimingParams::ddr2_800();
+        let mut o = TimingOracle::new(1, 2, t);
+        o.record(CommandKind::Refresh, 0, 0, 0, 0);
+        assert_eq!(o.earliest_issue(CommandKind::Refresh, 0, 0, 0), Verdict::At(t.t_rfc));
     }
 
     #[test]

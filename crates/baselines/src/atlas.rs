@@ -15,8 +15,8 @@
 use std::cmp::Ordering;
 
 use parbs_dram::{
-    Command, CommandKind, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView,
-    ThreadId, ThreadTable, TimingParams,
+    Command, CommandKind, FieldSemantic, KeyField, KeyLayout, LivenessContract, LivenessPolicy,
+    MemoryScheduler, Request, SchedView, StarvationClaim, ThreadId, ThreadTable, TimingParams,
 };
 use parbs_obs::Event;
 
@@ -245,6 +245,17 @@ impl MemoryScheduler for AtlasScheduler {
 
     fn key_layout(&self) -> Option<&'static KeyLayout> {
         Some(&ATLAS_KEY_LAYOUT)
+    }
+
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        // Least-attained-service ranking: a starved thread has the least
+        // attained service by construction, so it holds the top rank until
+        // serviced.
+        Some(LivenessContract {
+            scheduler: "ATLAS",
+            policy: LivenessPolicy::LeastAttained { saturation: 3 },
+            claim: StarvationClaim::Bounded,
+        })
     }
 
     fn save_state(&self, w: &mut parbs_snap::SnapWriter) {

@@ -13,8 +13,8 @@
 use std::cmp::Ordering;
 
 use parbs_dram::{
-    Command, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView, ThreadId,
-    ThreadTable,
+    Command, FieldSemantic, KeyField, KeyLayout, LivenessContract, LivenessPolicy, MemoryScheduler,
+    Request, SchedView, StarvationClaim, ThreadId, ThreadTable,
 };
 use parbs_obs::Event;
 
@@ -188,6 +188,18 @@ impl MemoryScheduler for BlissScheduler {
 
     fn key_layout(&self) -> Option<&'static KeyLayout> {
         Some(&BLISS_KEY_LAYOUT)
+    }
+
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        // A hammering thread is blacklisted after `blacklist_threshold`
+        // consecutive services, at which point any non-blacklisted request
+        // outranks its row hits. (The periodic clearing interval is not
+        // modeled; see [`LivenessPolicy::Blacklist`].)
+        Some(LivenessContract {
+            scheduler: "BLISS",
+            policy: LivenessPolicy::Blacklist { threshold: self.cfg.blacklist_threshold },
+            claim: StarvationClaim::Bounded,
+        })
     }
 
     fn save_state(&self, w: &mut parbs_snap::SnapWriter) {

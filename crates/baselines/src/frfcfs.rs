@@ -2,7 +2,10 @@
 
 use std::cmp::Ordering;
 
-use parbs_dram::{FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView};
+use parbs_dram::{
+    FieldSemantic, KeyField, KeyLayout, LivenessContract, LivenessPolicy, MemoryScheduler, Request,
+    SchedView, StarvationClaim,
+};
 
 /// First-Ready First-Come-First-Serve (Rixner et al., ISCA 2000; Zuravleff
 /// & Robinson, US patent 5,630,096): among ready commands, prioritize (1) row-hit requests
@@ -61,6 +64,18 @@ impl MemoryScheduler for FrFcfsScheduler {
 
     fn key_layout(&self) -> Option<&'static KeyLayout> {
         Some(&FRFCFS_KEY_LAYOUT)
+    }
+
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        // The textbook starvation case (Section 3): a stream of row hits
+        // outranks an older row-conflict request indefinitely, so FR-FCFS
+        // honestly claims unbounded starvation and the model checker must
+        // find the hammering lasso.
+        Some(LivenessContract {
+            scheduler: "FR-FCFS",
+            policy: LivenessPolicy::FrFcfs,
+            claim: StarvationClaim::Unbounded,
+        })
     }
 }
 

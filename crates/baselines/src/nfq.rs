@@ -6,8 +6,9 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 
 use parbs_dram::{
-    f64_total_order_bits, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, RequestId,
-    SchedView, ThreadId, ThreadTable, TimingParams,
+    f64_total_order_bits, FieldSemantic, KeyField, KeyLayout, LivenessContract, LivenessPolicy,
+    MemoryScheduler, Request, RequestId, SchedView, StarvationClaim, ThreadId, ThreadTable,
+    TimingParams,
 };
 
 /// Which virtual timestamp orders requests.
@@ -228,6 +229,18 @@ impl MemoryScheduler for NfqScheduler {
 
     fn key_layout(&self) -> Option<&'static KeyLayout> {
         Some(&NFQ_KEY_LAYOUT)
+    }
+
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        // Earliest virtual deadline first: a starved thread's virtual clock
+        // falls ever further behind, so its requests eventually outrank any
+        // hammer stream — the least-attained-service mechanism with the
+        // clock read as attained service.
+        Some(LivenessContract {
+            scheduler: "NFQ",
+            policy: LivenessPolicy::LeastAttained { saturation: 3 },
+            claim: StarvationClaim::Bounded,
+        })
     }
 
     fn compare(&self, a: &Request, b: &Request, view: &SchedView<'_>) -> Ordering {

@@ -4,8 +4,8 @@
 use std::cmp::Ordering;
 
 use parbs_dram::{
-    Command, CommandKind, FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView,
-    ThreadId, ThreadTable, TimingParams,
+    Command, CommandKind, FieldSemantic, KeyField, KeyLayout, LivenessContract, LivenessPolicy,
+    MemoryScheduler, Request, SchedView, StarvationClaim, ThreadId, ThreadTable, TimingParams,
 };
 
 /// STFM's key: the fairness-mode ("boosted") thread first, then row hits,
@@ -329,6 +329,18 @@ impl MemoryScheduler for StfmScheduler {
 
     fn key_layout(&self) -> Option<&'static KeyLayout> {
         Some(&STFM_KEY_LAYOUT)
+    }
+
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        // Fairness mode: a thread whose slowdown crosses alpha is boosted
+        // over all row hits. In the abstract model the slowdown estimate is
+        // a saturating went-unserved counter; crossing the threshold is the
+        // unfairness trip point.
+        Some(LivenessContract {
+            scheduler: "STFM",
+            policy: LivenessPolicy::FairnessThreshold { threshold: 3 },
+            claim: StarvationClaim::Bounded,
+        })
     }
 
     fn save_state(&self, w: &mut parbs_snap::SnapWriter) {

@@ -3,7 +3,8 @@
 use std::cmp::Ordering;
 
 use parbs_dram::{
-    FieldSemantic, KeyField, KeyLayout, MemoryScheduler, Request, SchedView, ThreadId, ThreadTable,
+    FieldSemantic, KeyField, KeyLayout, LivenessContract, LivenessPolicy, MemoryScheduler, Request,
+    SchedView, StarvationClaim, ThreadId, ThreadTable,
 };
 use parbs_obs::{Event, RankEntry};
 use rand::rngs::StdRng;
@@ -448,6 +449,19 @@ impl MemoryScheduler for ParBsScheduler {
 
     fn key_layout(&self) -> Option<&'static KeyLayout> {
         Some(&PARBS_KEY_LAYOUT)
+    }
+
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        // The paper's central liveness argument (Section 4.1): batching
+        // with the Marking-Cap bounds any request's delay by a function of
+        // the cap and the buffer size. Uncapped marking is still batch
+        // marking — every queued request joins the next batch — so the
+        // effective cap is "unlimited" rather than a different mechanism.
+        Some(LivenessContract {
+            scheduler: "PAR-BS",
+            policy: LivenessPolicy::BatchMarking { cap: self.current_cap.unwrap_or(u32::MAX) },
+            claim: StarvationClaim::Bounded,
+        })
     }
 
     fn debug_summary(&self) -> String {

@@ -94,6 +94,10 @@ pub struct Controller {
     /// Test shim: route scheduling decisions through the O(n log n)
     /// comparator sort instead of cached keys.
     comparator_path: bool,
+    /// Fault-injection shim: when false, the controller never prioritizes
+    /// (or issues) refreshes — the seeded "dropped tREFI rule" bug that the
+    /// refresh model checker must catch. Always true in production.
+    refresh_gating: bool,
     /// Reusable buffer for inline write-side FR-FCFS keys.
     write_keys: Vec<u128>,
     /// Reusable selection scratch: requests already tried this decision.
@@ -147,6 +151,7 @@ impl Controller {
             read_keys: Vec::new(),
             read_keys_dirty: true,
             comparator_path: false,
+            refresh_gating: true,
             write_keys: Vec::new(),
             tried: Vec::new(),
             blp_masks: Vec::new(),
@@ -190,6 +195,36 @@ impl Controller {
     pub fn set_comparator_path(&mut self, enabled: bool) {
         self.comparator_path = enabled;
         self.read_keys_dirty = true;
+    }
+
+    /// Fault-injection shim for the refresh model checker: when disabled,
+    /// the controller drops refresh scheduling entirely — no rank is ever
+    /// refreshed, so a busy channel violates the tREFI deadline rule. Used
+    /// by `parbs-analyze check-timing --refresh` to cross-validate that its
+    /// abstract refresh model and the concrete controller agree on both the
+    /// correct behavior and the seeded bug. Always enabled in production.
+    pub fn set_refresh_gating(&mut self, enabled: bool) {
+        self.refresh_gating = enabled;
+    }
+
+    /// Refresh bookkeeping exposed to the analysis oracle: the cycle of the
+    /// most recent all-bank refresh, per rank (0 = never refreshed since
+    /// construction — the boot anchor the tREFI deadline measures from).
+    #[must_use]
+    pub fn last_refresh_cycles(&self) -> &[u64] {
+        &self.last_refresh
+    }
+
+    /// The packed read-priority keys at cycle `now`, index-aligned with
+    /// [`Controller::reads`] (recomputing them first if the cache is
+    /// stale). Introspection hook for checkpoint/restore validation: the
+    /// key-caching contract requires these to be identical before a
+    /// snapshot and after the matching resume.
+    pub fn priority_keys(&mut self, now: u64) -> Vec<u128> {
+        if self.read_keys_dirty {
+            self.refresh_read_keys(now);
+        }
+        self.read_keys.clone()
     }
 
     /// The channel state (open rows, bus occupancy).
@@ -388,11 +423,22 @@ impl Controller {
         // deferral, guaranteed progress. Other ranks keep their open rows:
         // only the refreshed rank's banks are closed and blacked out.
         let t_refi = self.config.timing.t_refi;
-        if t_refi > 0 {
+        if t_refi > 0 && self.refresh_gating {
             let due = (0..self.channel.rank_count())
                 .filter(|&r| now >= self.last_refresh[r] + t_refi)
                 .min_by_key(|&r| (self.last_refresh[r], r));
             if let Some(rank) = due {
+                // Always-on refresh-path checks (the bank/channel issue
+                // paths got the same treatment in their own files): a rank
+                // picked for refresh must exist and must actually be due —
+                // a stale `last_refresh` entry here would silently skip
+                // refreshes and break the tREFI deadline downstream.
+                assert!(rank < self.channel.rank_count(), "refresh rank {rank} out of range");
+                assert!(
+                    now >= self.last_refresh[rank] + t_refi,
+                    "rank {rank} selected for refresh {} cycles early",
+                    self.last_refresh[rank] + t_refi - now
+                );
                 let cmd = Command::refresh(rank, RequestId(u64::MAX));
                 if self.channel.can_issue(&cmd, now) {
                     if let Some(checker) = &mut self.checker {
@@ -406,6 +452,10 @@ impl Controller {
                     self.channel.refresh_rank(rank, now);
                     self.stats.refreshes += 1;
                     self.stats.commands_issued += 1;
+                    assert!(
+                        now > self.last_refresh[rank] || self.last_refresh[rank] == 0,
+                        "refresh bookkeeping must advance monotonically"
+                    );
                     self.last_refresh[rank] = now;
                     // Refresh closes the rank's rows: row-hit bits changed.
                     self.read_keys_dirty = true;
@@ -623,7 +673,15 @@ impl Controller {
         let mut tried = std::mem::take(&mut self.tried);
         let queue = if is_write { &self.writes } else { &self.reads };
         let keys = if is_write { &self.write_keys } else { &self.read_keys };
-        debug_assert_eq!(keys.len(), queue.len());
+        // Always-on (not debug_assert): a key cache that drifted out of
+        // alignment with its queue silently scrambles priorities — the
+        // exact failure class the key-caching contract exists to prevent.
+        assert_eq!(
+            keys.len(),
+            queue.len(),
+            "priority-key cache out of sync with the {} queue",
+            if is_write { "write" } else { "read" }
+        );
         tried.clear();
         tried.resize(queue.len(), false);
         let mut protected_banks = self.initial_protected_banks(is_write);

@@ -60,6 +60,7 @@ mod channel;
 mod checker;
 mod command;
 mod config;
+mod contract;
 mod controller;
 mod geometry;
 mod keys;
@@ -78,13 +79,14 @@ pub use channel::Channel;
 pub use checker::{ProtocolChecker, ProtocolViolation};
 pub use command::{Command, CommandKind};
 pub use config::DramConfig;
+pub use contract::{LivenessContract, LivenessPolicy, StarvationClaim};
 pub use controller::{Completion, Controller, EnqueueError};
 pub use geometry::{Geometry, GeometryError};
 pub use keys::{f64_total_order_bits, FieldSemantic, KeyField, KeyLayout};
 pub use request::{Request, RequestId, RequestKind, ThreadId};
 pub use rules::{
-    data_interval, CmdClass, EventClass, FromTime, RuleEngine, RuleScope, TimingParam, TimingRule,
-    ToTime, TIMING_RULES,
+    data_interval, CmdClass, EventClass, FromTime, RuleEngine, RuleKind, RuleScope, TimingParam,
+    TimingRule, ToTime, TIMING_RULES,
 };
 pub use scheduler::{FcfsScheduler, MemoryScheduler, SchedView};
 pub use stats::{BlpTracker, ControllerStats};

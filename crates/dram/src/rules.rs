@@ -34,6 +34,12 @@
 //! `PRE` on a closed bank) is not a timing rule; it is a property of the
 //! bank state machine and is checked separately by both the checker and the
 //! model-checking oracle.
+//!
+//! Rules come in two polarities ([`RuleKind`]): ordinary min-separation
+//! rules gate command issue, while *deadline* rules (tREFI) put a ceiling
+//! on how long a required command may stay absent. Deadline rules are
+//! invisible to the issue path and are enforced by `parbs-analyze`'s
+//! refresh model checker instead.
 
 use crate::{CommandKind, TimingParams, DRAM_CYCLE};
 
@@ -70,6 +76,8 @@ pub enum TimingParam {
     TRfc,
     /// Rank-to-rank data-bus switch gap (`t_rtrs`).
     TRtrs,
+    /// Average refresh interval (`t_refi`) — a deadline, not a gap.
+    TRefi,
     /// One command-bus slot ([`DRAM_CYCLE`] processor cycles).
     DramCycle,
 }
@@ -94,6 +102,7 @@ impl TimingParam {
             TimingParam::TFaw => t.t_faw,
             TimingParam::TRfc => t.t_rfc,
             TimingParam::TRtrs => t.t_rtrs,
+            TimingParam::TRefi => t.t_refi,
             TimingParam::DramCycle => DRAM_CYCLE,
         }
     }
@@ -188,12 +197,34 @@ pub enum ToTime {
     DataStart,
 }
 
+/// Whether a rule's separation is a floor or a ceiling.
+///
+/// Min-separation rules gate command *issue*: a candidate too close to its
+/// anchor event is illegal and the controller must wait. Deadline rules are
+/// the opposite polarity — they demand that the next `to`-event *happen* no
+/// later than `min_sep` (read: *max_sep*) cycles after the anchor — so no
+/// candidate command can ever violate one by issuing. They constrain the
+/// **absence** of commands, which only a liveness check can observe:
+/// [`RuleEngine::first_violation`] skips them, and `parbs-analyze`'s
+/// refresh model checker (`check-timing --refresh`) enforces them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// `to` may not come **sooner** than `min_sep` after the anchor.
+    MinSeparation,
+    /// `to` must come **no later** than `min_sep` after the anchor (plus
+    /// the controller's bounded scheduling slack).
+    Deadline,
+}
+
 /// One declarative timing constraint; see the module docs for the reading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimingRule {
     /// Stable human-readable rule id; [`crate::ProtocolViolation::rule`]
     /// reports exactly these strings.
     pub id: &'static str,
+    /// Floor ([`RuleKind::MinSeparation`]) or ceiling
+    /// ([`RuleKind::Deadline`]) semantics for `min_sep`.
+    pub kind: RuleKind,
     /// Which commands share the constrained state.
     pub scope: RuleScope,
     /// The event class measured from.
@@ -226,6 +257,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // The command bus carries one command per DRAM cycle.
     TimingRule {
         id: "one command per DRAM cycle",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::Channel,
         from: EventClass::Any,
         from_time: FromTime::Issue,
@@ -238,6 +270,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // including another refresh.
     TimingRule {
         id: "tRFC",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameRank,
         from: EventClass::Ref,
         from_time: FromTime::Issue,
@@ -249,6 +282,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Precharge → activate, same bank.
     TimingRule {
         id: "tRP",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameBank,
         from: EventClass::Pre,
         from_time: FromTime::Issue,
@@ -260,6 +294,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Activate → activate, same bank (row cycle).
     TimingRule {
         id: "tRC",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameBank,
         from: EventClass::Act,
         from_time: FromTime::Issue,
@@ -271,6 +306,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Activate → activate, different banks of the same rank.
     TimingRule {
         id: "tRRD",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameRank,
         from: EventClass::Act,
         from_time: FromTime::Issue,
@@ -283,6 +319,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // recent one to leave the tFAW window.
     TimingRule {
         id: "tFAW",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameRank,
         from: EventClass::Act,
         from_time: FromTime::Issue,
@@ -294,6 +331,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Activate → column, same bank.
     TimingRule {
         id: "tRCD",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameBank,
         from: EventClass::Act,
         from_time: FromTime::Issue,
@@ -305,6 +343,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Column → column command gap on the shared command/data path.
     TimingRule {
         id: "tCCD",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::Channel,
         from: EventClass::Col,
         from_time: FromTime::Issue,
@@ -320,6 +359,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // analyze oracle agree by construction.
     TimingRule {
         id: "tWTR",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::Channel,
         from: EventClass::Wr,
         from_time: FromTime::DataEnd,
@@ -332,6 +372,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // one ends.
     TimingRule {
         id: "data bus conflict",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::Channel,
         from: EventClass::Col,
         from_time: FromTime::DataEnd,
@@ -344,6 +385,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // previous one pays tRTRS on top of bus exclusivity.
     TimingRule {
         id: "tRTRS",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::CrossRank,
         from: EventClass::Col,
         from_time: FromTime::DataEnd,
@@ -355,6 +397,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Activate → precharge, same bank (row-access minimum).
     TimingRule {
         id: "tRAS",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameBank,
         from: EventClass::Act,
         from_time: FromTime::Issue,
@@ -366,6 +409,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Read → precharge, same bank.
     TimingRule {
         id: "tRTP",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameBank,
         from: EventClass::Rd,
         from_time: FromTime::Issue,
@@ -377,6 +421,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Write recovery: precharge waits tWR after the write's last data beat.
     TimingRule {
         id: "tWR",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::SameBank,
         from: EventClass::Wr,
         from_time: FromTime::DataEnd,
@@ -388,6 +433,7 @@ pub const TIMING_RULES: &[TimingRule] = &[
     // Refresh needs a quiet data bus.
     TimingRule {
         id: "refresh during data transfer",
+        kind: RuleKind::MinSeparation,
         scope: RuleScope::Channel,
         from: EventClass::Col,
         from_time: FromTime::DataEnd,
@@ -395,6 +441,22 @@ pub const TIMING_RULES: &[TimingRule] = &[
         to: CmdClass::Ref,
         to_time: ToTime::Issue,
         min_sep: &[],
+    },
+    // Retention deadline: each rank must be refreshed again within tREFI
+    // of its previous refresh (at boot: within tREFI of cycle 0). This is
+    // a Deadline rule — it bounds how *late* the next REF may be, so it
+    // gates no candidate command and is enforced by the refresh model
+    // checker, not the issue path.
+    TimingRule {
+        id: "tREFI",
+        kind: RuleKind::Deadline,
+        scope: RuleScope::SameRank,
+        from: EventClass::Ref,
+        from_time: FromTime::Issue,
+        nth: 1,
+        to: CmdClass::Ref,
+        to_time: ToTime::Issue,
+        min_sep: &[TimingParam::TRefi],
     },
 ];
 
@@ -533,6 +595,11 @@ impl RuleEngine {
     ) -> Option<&'static str> {
         let rank = self.rank_of(kind, rank, bank);
         for rule in TIMING_RULES {
+            // Deadline rules bound the *absence* of a command; no candidate
+            // issue can violate one (see [`RuleKind::Deadline`]).
+            if rule.kind != RuleKind::MinSeparation {
+                continue;
+            }
             if !rule.to.matches(kind) {
                 continue;
             }
@@ -616,6 +683,7 @@ mod tests {
             TimingParam::TCcd,
             TimingParam::TRfc,
             TimingParam::TRtrs,
+            TimingParam::TRefi,
             TimingParam::DramCycle,
         ] {
             assert!(used.contains(&p), "no rule references {p:?}");
@@ -624,6 +692,25 @@ mod tests {
         assert!(TIMING_RULES
             .iter()
             .any(|r| r.from_time == FromTime::DataEnd && r.to_time == ToTime::DataStart));
+    }
+
+    #[test]
+    fn deadline_rules_never_gate_issue() {
+        // tREFI is a ceiling on refresh *absence*; back-to-back refreshes
+        // are gated by tRFC only, never by the deadline rule. A refresh at
+        // t_rfc after the previous one must be legal even though it is far
+        // inside the tREFI window.
+        let t = TimingParams::ddr2_800();
+        let mut e = RuleEngine::new(2, 8, t);
+        e.record(CommandKind::Refresh, 0, 0, 0);
+        assert!(t.t_rfc < t.t_refi);
+        assert_eq!(e.first_violation(CommandKind::Refresh, 0, 0, t.t_rfc), None);
+        // Exactly one deadline rule, and it covers tREFI.
+        let deadlines: Vec<&TimingRule> =
+            TIMING_RULES.iter().filter(|r| r.kind == RuleKind::Deadline).collect();
+        assert_eq!(deadlines.len(), 1);
+        assert_eq!(deadlines[0].id, "tREFI");
+        assert_eq!(deadlines[0].min_sep_cycles(&t), t.t_refi);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 
 use std::cmp::Ordering;
 
-use crate::{Channel, Command, FieldSemantic, KeyField, KeyLayout, Request, ThreadId};
+use crate::{
+    Channel, Command, FieldSemantic, KeyField, KeyLayout, LivenessContract, LivenessPolicy,
+    Request, StarvationClaim, ThreadId,
+};
 
 /// Read-only view of the channel state handed to schedulers during
 /// prioritization.
@@ -127,6 +130,19 @@ pub trait MemoryScheduler {
         None
     }
 
+    /// The declared liveness contract of this policy, for static analysis:
+    /// `parbs-analyze check-liveness` model-checks the declared
+    /// [`StarvationClaim`] under the declared [`LivenessPolicy`] class on a
+    /// tiny geometry, proving a concrete starvation bound or exhibiting a
+    /// minimal starvation lasso. Returning `None` (the default) opts the
+    /// policy out of liveness analysis; every shipped scheduler declares a
+    /// contract. Unlike [`MemoryScheduler::key_layout`] the value is built
+    /// per call — policy parameters (the Marking-Cap, the blacklist
+    /// threshold) live in runtime configuration, not statics.
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        None
+    }
+
     /// Feedback from the cores: `stall_cycles[t]` processor cycles of
     /// memory-related stall accrued by thread `t` since the previous call.
     /// Used by stall-time-based policies (STFM); default is to ignore it.
@@ -230,6 +246,16 @@ impl MemoryScheduler for FcfsScheduler {
 
     fn key_layout(&self) -> Option<&'static KeyLayout> {
         Some(&FCFS_KEY_LAYOUT)
+    }
+
+    fn liveness_contract(&self) -> Option<LivenessContract> {
+        // Strict arrival order: the oldest request is always next, so the
+        // bound is simply the number of older queued requests.
+        Some(LivenessContract {
+            scheduler: "FCFS",
+            policy: LivenessPolicy::Fifo,
+            claim: StarvationClaim::Bounded,
+        })
     }
 }
 

@@ -119,7 +119,10 @@ impl<T> ThreadTable<T> {
         let old = self.entries.remove(&thread.0);
         if old.is_some() {
             let at = self.order.partition_point(|&id| id < thread.0);
-            debug_assert_eq!(self.order.get(at), Some(&thread.0));
+            // Always-on: `entries` and `order` disagreeing means per-thread
+            // state survives retirement and leaks into the next requester
+            // assigned this id.
+            assert_eq!(self.order.get(at), Some(&thread.0), "thread table order out of sync");
             self.order.remove(at);
         }
         old

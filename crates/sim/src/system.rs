@@ -251,6 +251,15 @@ impl System {
         self.controllers.len()
     }
 
+    /// Per channel, the packed priority key of every queued read evaluated
+    /// at `now` — the scheduler-observable queue state. Introspection hook
+    /// for checkpoint validation: a resume must reproduce these bit for
+    /// bit, or the restored scheduler would make different decisions than
+    /// the one that was saved.
+    pub fn priority_keys(&mut self, now: u64) -> Vec<Vec<u128>> {
+        self.controllers.iter_mut().map(|c| c.priority_keys(now)).collect()
+    }
+
     /// Attaches an observability sink to `channel`'s controller, returning
     /// the sink it replaces (see [`Controller::set_event_sink`]).
     ///

@@ -70,6 +70,42 @@ proptest! {
     }
 
     #[test]
+    fn resume_preserves_priority_keys_for_every_scheduler(
+        seed in any::<u64>(),
+        cut in 500u64..4_000,
+    ) {
+        // The scheduler-observable state is the packed priority key of
+        // every queued read: if save/resume preserves those bit for bit,
+        // the restored scheduler makes exactly the decisions the saved one
+        // would have. Checked across the full seven-scheduler zoo.
+        let harness = quick_harness(600);
+        let mix = mix_from(seed);
+        for kind in SchedulerKind::zoo_seven() {
+            let mut sys = harness.shared_system(&mix, &kind, &Default::default());
+            let mut progress = sys.begin_run();
+            for _ in 0..cut {
+                if !sys.step_cycle(&mut progress) {
+                    break;
+                }
+            }
+            let now = progress.cycles();
+            let blob = sys.save_checkpoint(&progress, "keys").expect("checkpointable");
+            let expected = sys.priority_keys(now);
+
+            let mut fresh = harness.shared_system(&mix, &kind, &Default::default());
+            let restored = fresh.resume(&blob, "keys").expect("self-resume succeeds");
+            prop_assert_eq!(restored.cycles(), now);
+            let got = fresh.priority_keys(now);
+            prop_assert_eq!(
+                &expected,
+                &got,
+                "{} priority keys drifted across save/resume",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
     fn any_strict_prefix_of_a_checkpoint_is_rejected(
         seed in any::<u64>(),
         cut_at in any::<u64>(),

@@ -46,6 +46,39 @@ fn malformed_sweep_count_is_a_hard_error() {
 }
 
 #[test]
+fn zero_checkpoint_interval_is_a_hard_error() {
+    // `--checkpoint-every 0` would checkpoint never (or spin forever,
+    // depending on the reading) — it must be rejected by name, not
+    // silently clamped. The interval check sits behind the
+    // requires-`--checkpoint-out` check, so both flags are supplied.
+    run_expecting_usage_error(
+        &[
+            "run",
+            "lbm",
+            "--checkpoint-out",
+            "/tmp/parbs-cli-args-test.ckpt",
+            "--checkpoint-every",
+            "0",
+        ],
+        "--checkpoint-every",
+    );
+}
+
+#[test]
+fn checkpoint_interval_without_a_sink_is_a_hard_error() {
+    run_expecting_usage_error(&["run", "lbm", "--checkpoint-every", "1000"], "--checkpoint-out");
+}
+
+#[test]
+fn non_power_of_two_lanes_is_a_hard_error() {
+    // Lane kernels are monomorphized for widths 1/2/4; any other width
+    // must be a hard error naming --lanes, never a silent scalar fallback.
+    run_expecting_usage_error(&["list", "--lanes", "3"], "--lanes");
+    run_expecting_usage_error(&["run", "lbm", "--lanes", "8"], "--lanes");
+    run_expecting_usage_error(&["zoo-sweep", "0", "--lanes", "0"], "--lanes");
+}
+
+#[test]
 fn valid_flags_still_parse() {
     let out = parbs_sim()
         .args(["bench", "lbm", "--target", "500", "--seed", "7"])
